@@ -1,0 +1,328 @@
+// Benchmarks regenerating every table and figure of the evaluation (§5) at
+// benchmark scale, plus ablations for the design choices DESIGN.md calls
+// out. Each table/figure has a dedicated benchmark; `cmd/experiments` runs
+// the same code paths at full sweep ranges.
+package seoracle
+
+import (
+	"math/rand"
+	"testing"
+
+	"seoracle/internal/baseline"
+	"seoracle/internal/core"
+	"seoracle/internal/exp"
+	"seoracle/internal/geodesic"
+	"seoracle/internal/steiner"
+	"seoracle/internal/terrain"
+)
+
+// benchWorld caches a dataset across benchmarks.
+type benchWorld struct {
+	ds  *exp.Dataset
+	eng *geodesic.Exact
+}
+
+var benchCache = map[string]*benchWorld{}
+
+func world(b *testing.B, name string, make func(exp.Scale) (*exp.Dataset, error)) *benchWorld {
+	b.Helper()
+	if w, ok := benchCache[name]; ok {
+		return w
+	}
+	ds, err := make(exp.Quick)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := &benchWorld{ds: ds, eng: geodesic.NewExact(ds.Mesh)}
+	benchCache[name] = w
+	return w
+}
+
+func buildSE(b *testing.B, w *benchWorld, eps float64, sel core.Selection) *core.Oracle {
+	b.Helper()
+	o, err := core.Build(w.eng, w.ds.POIs, core.Options{Epsilon: eps, Selection: sel, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return o
+}
+
+// --- Table 1: construction cost drivers (SSAD count, pair count) ---
+
+func BenchmarkTable1_SEBuild(b *testing.B) {
+	w := world(b, "sf-small", exp.SFSmall)
+	for i := 0; i < b.N; i++ {
+		o := buildSE(b, w, 0.25, core.SelectRandom)
+		b.ReportMetric(float64(o.Stats().SSADCalls), "ssads")
+		b.ReportMetric(float64(o.NumPairs()), "pairs")
+	}
+}
+
+// --- Table 2/3: dataset statistics and query-distance statistics ---
+
+func BenchmarkTable2_DatasetStats(b *testing.B) {
+	w := world(b, "bh", exp.BearHead)
+	for i := 0; i < b.N; i++ {
+		s := w.ds.Mesh.ComputeStats()
+		if s.NumVerts == 0 {
+			b.Fatal("empty stats")
+		}
+	}
+}
+
+func BenchmarkTable3_QueryDistances(b *testing.B) {
+	w := world(b, "bh", exp.BearHead)
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := rng.Intn(len(w.ds.POIs))
+		t := rng.Intn(len(w.ds.POIs))
+		w.eng.DistancesTo(w.ds.POIs[s], []terrain.SurfacePoint{w.ds.POIs[t]}, geodesic.Stop{CoverTargets: true})
+	}
+}
+
+// --- Figure 8: effect of ε on SF-small (P2P), one benchmark per panel ---
+
+func BenchmarkFig8_BuildSERandom(b *testing.B) {
+	w := world(b, "sf-small", exp.SFSmall)
+	for i := 0; i < b.N; i++ {
+		buildSE(b, w, 0.1, core.SelectRandom)
+	}
+}
+
+func BenchmarkFig8_BuildSEGreedy(b *testing.B) {
+	w := world(b, "sf-small", exp.SFSmall)
+	for i := 0; i < b.N; i++ {
+		buildSE(b, w, 0.1, core.SelectGreedy)
+	}
+}
+
+func BenchmarkFig8_BuildKAlgo(b *testing.B) {
+	w := world(b, "sf-small", exp.SFSmall)
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.NewKAlgo(w.ds.Mesh, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8_QuerySE(b *testing.B) {
+	w := world(b, "sf-small", exp.SFSmall)
+	o := buildSE(b, w, 0.1, core.SelectRandom)
+	rng := rand.New(rand.NewSource(8))
+	n := int32(len(w.ds.POIs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.Query(rng.Int31n(n), rng.Int31n(n)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8_QueryKAlgo(b *testing.B) {
+	w := world(b, "sf-small", exp.SFSmall)
+	k, err := baseline.NewKAlgo(w.ds.Mesh, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	n := len(w.ds.POIs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Query(w.ds.POIs[rng.Intn(n)], w.ds.POIs[rng.Intn(n)])
+	}
+}
+
+func BenchmarkFig8_SizeSE(b *testing.B) {
+	w := world(b, "sf-small", exp.SFSmall)
+	o := buildSE(b, w, 0.1, core.SelectRandom)
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(float64(o.MemoryBytes()), "bytes")
+	}
+}
+
+// --- Figure 9: effect of n (P2P query throughput at growing n) ---
+
+func BenchmarkFig9_QuerySEByN(b *testing.B) {
+	w := world(b, "sf", exp.SanFrancisco)
+	o := buildSE(b, w, 0.1, core.SelectRandom)
+	rng := rand.New(rand.NewSource(10))
+	n := int32(len(w.ds.POIs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.Query(rng.Int31n(n), rng.Int31n(n)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 10: effect of N (build at growing terrain size) ---
+
+func BenchmarkFig10_BuildSEByN(b *testing.B) {
+	ds, err := exp.BearHeadAtN(17, 30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := geodesic.NewExact(ds.Mesh)
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build(eng, ds.POIs, core.Options{Epsilon: 0.1, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 11: V2V (all vertices are POIs) ---
+
+func BenchmarkFig11_V2VQuery(b *testing.B) {
+	ds, err := exp.SFV2VAtN(9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := geodesic.NewExact(ds.Mesh)
+	o, err := core.Build(eng, ds.POIs, core.Options{Epsilon: 0.1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	n := int32(len(ds.POIs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.Query(rng.Int31n(n), rng.Int31n(n)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 12: A2A queries ---
+
+func BenchmarkFig12_A2AQuery(b *testing.B) {
+	w := world(b, "bh-lowres", exp.BearHeadLowRes)
+	so, err := core.BuildSiteOracle(w.eng, w.ds.Mesh, core.SiteOptions{
+		Options: core.Options{Epsilon: 0.2, Seed: 1},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	loc := terrain.NewLocator(w.ds.Mesh)
+	st := w.ds.Mesh.ComputeStats()
+	rng := rand.New(rand.NewSource(12))
+	pt := func() terrain.SurfacePoint {
+		for {
+			x := st.BBoxMin.X + rng.Float64()*(st.BBoxMax.X-st.BBoxMin.X)
+			y := st.BBoxMin.Y + rng.Float64()*(st.BBoxMax.Y-st.BBoxMin.Y)
+			if p, ok := loc.Project(x, y); ok {
+				return p
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := so.Query(pt(), pt()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figures 13/14: ε sweeps on BH and EP (build benchmarks) ---
+
+func BenchmarkFig13_BuildSEBearHead(b *testing.B) {
+	w := world(b, "bh", exp.BearHead)
+	for i := 0; i < b.N; i++ {
+		buildSE(b, w, 0.25, core.SelectRandom)
+	}
+}
+
+func BenchmarkFig14_BuildSEEaglePeak(b *testing.B) {
+	w := world(b, "ep", exp.EaglePeak)
+	for i := 0; i < b.N; i++ {
+		buildSE(b, w, 0.25, core.SelectRandom)
+	}
+}
+
+// --- Ablations (design choices called out in DESIGN.md) ---
+
+// Greedy vs random point selection (§3.2, Implementation Detail 1).
+func BenchmarkAblation_SelectionRandom(b *testing.B) {
+	w := world(b, "sf-small", exp.SFSmall)
+	for i := 0; i < b.N; i++ {
+		buildSE(b, w, 0.25, core.SelectRandom)
+	}
+}
+
+func BenchmarkAblation_SelectionGreedy(b *testing.B) {
+	w := world(b, "sf-small", exp.SFSmall)
+	for i := 0; i < b.N; i++ {
+		buildSE(b, w, 0.25, core.SelectGreedy)
+	}
+}
+
+// Efficient O(h) vs naive O(h²) query (§3.4).
+func BenchmarkAblation_QueryEfficient(b *testing.B) {
+	w := world(b, "sf-small", exp.SFSmall)
+	o := buildSE(b, w, 0.1, core.SelectRandom)
+	rng := rand.New(rand.NewSource(13))
+	n := int32(len(w.ds.POIs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.Query(rng.Int31n(n), rng.Int31n(n)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_QueryNaive(b *testing.B) {
+	w := world(b, "sf-small", exp.SFSmall)
+	o := buildSE(b, w, 0.1, core.SelectRandom)
+	rng := rand.New(rand.NewSource(13))
+	n := int32(len(w.ds.POIs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.QueryNaive(rng.Int31n(n), rng.Int31n(n)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Enhanced-edge construction vs naive per-pair SSAD (§3.5).
+func BenchmarkAblation_ConstructionEfficient(b *testing.B) {
+	w := world(b, "sf-small", exp.SFSmall)
+	for i := 0; i < b.N; i++ {
+		buildSE(b, w, 0.25, core.SelectRandom)
+	}
+}
+
+func BenchmarkAblation_ConstructionNaive(b *testing.B) {
+	w := world(b, "sf-small", exp.SFSmall)
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build(w.eng, w.ds.POIs, core.Options{
+			Epsilon: 0.25, Seed: 1, NaivePairDistances: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Exact window-propagation SSAD vs Steiner-graph SSAD as the construction
+// distance primitive.
+func BenchmarkAblation_EngineExact(b *testing.B) {
+	w := world(b, "sf-small", exp.SFSmall)
+	src := w.ds.POIs[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.eng.DistancesTo(src, w.ds.POIs, geodesic.Stop{CoverTargets: true})
+	}
+}
+
+func BenchmarkAblation_EngineSteiner(b *testing.B) {
+	w := world(b, "sf-small", exp.SFSmall)
+	g, err := steiner.NewGraph(w.ds.Mesh, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := steiner.NewEngine(g)
+	src := w.ds.POIs[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.DistancesTo(src, w.ds.POIs, geodesic.Stop{CoverTargets: true})
+	}
+}

@@ -1,0 +1,94 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (§5) on the scaled stand-in datasets. Results are printed as
+// aligned text tables and optionally written as CSV files.
+//
+// Usage:
+//
+//	experiments [-run all|table1|table2|table3|fig8|fig9|fig10|fig11|fig12|fig13|fig14]
+//	            [-full] [-queries N] [-seed S] [-csv DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"seoracle/internal/exp"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "all", "which experiment to run (comma separated)")
+		full    = flag.Bool("full", false, "paper-scale datasets (slower; SF-small gets 1k vertices as in §5.1)")
+		queries = flag.Int("queries", 0, "queries per configuration (0 = scale default)")
+		seed    = flag.Int64("seed", 42, "base random seed")
+		csvDir  = flag.String("csv", "", "directory for CSV output (optional)")
+	)
+	flag.Parse()
+
+	cfg := exp.Config{Scale: exp.Quick, Queries: *queries, Seed: *seed, Out: os.Stdout}
+	if *full {
+		cfg.Scale = exp.Full
+	}
+
+	type figRunner func(exp.Config) ([]exp.Measurement, error)
+	figures := map[string]struct {
+		run   figRunner
+		xname string
+	}{
+		"fig8":  {exp.RunFig8, "eps"},
+		"fig9":  {exp.RunFig9, "n"},
+		"fig10": {exp.RunFig10, "N"},
+		"fig11": {exp.RunFig11, "n"},
+		"fig12": {exp.RunFig12, "eps"},
+		"fig13": {exp.RunFig13, "eps"},
+		"fig14": {exp.RunFig14, "eps"},
+	}
+	tables := map[string]func(exp.Config) error{
+		"table1": exp.RunTable1,
+		"table2": exp.RunTable2,
+		"table3": exp.RunTable3,
+	}
+	order := []string{"table1", "table2", "table3", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14"}
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	for _, name := range order {
+		if !want["all"] && !want[name] {
+			continue
+		}
+		if t, ok := tables[name]; ok {
+			if err := t(cfg); err != nil {
+				fatal("%s: %v", name, err)
+			}
+			continue
+		}
+		f := figures[name]
+		ms, err := f.run(cfg)
+		if err != nil {
+			fatal("%s: %v", name, err)
+		}
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fatal("csv dir: %v", err)
+			}
+			path := filepath.Join(*csvDir, name+".csv")
+			fh, err := os.Create(path)
+			if err != nil {
+				fatal("csv: %v", err)
+			}
+			exp.WriteCSV(fh, f.xname, ms)
+			fh.Close()
+			fmt.Printf("  wrote %s\n", path)
+		}
+	}
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,94 @@
+// Command sebuild constructs an SE distance oracle from a terrain (OFF) and
+// a POI file, serializes it, and prints the construction statistics.
+//
+// Usage:
+//
+//	sebuild -terrain terrain.off -pois pois.txt -out oracle.se
+//	        [-eps 0.1] [-greedy] [-naive] [-seed 1] [-check]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"seoracle/internal/core"
+	"seoracle/internal/gen"
+	"seoracle/internal/geodesic"
+	"seoracle/internal/terrain"
+)
+
+func main() {
+	var (
+		terrainPath = flag.String("terrain", "terrain.off", "input OFF mesh")
+		poisPath    = flag.String("pois", "pois.txt", "input POI file")
+		out         = flag.String("out", "oracle.se", "output oracle path")
+		eps         = flag.Float64("eps", 0.1, "error parameter epsilon")
+		greedy      = flag.Bool("greedy", false, "use the greedy point-selection strategy")
+		naive       = flag.Bool("naive", false, "use the naive construction (SE-Naive)")
+		seed        = flag.Int64("seed", 1, "random seed")
+		check       = flag.Bool("check", false, "verify oracle invariants after construction")
+	)
+	flag.Parse()
+
+	ft, err := os.Open(*terrainPath)
+	if err != nil {
+		fatal("%v", err)
+	}
+	m, err := terrain.ReadOFF(ft)
+	ft.Close()
+	if err != nil {
+		fatal("reading terrain: %v", err)
+	}
+	fp, err := os.Open(*poisPath)
+	if err != nil {
+		fatal("%v", err)
+	}
+	pois, err := terrain.ReadPOIs(fp, m)
+	fp.Close()
+	if err != nil {
+		fatal("reading POIs: %v", err)
+	}
+	pois = gen.Dedup(pois, 1e-9)
+
+	opt := core.Options{Epsilon: *eps, Seed: *seed, NaivePairDistances: *naive}
+	if *greedy {
+		opt.Selection = core.SelectGreedy
+	}
+	start := time.Now()
+	oracle, err := core.Build(geodesic.NewExact(m), pois, opt)
+	if err != nil {
+		fatal("building oracle: %v", err)
+	}
+	elapsed := time.Since(start)
+
+	if *check {
+		if err := oracle.CheckInvariants(); err != nil {
+			fatal("invariant check failed: %v", err)
+		}
+		fmt.Println("invariants: ok")
+	}
+
+	fo, err := os.Create(*out)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := oracle.Encode(fo); err != nil {
+		fatal("writing oracle: %v", err)
+	}
+	fo.Close()
+
+	st := oracle.Stats()
+	fmt.Printf("oracle: %d POIs, eps=%g, h=%d -> %s\n", oracle.NumPOIs(), *eps, oracle.Height(), *out)
+	fmt.Printf("build: %v total (tree %v, edges %v, pairs %v, hash %v), %d SSADs\n",
+		elapsed.Round(time.Millisecond), st.TreeTime.Round(time.Millisecond),
+		st.EdgeTime.Round(time.Millisecond), st.PairTime.Round(time.Millisecond),
+		st.HashTime.Round(time.Millisecond), st.SSADCalls)
+	fmt.Printf("size: %d node pairs, %.3f MB\n", oracle.NumPairs(), float64(oracle.MemoryBytes())/(1<<20))
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "sebuild: "+format+"\n", args...)
+	os.Exit(1)
+}

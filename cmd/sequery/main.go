@@ -1,0 +1,81 @@
+// Command sequery loads a serialized SE oracle and answers POI-to-POI
+// distance queries, either from the command line or as a batch from stdin
+// ("s t" id pairs, one per line).
+//
+// Usage:
+//
+//	sequery -oracle oracle.se -s 3 -t 17
+//	sequery -oracle oracle.se -batch < pairs.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"seoracle/internal/core"
+)
+
+func main() {
+	var (
+		oraclePath = flag.String("oracle", "oracle.se", "serialized oracle")
+		s          = flag.Int("s", -1, "source POI id")
+		t          = flag.Int("t", -1, "target POI id")
+		batch      = flag.Bool("batch", false, "read 's t' pairs from stdin")
+		naive      = flag.Bool("naive", false, "use the O(h^2) naive query")
+	)
+	flag.Parse()
+
+	f, err := os.Open(*oraclePath)
+	if err != nil {
+		fatal("%v", err)
+	}
+	oracle, err := core.Decode(f)
+	f.Close()
+	if err != nil {
+		fatal("loading oracle: %v", err)
+	}
+	query := oracle.Query
+	if *naive {
+		query = oracle.QueryNaive
+	}
+
+	if *batch {
+		sc := bufio.NewScanner(os.Stdin)
+		w := bufio.NewWriter(os.Stdout)
+		defer w.Flush()
+		n := 0
+		start := time.Now()
+		for sc.Scan() {
+			var a, b int32
+			if _, err := fmt.Sscan(sc.Text(), &a, &b); err != nil {
+				fatal("bad query line %q: %v", sc.Text(), err)
+			}
+			d, err := query(a, b)
+			if err != nil {
+				fatal("query: %v", err)
+			}
+			fmt.Fprintf(w, "%g\n", d)
+			n++
+		}
+		el := time.Since(start)
+		fmt.Fprintf(os.Stderr, "%d queries in %v (%.3f us/query)\n",
+			n, el.Round(time.Microsecond), float64(el.Nanoseconds())/1000/float64(max(n, 1)))
+		return
+	}
+	if *s < 0 || *t < 0 {
+		fatal("need -s and -t (or -batch)")
+	}
+	d, err := query(int32(*s), int32(*t))
+	if err != nil {
+		fatal("query: %v", err)
+	}
+	fmt.Printf("d(%d,%d) = %g (eps=%g, h=%d)\n", *s, *t, d, oracle.Epsilon(), oracle.Height())
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "sequery: "+format+"\n", args...)
+	os.Exit(1)
+}

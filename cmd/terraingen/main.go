@@ -1,0 +1,98 @@
+// Command terraingen synthesizes terrain datasets (or converts existing OFF
+// meshes) and samples POI sets, writing an OFF mesh plus a POI file that
+// sebuild and sequery consume.
+//
+// The POI file format is one POI per line: "face u v w" (barycentric
+// coordinates in the given face) with '#' comments.
+//
+// Usage:
+//
+//	terraingen -out terrain.off -pois pois.txt [-nx 65] [-ny 65] [-dx 10]
+//	           [-amp 100] [-npoi 100] [-kind fractal|hills|plane]
+//	           [-poikind uniform|clustered|vertices] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"seoracle/internal/gen"
+	"seoracle/internal/terrain"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "terrain.off", "output OFF mesh path")
+		poisOut = flag.String("pois", "pois.txt", "output POI file path")
+		nx      = flag.Int("nx", 65, "grid vertices along x")
+		ny      = flag.Int("ny", 65, "grid vertices along y")
+		dx      = flag.Float64("dx", 10, "grid spacing (meters)")
+		amp     = flag.Float64("amp", 100, "vertical relief (meters)")
+		npoi    = flag.Int("npoi", 100, "number of POIs")
+		kind    = flag.String("kind", "fractal", "terrain kind: fractal, hills or plane")
+		poikind = flag.String("poikind", "uniform", "POI sampling: uniform, clustered or vertices")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	var m *terrain.Mesh
+	var err error
+	switch *kind {
+	case "fractal":
+		m, err = gen.Fractal(gen.FractalSpec{NX: *nx, NY: *ny, CellDX: *dx, Amp: *amp, Seed: *seed})
+	case "hills":
+		m, err = gen.Hills(*nx, *ny, *dx, 8, *amp, *seed)
+	case "plane":
+		m, err = gen.Plane(*nx, *ny, *dx)
+	default:
+		err = fmt.Errorf("unknown terrain kind %q", *kind)
+	}
+	if err != nil {
+		fatal("generating terrain: %v", err)
+	}
+
+	var pois []terrain.SurfacePoint
+	switch *poikind {
+	case "uniform":
+		pois, err = gen.UniformPOIs(m, *npoi, *seed+1)
+	case "clustered":
+		pois, err = gen.ClusteredPOIs(m, *npoi, 4, 0.05, *seed+1)
+	case "vertices":
+		pois = gen.VertexPOIs(m)
+	default:
+		err = fmt.Errorf("unknown POI kind %q", *poikind)
+	}
+	if err != nil {
+		fatal("generating POIs: %v", err)
+	}
+	pois = gen.Dedup(pois, 1e-9)
+
+	fo, err := os.Create(*out)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := terrain.WriteOFF(fo, m); err != nil {
+		fatal("writing mesh: %v", err)
+	}
+	fo.Close()
+
+	fp, err := os.Create(*poisOut)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := terrain.WritePOIs(fp, m, pois); err != nil {
+		fatal("writing POIs: %v", err)
+	}
+	fp.Close()
+
+	st := m.ComputeStats()
+	fmt.Printf("terrain: %d vertices, %d faces, relief %.1f m -> %s\n",
+		st.NumVerts, st.NumFaces, st.BBoxMax.Z-st.BBoxMin.Z, *out)
+	fmt.Printf("POIs: %d -> %s\n", len(pois), *poisOut)
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "terraingen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+// Game-portals example (paper §1.1, application 4): an online game places
+// portals on a city terrain; each portal's influence is estimated from its
+// geodesic distances to every other portal. The example scores portals by
+// harmonic centrality and also demonstrates A2A queries for free-roaming
+// players who are not standing on a portal.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"seoracle"
+)
+
+func main() {
+	// The "city": gentle terrain at 30 m resolution.
+	mesh, err := seoracle.GenerateFractalTerrain(seoracle.FractalSpec{
+		NX: 29, NY: 29, CellDX: 30, Amp: 60, Seed: 77,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	portals, err := seoracle.SampleUniformPOIs(mesh, 40, 13)
+	if err != nil {
+		log.Fatal(err)
+	}
+	oracle, err := seoracle.Build(mesh, portals, seoracle.Options{Epsilon: 0.1, Seed: 21})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Influence = harmonic centrality over geodesic distances: portals
+	// close (on foot!) to many others score high.
+	type scored struct {
+		id    int
+		score float64
+	}
+	scores := make([]scored, len(portals))
+	for i := range portals {
+		s := 0.0
+		for j := range portals {
+			if i == j {
+				continue
+			}
+			d, err := oracle.Query(int32(i), int32(j))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if d > 0 {
+				s += 1 / d
+			}
+		}
+		scores[i] = scored{id: i, score: s}
+	}
+	sort.Slice(scores, func(i, j int) bool { return scores[i].score > scores[j].score })
+	fmt.Println("most influential portals (geodesic harmonic centrality):")
+	for _, s := range scores[:5] {
+		p := portals[s.id].P
+		fmt.Printf("  portal %2d at (%6.0f, %6.0f, %4.0f): score %.4f\n", s.id, p.X, p.Y, p.Z, s.score)
+	}
+
+	// A player roams off-portal: A2A queries find the nearest portal by
+	// surface distance from any standing point.
+	a2a, err := seoracle.BuildA2A(mesh, seoracle.Options{Epsilon: 0.2, Seed: 22})
+	if err != nil {
+		log.Fatal(err)
+	}
+	player := mesh.FacePoint(int32(mesh.NumFaces()/2), 0.4, 0.3, 0.3)
+	bestPortal, bestD := -1, 0.0
+	for i := range portals {
+		d, err := a2a.Query(player, portals[i])
+		if err != nil {
+			log.Fatal(err)
+		}
+		if bestPortal < 0 || d < bestD {
+			bestPortal, bestD = i, d
+		}
+	}
+	fmt.Printf("\nplayer at (%.0f, %.0f): nearest portal is %d, %.0f m on foot\n",
+		player.P.X, player.P.Y, bestPortal, bestD)
+}

@@ -1,0 +1,84 @@
+// Hiking-planner example (paper §1.1, application 1): landmarks on a
+// mountain terrain are POIs; the SE oracle answers travel-distance queries
+// between them instantly, and the example ranks the landmarks reachable
+// from a trailhead within a day's hike. It also shows how much the geodesic
+// distance exceeds the straight-line distance — the reason Euclidean
+// estimates mislead hikers.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"seoracle"
+)
+
+func main() {
+	// A rugged 10 m-resolution massif.
+	mesh, err := seoracle.GenerateFractalTerrain(seoracle.FractalSpec{
+		NX: 41, NY: 41, CellDX: 10, Amp: 220, Seed: 23,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 30 landmarks: huts, peaks, lakes.
+	landmarks, err := seoracle.SampleUniformPOIs(mesh, 30, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := make([]string, len(landmarks))
+	for i := range names {
+		switch i % 3 {
+		case 0:
+			names[i] = fmt.Sprintf("hut-%d", i)
+		case 1:
+			names[i] = fmt.Sprintf("peak-%d", i)
+		default:
+			names[i] = fmt.Sprintf("lake-%d", i)
+		}
+	}
+
+	oracle, err := seoracle.Build(mesh, landmarks, seoracle.Options{
+		Epsilon:   0.05, // hikers deserve tight estimates
+		Selection: seoracle.SelectGreedy,
+		Seed:      3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const trailhead = 0
+	const dayHike = 250.0 // meters of geodesic travel in this toy massif
+
+	type reach struct {
+		name     string
+		geodesic float64
+		straight float64
+	}
+	var within []reach
+	for t := 1; t < len(landmarks); t++ {
+		d, err := oracle.Query(trailhead, int32(t))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if d <= dayHike {
+			within = append(within, reach{
+				name:     names[t],
+				geodesic: d,
+				straight: landmarks[trailhead].P.Dist(landmarks[t].P),
+			})
+		}
+	}
+	sort.Slice(within, func(i, j int) bool { return within[i].geodesic < within[j].geodesic })
+
+	fmt.Printf("landmarks within %.0f m of %s (walking on the surface):\n", dayHike, names[trailhead])
+	for _, r := range within {
+		fmt.Printf("  %-8s %8.1f m on foot (straight line %6.1f m, +%.0f%%)\n",
+			r.name, r.geodesic, r.straight, 100*(r.geodesic/r.straight-1))
+	}
+	if len(within) == 0 {
+		fmt.Println("  (nothing in range — pick a longer day)")
+	}
+}

@@ -1,0 +1,152 @@
+// Package baseline implements the comparison methods of the evaluation
+// (§4.2): the Steiner-point oracle SP-Oracle [12], the on-the-fly K-Algo
+// [19], the naive SE construction/query (SE-Naive), and the O(n²) full
+// materialization the paper rules out in §2.
+//
+// Substitution note (see DESIGN.md): [12]'s internals (planar-separator
+// machinery) were never released; our SP-Oracle keeps its externally visible
+// structure — a POI-independent index over all Steiner points whose size and
+// build time scale with the terrain size N, queried through the |Xs|·|Xt|
+// neighborhood-pair combination of §4.2.1 — implemented over the same WSPD
+// oracle machinery as SE. K-Algo is the bounded Dijkstra over the Steiner
+// graph Gε with the fixed-placement scheme.
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"seoracle/internal/core"
+	"seoracle/internal/geodesic"
+	"seoracle/internal/steiner"
+	"seoracle/internal/terrain"
+)
+
+// SPOracle is the Steiner-point-based oracle baseline (§4.2.1). It answers
+// P2P, V2V and A2A queries through a POI-independent site index.
+type SPOracle struct {
+	site *core.SiteOracle
+}
+
+// SPSitesPerEdge is SP-Oracle's per-edge Steiner density: [12] places
+// O(1/(sinθ·√ε)·log(1/ε)) points per face, several times denser than the
+// Appendix C placement SE's A2A oracle uses. The ceil(1/ε) density is
+// capped at 6 so laptop-scale builds stay tractable (the paper's SP-Oracle
+// exhausted a 48 GB budget at the corresponding point).
+func SPSitesPerEdge(eps float64) int {
+	if eps <= 0 {
+		return 6
+	}
+	n := int(math.Ceil(1 / eps))
+	if n > 6 {
+		n = 6
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// NewSPOracle builds the baseline for mesh m with error parameter eps.
+func NewSPOracle(eng geodesic.Engine, m *terrain.Mesh, eps float64, seed int64) (*SPOracle, error) {
+	so, err := core.BuildSiteOracle(eng, m, core.SiteOptions{
+		Options:      core.Options{Epsilon: eps, Seed: seed},
+		SitesPerEdge: SPSitesPerEdge(eps),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("baseline: building SP-Oracle: %w", err)
+	}
+	return &SPOracle{site: so}, nil
+}
+
+// Query answers an ε-approximate distance query between two arbitrary
+// surface points via the |Xs|·|Xt| neighborhood combination.
+func (o *SPOracle) Query(s, t terrain.SurfacePoint) (float64, error) { return o.site.Query(s, t) }
+
+// MemoryBytes reports the oracle size (scales with N, not with the POIs).
+func (o *SPOracle) MemoryBytes() int64 { return o.site.MemoryBytes() }
+
+// NumSites returns the number of indexed Steiner sites.
+func (o *SPOracle) NumSites() int { return o.site.NumSites() }
+
+// Stats exposes the inner construction statistics.
+func (o *SPOracle) Stats() core.BuildStats { return o.site.Inner().Stats() }
+
+// KAlgo is the on-the-fly baseline of §4.2.2 ([19]): every query runs a
+// bounded Dijkstra over the Steiner graph Gε. The graph is built once (and
+// its size charged to the algorithm); queries pay the full search cost,
+// which scales with N.
+type KAlgo struct {
+	eng *steiner.Engine
+	eps float64
+}
+
+// NewKAlgo prepares the baseline for mesh m with error parameter eps.
+func NewKAlgo(m *terrain.Mesh, eps float64) (*KAlgo, error) {
+	g, err := steiner.NewGraph(m, steiner.PerEdgeForEps(eps))
+	if err != nil {
+		return nil, fmt.Errorf("baseline: building K-Algo graph: %w", err)
+	}
+	return &KAlgo{eng: steiner.NewEngine(g), eps: eps}, nil
+}
+
+// Query returns the approximate distance together with lower and upper
+// bounds, as [19] does: the graph distance is an upper bound on the geodesic
+// distance, and dividing out the scheme's stretch gives a lower bound.
+func (k *KAlgo) Query(s, t terrain.SurfacePoint) (dist, lower, upper float64) {
+	d := k.eng.DistancesTo(s, []terrain.SurfacePoint{t}, geodesic.Stop{CoverTargets: true})[0]
+	return d, d / (1 + k.eps), d
+}
+
+// MemoryBytes reports the resident size of the Steiner graph.
+func (k *KAlgo) MemoryBytes() int64 { return k.eng.Graph().MemoryBytes() }
+
+// NumNodes returns the Gε node count.
+func (k *KAlgo) NumNodes() int { return k.eng.Graph().NumNodes() }
+
+// NewSENaive builds SE with the naive method for both construction (one
+// SSAD per considered node pair) and query (the O(h²) scan); §4.2.1's
+// SE(Naive) baseline. Query it with Oracle.QueryNaive.
+func NewSENaive(eng geodesic.Engine, pois []terrain.SurfacePoint, eps float64, seed int64) (*core.Oracle, error) {
+	return core.Build(eng, pois, core.Options{
+		Epsilon:            eps,
+		Seed:               seed,
+		NaivePairDistances: true,
+	})
+}
+
+// FullMaterialization is the strawman of §2: all O(n²) pairwise distances
+// precomputed. Exact and O(1) per query, but with prohibitive size and
+// build time — the motivation for SE.
+type FullMaterialization struct {
+	n int
+	d []float64
+}
+
+// NewFullMaterialization computes every pairwise distance with one SSAD per
+// POI.
+func NewFullMaterialization(eng geodesic.Engine, pois []terrain.SurfacePoint) (*FullMaterialization, error) {
+	n := len(pois)
+	f := &FullMaterialization{n: n, d: make([]float64, n*n)}
+	for i := 0; i < n; i++ {
+		row := eng.DistancesTo(pois[i], pois, geodesic.Stop{CoverTargets: true})
+		for j, v := range row {
+			if math.IsInf(v, 1) {
+				return nil, fmt.Errorf("baseline: POI %d unreachable from %d", j, i)
+			}
+			f.d[i*n+j] = v
+		}
+	}
+	return f, nil
+}
+
+// Query returns the exact precomputed distance.
+func (f *FullMaterialization) Query(s, t int32) (float64, error) {
+	if s < 0 || int(s) >= f.n || t < 0 || int(t) >= f.n {
+		return 0, fmt.Errorf("baseline: POI id out of range")
+	}
+	return f.d[int(s)*f.n+int(t)], nil
+}
+
+// MemoryBytes reports the quadratic matrix size.
+func (f *FullMaterialization) MemoryBytes() int64 { return int64(len(f.d)) * 8 }

@@ -1,0 +1,251 @@
+// Package btree implements an in-memory B+-tree over int64 keys with set
+// semantics. The paper's greedy point-selection strategy (§3.2,
+// Implementation Detail 1) indexes the point IDs of every occupied grid cell
+// in a B+-tree and a max-heap of cell sizes; this package provides that
+// index.
+package btree
+
+// degree is the maximum number of keys per node; nodes split at degree and
+// hold at least degree/2 keys (except the root).
+const degree = 32
+
+type node struct {
+	keys     []int64
+	children []*node // nil for leaves
+	next     *node   // leaf chain for in-order scans
+}
+
+func (n *node) leaf() bool { return n.children == nil }
+
+// Tree is a B+-tree holding a set of int64 keys. The zero value is an empty
+// tree ready to use.
+type Tree struct {
+	root *node
+	size int
+}
+
+// Len returns the number of keys in the tree.
+func (t *Tree) Len() int { return t.size }
+
+// search returns the index of the first key in n >= k.
+func search(keys []int64, k int64) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Contains reports whether k is in the tree.
+func (t *Tree) Contains(k int64) bool {
+	n := t.root
+	for n != nil {
+		i := search(n.keys, k)
+		if n.leaf() {
+			return i < len(n.keys) && n.keys[i] == k
+		}
+		if i < len(n.keys) && n.keys[i] == k {
+			i++
+		}
+		n = n.children[i]
+	}
+	return false
+}
+
+// Insert adds k to the tree; it reports whether the key was newly inserted.
+func (t *Tree) Insert(k int64) bool {
+	if t.root == nil {
+		t.root = &node{keys: []int64{k}}
+		t.size = 1
+		return true
+	}
+	inserted, midKey, right := t.insert(t.root, k)
+	if right != nil {
+		t.root = &node{keys: []int64{midKey}, children: []*node{t.root, right}}
+	}
+	if inserted {
+		t.size++
+	}
+	return inserted
+}
+
+// insert adds k under n, returning a split (separator key and new right
+// sibling) when n overflows.
+func (t *Tree) insert(n *node, k int64) (inserted bool, midKey int64, right *node) {
+	i := search(n.keys, k)
+	if n.leaf() {
+		if i < len(n.keys) && n.keys[i] == k {
+			return false, 0, nil
+		}
+		n.keys = append(n.keys, 0)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = k
+		if len(n.keys) > degree {
+			mid := len(n.keys) / 2
+			r := &node{keys: append([]int64(nil), n.keys[mid:]...), next: n.next}
+			n.keys = n.keys[:mid]
+			n.next = r
+			return true, r.keys[0], r
+		}
+		return true, 0, nil
+	}
+	if i < len(n.keys) && n.keys[i] == k {
+		i++
+	}
+	ins, mk, r := t.insert(n.children[i], k)
+	if r != nil {
+		n.keys = append(n.keys, 0)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = mk
+		n.children = append(n.children, nil)
+		copy(n.children[i+2:], n.children[i+1:])
+		n.children[i+1] = r
+		if len(n.keys) > degree {
+			mid := len(n.keys) / 2
+			sep := n.keys[mid]
+			rn := &node{
+				keys:     append([]int64(nil), n.keys[mid+1:]...),
+				children: append([]*node(nil), n.children[mid+1:]...),
+			}
+			n.keys = n.keys[:mid]
+			n.children = n.children[:mid+1]
+			return ins, sep, rn
+		}
+	}
+	return ins, 0, nil
+}
+
+// Delete removes k from the tree; it reports whether the key was present.
+// Underflowed nodes are rebalanced lazily: this implementation merges only
+// when a node empties, which keeps the tree valid (if occasionally shallower
+// than a textbook B+-tree) and is ample for the selection-grid workload of
+// bounded bursts of inserts and deletes.
+func (t *Tree) Delete(k int64) bool {
+	if t.root == nil {
+		return false
+	}
+	deleted := t.delete(t.root, k)
+	if deleted {
+		t.size--
+		// Collapse trivial roots.
+		for !t.root.leaf() && len(t.root.children) == 1 {
+			t.root = t.root.children[0]
+		}
+		if t.root.leaf() && len(t.root.keys) == 0 {
+			t.root = nil
+		}
+	}
+	return deleted
+}
+
+func (t *Tree) delete(n *node, k int64) bool {
+	i := search(n.keys, k)
+	if n.leaf() {
+		if i >= len(n.keys) || n.keys[i] != k {
+			return false
+		}
+		n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		return true
+	}
+	ci := i
+	if i < len(n.keys) && n.keys[i] == k {
+		ci = i + 1
+	}
+	deleted := t.delete(n.children[ci], k)
+	if deleted && t.emptyNode(n.children[ci]) {
+		// Drop the empty child and the separator adjacent to it.
+		si := ci - 1
+		if si < 0 {
+			si = 0
+		}
+		n.children = append(n.children[:ci], n.children[ci+1:]...)
+		if len(n.keys) > 0 {
+			n.keys = append(n.keys[:si], n.keys[si+1:]...)
+		}
+		t.fixLeafChain()
+	}
+	return deleted
+}
+
+func (t *Tree) emptyNode(n *node) bool {
+	if n.leaf() {
+		return len(n.keys) == 0
+	}
+	return len(n.children) == 0
+}
+
+// fixLeafChain relinks the leaf chain after structural deletions. The tree
+// is small per grid cell, so an O(n) relink on the rare empty-node drop is
+// acceptable.
+func (t *Tree) fixLeafChain() {
+	var prev *node
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		if n.leaf() {
+			if prev != nil {
+				prev.next = n
+			}
+			prev = n
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	if prev != nil {
+		prev.next = nil
+	}
+}
+
+// Min returns the smallest key; ok is false when the tree is empty.
+func (t *Tree) Min() (int64, bool) {
+	n := t.root
+	if n == nil {
+		return 0, false
+	}
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	if len(n.keys) == 0 {
+		return 0, false
+	}
+	return n.keys[0], true
+}
+
+// Ascend calls fn on every key in ascending order until fn returns false.
+func (t *Tree) Ascend(fn func(k int64) bool) {
+	n := t.root
+	if n == nil {
+		return
+	}
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	for n != nil {
+		for _, k := range n.keys {
+			if !fn(k) {
+				return
+			}
+		}
+		n = n.next
+	}
+}
+
+// Keys returns all keys in ascending order (for tests and small scans).
+func (t *Tree) Keys() []int64 {
+	out := make([]int64, 0, t.size)
+	t.Ascend(func(k int64) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}

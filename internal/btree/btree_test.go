@@ -1,0 +1,190 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	var tr Tree
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if tr.Contains(1) {
+		t.Error("empty tree contains 1")
+	}
+	if tr.Delete(1) {
+		t.Error("deleted from empty tree")
+	}
+	if _, ok := tr.Min(); ok {
+		t.Error("Min on empty tree")
+	}
+	if got := tr.Keys(); len(got) != 0 {
+		t.Errorf("Keys = %v", got)
+	}
+}
+
+func TestInsertContains(t *testing.T) {
+	var tr Tree
+	for i := int64(0); i < 500; i++ {
+		if !tr.Insert(i * 3) {
+			t.Fatalf("Insert(%d) not new", i*3)
+		}
+	}
+	if tr.Insert(9) {
+		t.Error("duplicate insert reported as new")
+	}
+	if tr.Len() != 500 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	for i := int64(0); i < 1500; i++ {
+		want := i%3 == 0 && i < 1500
+		if got := tr.Contains(i); got != want {
+			t.Fatalf("Contains(%d) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestAscendSorted(t *testing.T) {
+	var tr Tree
+	rng := rand.New(rand.NewSource(1))
+	want := map[int64]bool{}
+	for i := 0; i < 2000; i++ {
+		k := int64(rng.Intn(5000))
+		tr.Insert(k)
+		want[k] = true
+	}
+	keys := tr.Keys()
+	if len(keys) != len(want) {
+		t.Fatalf("Keys len = %d, want %d", len(keys), len(want))
+	}
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatal("Keys not sorted")
+	}
+	for _, k := range keys {
+		if !want[k] {
+			t.Fatalf("unexpected key %d", k)
+		}
+	}
+}
+
+func TestMin(t *testing.T) {
+	var tr Tree
+	tr.Insert(42)
+	tr.Insert(7)
+	tr.Insert(100)
+	if k, ok := tr.Min(); !ok || k != 7 {
+		t.Errorf("Min = %d, %v", k, ok)
+	}
+	tr.Delete(7)
+	if k, ok := tr.Min(); !ok || k != 42 {
+		t.Errorf("Min after delete = %d, %v", k, ok)
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	var tr Tree
+	const n = 1000
+	perm := rand.New(rand.NewSource(2)).Perm(n)
+	for _, k := range perm {
+		tr.Insert(int64(k))
+	}
+	perm2 := rand.New(rand.NewSource(3)).Perm(n)
+	for i, k := range perm2 {
+		if !tr.Delete(int64(k)) {
+			t.Fatalf("Delete(%d) missing", k)
+		}
+		if tr.Delete(int64(k)) {
+			t.Fatalf("Delete(%d) twice", k)
+		}
+		if tr.Len() != n-i-1 {
+			t.Fatalf("Len = %d after %d deletes", tr.Len(), i+1)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d at end", tr.Len())
+	}
+	// Tree remains usable.
+	tr.Insert(5)
+	if !tr.Contains(5) {
+		t.Error("insert after drain failed")
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	var tr Tree
+	for i := int64(0); i < 100; i++ {
+		tr.Insert(i)
+	}
+	count := 0
+	tr.Ascend(func(k int64) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+// Property test: a random interleaving of inserts and deletes matches a
+// reference map implementation.
+func TestRandomOpsMatchReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var tr Tree
+		ref := map[int64]bool{}
+		for op := 0; op < 3000; op++ {
+			k := int64(rng.Intn(400))
+			if rng.Intn(3) == 0 {
+				got := tr.Delete(k)
+				want := ref[k]
+				if got != want {
+					return false
+				}
+				delete(ref, k)
+			} else {
+				got := tr.Insert(k)
+				want := !ref[k]
+				if got != want {
+					return false
+				}
+				ref[k] = true
+			}
+			if tr.Len() != len(ref) {
+				return false
+			}
+		}
+		// Final check: content and order.
+		keys := tr.Keys()
+		if len(keys) != len(ref) {
+			return false
+		}
+		for i, k := range keys {
+			if !ref[k] {
+				return false
+			}
+			if i > 0 && keys[i-1] >= k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNegativeKeys(t *testing.T) {
+	var tr Tree
+	for _, k := range []int64{-5, 0, 5, -1000000, 1000000} {
+		tr.Insert(k)
+	}
+	if k, ok := tr.Min(); !ok || k != -1000000 {
+		t.Errorf("Min = %d", k)
+	}
+	if !tr.Contains(-5) || tr.Contains(-6) {
+		t.Error("negative key containment wrong")
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+// cnode is a node of the compressed partition tree. Layer refers to the
+// node's layer in the *original* partition tree (§3.2: removed single-child
+// chains do not renumber layers). Leaf radii are zero.
+type cnode struct {
+	center   int32 // POI index
+	layer    int32
+	parent   int32 // compressed node id; -1 for the root
+	radius   float64
+	children []int32
+}
+
+// ctree is the compressed partition tree — the first component of SE.
+type ctree struct {
+	nodes  []cnode
+	root   int32
+	leaf   []int32 // POI index -> leaf node id
+	height int32   // h of the original tree
+	r0     float64
+}
+
+// compress builds the compressed partition tree from the original one:
+// every internal node with exactly one child (other than the root) is
+// spliced out, and leaf radii are set to zero.
+func compress(t *ptree) *ctree {
+	n := len(t.leaf)
+	c := &ctree{leaf: make([]int32, n), height: t.height, r0: t.r0}
+
+	childCount := make([]int32, len(t.nodes))
+	for _, nd := range t.nodes {
+		if nd.parent >= 0 {
+			childCount[nd.parent]++
+		}
+	}
+	// A node survives when it is the root, a leaf (bottom layer), or has at
+	// least two children.
+	keep := make([]bool, len(t.nodes))
+	for id, nd := range t.nodes {
+		keep[id] = nd.parent < 0 || nd.layer == t.height || childCount[id] >= 2
+	}
+	// Map kept original nodes to compressed ids, in original order so ids
+	// are deterministic.
+	cid := make([]int32, len(t.nodes))
+	for i := range cid {
+		cid[i] = -1
+	}
+	for id := range t.nodes {
+		if keep[id] {
+			cid[id] = int32(len(c.nodes))
+			nd := t.nodes[id]
+			radius := nd.radius
+			if nd.layer == t.height {
+				radius = 0
+			}
+			c.nodes = append(c.nodes, cnode{
+				center: nd.center,
+				layer:  nd.layer,
+				parent: -1,
+				radius: radius,
+			})
+		}
+	}
+	// Wire parents: the nearest kept proper ancestor.
+	for id := range t.nodes {
+		if !keep[id] {
+			continue
+		}
+		p := t.nodes[id].parent
+		for p >= 0 && !keep[p] {
+			p = t.nodes[p].parent
+		}
+		me := cid[id]
+		if p < 0 {
+			c.root = me
+			continue
+		}
+		cp := cid[p]
+		c.nodes[me].parent = cp
+		c.nodes[cp].children = append(c.nodes[cp].children, me)
+	}
+	for poi, leafOrig := range t.leaf {
+		c.leaf[poi] = cid[leafOrig]
+	}
+	return c
+}
+
+// numNodes returns the compressed tree's node count (O(n), Lemma 9).
+func (c *ctree) numNodes() int { return len(c.nodes) }
+
+// enlargedRadius returns the radius of a node's enlarged disk (twice the
+// node radius; zero for leaves), used in the well-separation test.
+func (c *ctree) enlargedRadius(id int32) float64 { return 2 * c.nodes[id].radius }

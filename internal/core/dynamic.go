@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+
+	"seoracle/internal/geodesic"
+	"seoracle/internal/terrain"
+)
+
+// DynamicOracle extends SE with POI insertion and deletion — the future
+// work the paper's conclusion sketches ("how to efficiently update the
+// distance oracle when there is an update on some POIs").
+//
+// Design: the bulk of the POIs live in a regular SE oracle. Insertions go
+// to a small overflow set whose distances to every live POI are computed
+// once with one SSAD per inserted point (exact, so queries touching
+// overflow POIs have zero additional error). Deletions are tombstones.
+// When the overflow or tombstone share crosses RebuildFactor, the oracle is
+// rebuilt from scratch in amortized O(build/n) time per update.
+type DynamicOracle struct {
+	eng  geodesic.Engine
+	opt  Options
+	base *Oracle
+
+	pois    []terrain.SurfacePoint // all POIs ever inserted, by public id
+	baseIdx []int32                // public id -> base oracle id, or -1
+	deleted []bool
+
+	overflow     map[int32][]float64 // public id -> exact distances to all public ids
+	liveCount    int
+	basePOICount int
+
+	// RebuildFactor is the overflow/tombstone share that triggers a
+	// rebuild; 0.25 by default.
+	RebuildFactor float64
+	rebuilds      int
+}
+
+// NewDynamicOracle builds a dynamic oracle over the initial POI set.
+func NewDynamicOracle(eng geodesic.Engine, pois []terrain.SurfacePoint, opt Options) (*DynamicOracle, error) {
+	d := &DynamicOracle{
+		eng:           eng,
+		opt:           opt,
+		RebuildFactor: 0.25,
+		overflow:      map[int32][]float64{},
+	}
+	d.pois = append(d.pois, pois...)
+	d.deleted = make([]bool, len(pois))
+	d.liveCount = len(pois)
+	if err := d.rebuild(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// rebuild folds overflow and tombstones into a fresh base oracle.
+func (d *DynamicOracle) rebuild() error {
+	live := make([]terrain.SurfacePoint, 0, d.liveCount)
+	d.baseIdx = make([]int32, len(d.pois))
+	for id := range d.pois {
+		if d.deleted[id] {
+			d.baseIdx[id] = -1
+			continue
+		}
+		d.baseIdx[id] = int32(len(live))
+		live = append(live, d.pois[id])
+	}
+	if len(live) == 0 {
+		return fmt.Errorf("core: dynamic oracle has no live POIs")
+	}
+	o, err := Build(d.eng, live, d.opt)
+	if err != nil {
+		return err
+	}
+	d.base = o
+	d.basePOICount = len(live)
+	d.overflow = map[int32][]float64{}
+	d.rebuilds++
+	return nil
+}
+
+// Insert adds a POI and returns its public id.
+func (d *DynamicOracle) Insert(p terrain.SurfacePoint) (int32, error) {
+	id := int32(len(d.pois))
+	d.pois = append(d.pois, p)
+	d.deleted = append(d.deleted, false)
+	d.baseIdx = append(d.baseIdx, -1)
+	d.liveCount++
+
+	// Exact distances from the new POI to every existing public id (one
+	// SSAD); also extend previously stored overflow rows.
+	dist := d.eng.DistancesTo(p, d.pois, geodesic.Stop{CoverTargets: true})
+	d.overflow[id] = dist
+	for oid, row := range d.overflow {
+		if oid == id {
+			continue
+		}
+		d.overflow[oid] = append(row, dist[oid])
+	}
+	if d.pending() {
+		if err := d.rebuild(); err != nil {
+			return 0, err
+		}
+	}
+	return id, nil
+}
+
+// Delete tombstones a POI.
+func (d *DynamicOracle) Delete(id int32) error {
+	if id < 0 || int(id) >= len(d.pois) {
+		return fmt.Errorf("core: POI id %d out of range", id)
+	}
+	if d.deleted[id] {
+		return fmt.Errorf("core: POI %d already deleted", id)
+	}
+	d.deleted[id] = true
+	d.liveCount--
+	delete(d.overflow, id)
+	if d.liveCount == 0 {
+		return fmt.Errorf("core: deleted the last POI")
+	}
+	if d.pending() {
+		return d.rebuild()
+	}
+	return nil
+}
+
+// pending reports whether accumulated updates warrant a rebuild.
+func (d *DynamicOracle) pending() bool {
+	churn := len(d.overflow) + (d.basePOICount - d.liveBaseCount())
+	return float64(churn) > d.RebuildFactor*float64(max(d.liveCount, 1))
+}
+
+func (d *DynamicOracle) liveBaseCount() int {
+	n := 0
+	for id, bi := range d.baseIdx {
+		if bi >= 0 && !d.deleted[id] {
+			n++
+		}
+	}
+	return n
+}
+
+// Query returns the ε-approximate distance between two live POIs (exact
+// when either is still in the overflow set).
+func (d *DynamicOracle) Query(s, t int32) (float64, error) {
+	if err := d.check(s); err != nil {
+		return 0, err
+	}
+	if err := d.check(t); err != nil {
+		return 0, err
+	}
+	if s == t {
+		return 0, nil
+	}
+	if row, ok := d.overflow[s]; ok {
+		return d.overflowDist(row, s, t)
+	}
+	if row, ok := d.overflow[t]; ok {
+		return d.overflowDist(row, t, s)
+	}
+	return d.base.Query(d.baseIdx[s], d.baseIdx[t])
+}
+
+// overflowDist reads the exact distance of an overflow row, tolerating rows
+// recorded before the peer existed (then the peer's own row has it).
+func (d *DynamicOracle) overflowDist(row []float64, owner, peer int32) (float64, error) {
+	if int(peer) < len(row) {
+		return row[peer], nil
+	}
+	if prow, ok := d.overflow[peer]; ok && int(owner) < len(prow) {
+		return prow[owner], nil
+	}
+	return 0, fmt.Errorf("core: missing overflow distance (%d,%d)", owner, peer)
+}
+
+func (d *DynamicOracle) check(id int32) error {
+	if id < 0 || int(id) >= len(d.pois) {
+		return fmt.Errorf("core: POI id %d out of range", id)
+	}
+	if d.deleted[id] {
+		return fmt.Errorf("core: POI %d is deleted", id)
+	}
+	return nil
+}
+
+// Live returns the number of live POIs.
+func (d *DynamicOracle) Live() int { return d.liveCount }
+
+// Rebuilds returns how many base rebuilds have happened (1 after
+// construction).
+func (d *DynamicOracle) Rebuilds() int { return d.rebuilds }
+
+// MemoryBytes accounts the base oracle plus overflow rows.
+func (d *DynamicOracle) MemoryBytes() int64 {
+	b := d.base.MemoryBytes()
+	for _, row := range d.overflow {
+		b += int64(len(row)) * 8
+	}
+	b += int64(len(d.pois))*40 + int64(len(d.baseIdx))*4 + int64(len(d.deleted))
+	return b
+}
+
+// Epsilon returns the error parameter; overflow-touching queries are exact,
+// all others inherit the base oracle's ε.
+func (d *DynamicOracle) Epsilon() float64 { return d.opt.Epsilon }

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"seoracle/internal/perfecthash"
+)
+
+// Binary serialization of an SE oracle. The format is versioned and
+// self-contained: the perfect hash is rebuilt deterministically from the
+// stored keys on load, so only the logical content is written.
+const (
+	encodeMagic   = 0x53454f31 // "SEO1"
+	encodeVersion = 1
+	hashSeed      = 0x5e0ac1e
+)
+
+// Encode writes the oracle to w.
+func (o *Oracle) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	put := func(vs ...interface{}) error {
+		for _, v := range vs {
+			if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := put(uint32(encodeMagic), uint32(encodeVersion), o.eps,
+		int64(o.npoi), int64(o.tree.height), int64(o.tree.root), o.tree.r0,
+		int64(len(o.tree.nodes)), int64(len(o.keys))); err != nil {
+		return err
+	}
+	for _, n := range o.tree.nodes {
+		if err := put(n.center, n.layer, n.parent, n.radius); err != nil {
+			return err
+		}
+	}
+	if err := put(o.tree.leaf); err != nil {
+		return err
+	}
+	if err := put(o.keys, o.dist); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Decode reads an oracle previously written by Encode.
+func Decode(r io.Reader) (*Oracle, error) {
+	br := bufio.NewReader(r)
+	get := func(vs ...interface{}) error {
+		for _, v := range vs {
+			if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var magic, version uint32
+	var eps, r0 float64
+	var npoi, height, root, nNodes, nPairs int64
+	if err := get(&magic, &version, &eps, &npoi, &height, &root, &r0, &nNodes, &nPairs); err != nil {
+		return nil, fmt.Errorf("core: decoding header: %w", err)
+	}
+	if magic != encodeMagic {
+		return nil, fmt.Errorf("core: bad magic %#x", magic)
+	}
+	if version != encodeVersion {
+		return nil, fmt.Errorf("core: unsupported version %d", version)
+	}
+	if npoi <= 0 || nNodes <= 0 || nPairs < 0 || nNodes > 1<<40 || nPairs > 1<<40 {
+		return nil, fmt.Errorf("core: implausible sizes npoi=%d nodes=%d pairs=%d", npoi, nNodes, nPairs)
+	}
+	ct := &ctree{height: int32(height), root: int32(root), r0: r0}
+	ct.nodes = make([]cnode, nNodes)
+	for i := range ct.nodes {
+		n := &ct.nodes[i]
+		if err := get(&n.center, &n.layer, &n.parent, &n.radius); err != nil {
+			return nil, fmt.Errorf("core: decoding node %d: %w", i, err)
+		}
+		if n.parent >= int32(nNodes) || n.center < 0 || n.center >= int32(npoi) {
+			return nil, fmt.Errorf("core: node %d references out of range", i)
+		}
+	}
+	for i := range ct.nodes {
+		if p := ct.nodes[i].parent; p >= 0 {
+			ct.nodes[p].children = append(ct.nodes[p].children, int32(i))
+		}
+	}
+	ct.leaf = make([]int32, npoi)
+	if err := get(ct.leaf); err != nil {
+		return nil, fmt.Errorf("core: decoding leaf map: %w", err)
+	}
+	for poi, l := range ct.leaf {
+		if l < 0 || int64(l) >= nNodes {
+			return nil, fmt.Errorf("core: leaf of POI %d out of range", poi)
+		}
+	}
+	keys := make([]uint64, nPairs)
+	dist := make([]float64, nPairs)
+	if err := get(keys, dist); err != nil {
+		return nil, fmt.Errorf("core: decoding pairs: %w", err)
+	}
+	for i, d := range dist {
+		if math.IsNaN(d) || d < 0 {
+			return nil, fmt.Errorf("core: pair %d has invalid distance %g", i, d)
+		}
+	}
+	hash, err := perfecthash.Build(keys, hashSeed)
+	if err != nil {
+		return nil, fmt.Errorf("core: rebuilding hash: %w", err)
+	}
+	return &Oracle{
+		eps:    eps,
+		tree:   ct,
+		hash:   hash,
+		keys:   keys,
+		dist:   dist,
+		npoi:   int(npoi),
+		layerN: int(height) + 1,
+	}, nil
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"seoracle/internal/gen"
+	"seoracle/internal/geodesic"
+	"seoracle/internal/terrain"
+)
+
+// Multi-seed fuzz: for a spread of terrains, POI layouts and ε values, the
+// oracle must build, satisfy its structural invariants, and agree between
+// the efficient and naive query paths on sampled pairs.
+func TestOracleInvariantsAcrossSeeds(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		m, err := gen.Fractal(gen.FractalSpec{
+			NX: 9 + int(seed)%3*2, NY: 9 + int(seed)%3*2,
+			CellDX: 5 + float64(seed), Amp: 10 + 8*float64(seed), Seed: 300 + seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pois, err := gen.UniformPOIs(m, 10+int(seed)*4, 400+seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pois = gen.Dedup(pois, 1e-9)
+		eng := geodesic.NewExact(m)
+		eps := []float64{0.08, 0.2, 0.4}[seed%3]
+		sel := Selection(seed % 2)
+		o, err := Build(eng, pois, Options{Epsilon: eps, Selection: sel, Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := o.CheckInvariants(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if o.Stats().ResolverFallbacks != 0 {
+			t.Errorf("seed %d: %d fallbacks", seed, o.Stats().ResolverFallbacks)
+		}
+		step := len(pois)/7 + 1
+		for s := 0; s < len(pois); s += step {
+			for q := 0; q < len(pois); q += step {
+				a, err1 := o.Query(int32(s), int32(q))
+				b, err2 := o.QueryNaive(int32(s), int32(q))
+				if err1 != nil || err2 != nil || a != b {
+					t.Fatalf("seed %d (%d,%d): %v/%v vs %v/%v", seed, s, q, a, err1, b, err2)
+				}
+			}
+		}
+	}
+}
+
+// Appendix D: when n > N, the POI-independent site oracle answers P2P
+// queries for POI sets larger than the vertex count.
+func TestSiteOracleHandlesMorePOIsThanVertices(t *testing.T) {
+	m, err := gen.Fractal(gen.FractalSpec{NX: 7, NY: 7, CellDX: 10, Amp: 15, Seed: 501})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := geodesic.NewExact(m)
+	so, err := BuildSiteOracle(eng, m, SiteOptions{Options: Options{Epsilon: 0.25, Seed: 502}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n = 3N POIs, far more than the 49 vertices.
+	pois, err := gen.UniformPOIs(m, 3*m.NumVerts(), 503)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		s := pois[i]
+		q := pois[len(pois)-1-i]
+		got, err := so.Query(s, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := eng.DistancesTo(s, []terrain.SurfacePoint{q}, geodesic.Stop{CoverTargets: true})[0]
+		if want == 0 {
+			continue
+		}
+		if re := math.Abs(got-want) / want; re > 0.25*(1+1e-9) {
+			t.Errorf("n>N query %d: relerr %v", i, re)
+		}
+	}
+}
+
+// The oracle must behave on a pathological-but-legal input: perfectly
+// collinear POIs along a flat strip (degenerate geometry stresses the
+// window propagation's collinear paths).
+func TestCollinearPOIsOnFlatStrip(t *testing.T) {
+	m, err := terrain.NewGrid(9, 2, 1, 1, make([]float64, 18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pois []terrain.SurfacePoint
+	for v := 0; v < 9; v++ {
+		pois = append(pois, m.VertexPoint(int32(v))) // the y=0 row
+	}
+	eng := geodesic.NewExact(m)
+	o, err := Build(eng, pois, Options{Epsilon: 0.1, Seed: 504})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 9; s++ {
+		for q := 0; q < 9; q++ {
+			got, err := o.Query(int32(s), int32(q))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := math.Abs(float64(s - q))
+			if math.Abs(got-want) > 0.1*want+1e-9 {
+				t.Errorf("collinear (%d,%d): %v want %v", s, q, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"seoracle/internal/geodesic"
+	"seoracle/internal/terrain"
+)
+
+// packPair packs two non-negative node ids into one hash key.
+func packPair(a, b int32) uint64 { return uint64(uint32(a))<<32 | uint64(uint32(b)) }
+
+// enhancedEdges computes, for every node O of the original partition tree,
+// the geodesic distances to all same-layer nodes O' with
+// dg(cO, cO') <= l*rO, l = 8/ε + 10 (§3.5, Step 2). One SSAD per tree node.
+// The result maps packPair(origID, origID') -> distance, in both directions.
+func enhancedEdges(eng geodesic.Engine, t *ptree, pois []terrain.SurfacePoint, eps float64, stats *BuildStats) map[uint64]float64 {
+	l := 8/eps + 10
+	edges := make(map[uint64]float64)
+	for layer, ids := range t.layers {
+		// Per-layer target list: the centers of every node in the layer.
+		targets := make([]terrain.SurfacePoint, len(ids))
+		for i, id := range ids {
+			targets[i] = pois[t.nodes[id].center]
+		}
+		for _, id := range ids {
+			r := t.nodes[id].radius
+			reach := l * r * (1 + 1e-9)
+			if layer == 0 {
+				// The root's enhanced edge is its self-loop; still record it
+				// so pair generation can start from (root, root).
+				edges[packPair(id, id)] = 0
+				continue
+			}
+			d := eng.DistancesTo(pois[t.nodes[id].center], targets, geodesic.Stop{Radius: reach})
+			stats.SSADCalls++
+			for i, other := range ids {
+				if math.IsInf(d[i], 1) || d[i] > reach {
+					continue
+				}
+				edges[packPair(id, other)] = d[i]
+				edges[packPair(other, id)] = d[i]
+			}
+		}
+	}
+	return edges
+}
+
+// pairResolver finds dg(cO, cO') for compressed node pairs through the
+// enhanced-edge index: walk the two original leaf-to-root paths in lockstep
+// while their centers still match the queried centers, and return the first
+// enhanced edge found (Lemma 4 guarantees one exists).
+type pairResolver struct {
+	t      *ptree
+	c      *ctree
+	pois   []terrain.SurfacePoint
+	edges  map[uint64]float64
+	eng    geodesic.Engine
+	stats  *BuildStats
+	cache  map[uint64]float64 // center-pair distance cache
+	pathsA []int32            // scratch: original path buffers
+	pathsB []int32
+}
+
+func newPairResolver(eng geodesic.Engine, t *ptree, c *ctree, pois []terrain.SurfacePoint, edges map[uint64]float64, stats *BuildStats) *pairResolver {
+	return &pairResolver{
+		t: t, c: c, pois: pois, edges: edges, eng: eng, stats: stats,
+		cache: make(map[uint64]float64),
+	}
+}
+
+// distance returns dg between the centers of compressed nodes a and b.
+func (pr *pairResolver) distance(a, b int32) float64 {
+	ca := pr.c.nodes[a].center
+	cb := pr.c.nodes[b].center
+	if ca == cb {
+		return 0
+	}
+	key := packPair(ca, cb)
+	if d, ok := pr.cache[key]; ok {
+		return d
+	}
+	d := pr.resolve(ca, cb)
+	pr.cache[key] = d
+	pr.cache[packPair(cb, ca)] = d
+	return d
+}
+
+func (pr *pairResolver) resolve(ca, cb int32) float64 {
+	// Walk both original paths bottom-up while centers persist.
+	na := pr.t.leaf[ca]
+	nb := pr.t.leaf[cb]
+	for na >= 0 && nb >= 0 {
+		if pr.t.nodes[na].center != ca || pr.t.nodes[nb].center != cb {
+			break
+		}
+		if d, ok := pr.edges[packPair(na, nb)]; ok {
+			return d
+		}
+		na = pr.t.nodes[na].parent
+		nb = pr.t.nodes[nb].parent
+	}
+	// Lemma 4 guarantees the loop above finds an edge for every pair the
+	// generation procedure considers; fall back to a direct SSAD so the
+	// oracle stays correct even under numerical boundary effects.
+	pr.stats.ResolverFallbacks++
+	pr.stats.SSADCalls++
+	d := pr.eng.DistancesTo(pr.pois[ca], []terrain.SurfacePoint{pr.pois[cb]}, geodesic.Stop{CoverTargets: true})
+	return d[0]
+}
+
+// nodePair is one entry of the node pair set: a well-separated pair of
+// compressed-tree nodes and the geodesic distance between their centers.
+type nodePair struct {
+	a, b int32
+	dist float64
+}
+
+// generatePairs runs the splitting procedure of §3.3 on the compressed tree:
+// starting from (root,root), non-well-separated pairs split their
+// larger-radius node (ties by smaller node id) until every pair is
+// well-separated. It returns the node pair set of SE.
+func generatePairs(c *ctree, res *pairResolver, eps float64, stats *BuildStats) ([]nodePair, error) {
+	sep := 2/eps + 2
+	var out []nodePair
+	stack := [][2]int32{{c.root, c.root}}
+	for len(stack) > 0 {
+		top := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		a, b := top[0], top[1]
+		stats.PairsConsidered++
+		if stats.PairsConsidered > 200_000_000 {
+			return nil, fmt.Errorf("core: node-pair generation exploded (eps=%g too small?)", eps)
+		}
+		d := res.distance(a, b)
+		ra := c.enlargedRadius(a)
+		rb := c.enlargedRadius(b)
+		if d >= sep*math.Max(ra, rb) {
+			out = append(out, nodePair{a: a, b: b, dist: d})
+			continue
+		}
+		// Split the node with the larger radius; break ties towards the
+		// smaller node id.
+		split, keep := a, b
+		first := true // split node appears first in generated pairs
+		switch {
+		case c.nodes[a].radius > c.nodes[b].radius:
+		case c.nodes[a].radius < c.nodes[b].radius:
+			split, keep = b, a
+			first = false
+		case a > b:
+			split, keep = b, a
+			first = false
+		}
+		ch := c.nodes[split].children
+		if len(ch) == 0 {
+			// Two distinct leaves that are not well-separated cannot occur:
+			// leaves have enlarged radius 0, so any pair of leaves is
+			// well-separated (d >= 0). Reaching this means a == b == leaf
+			// with d == 0, which the check above already accepted.
+			return nil, fmt.Errorf("core: tried to split leaf node %d", split)
+		}
+		for _, child := range ch {
+			if first {
+				stack = append(stack, [2]int32{child, keep})
+			} else {
+				stack = append(stack, [2]int32{keep, child})
+			}
+		}
+	}
+	return out, nil
+}

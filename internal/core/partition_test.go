@@ -1,0 +1,182 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"seoracle/internal/gen"
+	"seoracle/internal/geodesic"
+	"seoracle/internal/geom"
+	"seoracle/internal/terrain"
+)
+
+// buildTreeForTest constructs the original partition tree over a fresh
+// world, returning everything needed to verify the §3.2 properties.
+func buildTreeForTest(t *testing.T, sel Selection, seed int64) (*ptree, []terrain.SurfacePoint, *geodesic.Exact) {
+	t.Helper()
+	m, err := gen.Fractal(gen.FractalSpec{NX: 11, NY: 11, CellDX: 10, Amp: 25, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pois, err := gen.UniformPOIs(m, 25, seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pois = gen.Dedup(pois, 1e-9)
+	eng := geodesic.NewExact(m)
+	var calls int
+	tr, err := buildPartitionTree(&countingEngine{Engine: eng, calls: &calls}, pois, sel, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, pois, eng
+}
+
+// pairwise computes exact distances between all POIs.
+func pairwise(eng *geodesic.Exact, pois []terrain.SurfacePoint) [][]float64 {
+	d := make([][]float64, len(pois))
+	for i := range pois {
+		d[i] = eng.DistancesTo(pois[i], pois, geodesic.Stop{CoverTargets: true})
+	}
+	return d
+}
+
+// The three §3.2 properties, verified directly on the built tree.
+func TestPartitionTreeProperties(t *testing.T) {
+	for _, sel := range []Selection{SelectRandom, SelectGreedy} {
+		tr, pois, eng := buildTreeForTest(t, sel, 61)
+		d := pairwise(eng, pois)
+
+		// Separation: nodes of layer i have radius r0/2^i and pairwise
+		// center distance >= r0/2^i.
+		for layer, ids := range tr.layers {
+			want := tr.r0 / math.Pow(2, float64(layer))
+			for _, id := range ids {
+				if tr.nodes[id].radius != want {
+					t.Fatalf("%v: layer %d node radius %v, want %v", sel, layer, tr.nodes[id].radius, want)
+				}
+			}
+			for i := 0; i < len(ids); i++ {
+				for j := i + 1; j < len(ids); j++ {
+					ci, cj := tr.nodes[ids[i]].center, tr.nodes[ids[j]].center
+					if d[ci][cj] < want*(1-1e-9) {
+						t.Fatalf("%v: layer %d separation violated: d=%v < %v", sel, layer, d[ci][cj], want)
+					}
+				}
+			}
+		}
+
+		// Covering: every POI lies in some layer-i disk.
+		for layer, ids := range tr.layers {
+			r := tr.r0 / math.Pow(2, float64(layer))
+			for p := range pois {
+				covered := false
+				for _, id := range ids {
+					if d[tr.nodes[id].center][p] <= r*(1+1e-9) {
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					t.Fatalf("%v: POI %d not covered at layer %d", sel, p, layer)
+				}
+			}
+		}
+
+		// Distance: descendants' centers are within 2*radius of ancestors.
+		for id := range tr.nodes {
+			for anc := tr.nodes[id].parent; anc >= 0; anc = tr.nodes[anc].parent {
+				da := d[tr.nodes[anc].center][tr.nodes[id].center]
+				if da > 2*tr.nodes[anc].radius*(1+1e-9) {
+					t.Fatalf("%v: distance property violated: %v > 2*%v", sel, da, tr.nodes[anc].radius)
+				}
+			}
+		}
+
+		// Bottom layer: one node per POI, centered at it.
+		if len(tr.layers[tr.height]) != len(pois) {
+			t.Fatalf("%v: leaf layer has %d nodes, want %d", sel, len(tr.layers[tr.height]), len(pois))
+		}
+		// Centers persist downward: every non-leaf layer's centers appear in
+		// the next layer (the property the enhanced-edge resolver needs).
+		for layer := 0; layer < int(tr.height); layer++ {
+			next := map[int32]bool{}
+			for _, id := range tr.layers[layer+1] {
+				next[tr.nodes[id].center] = true
+			}
+			for _, id := range tr.layers[layer] {
+				if !next[tr.nodes[id].center] {
+					t.Fatalf("%v: center %d of layer %d missing from layer %d",
+						sel, tr.nodes[id].center, layer, layer+1)
+				}
+			}
+		}
+	}
+}
+
+func TestCompressedTreeShape(t *testing.T) {
+	tr, pois, _ := buildTreeForTest(t, SelectRandom, 62)
+	ct := compress(tr)
+	// O(n) bound of Lemma 9: at most 2n-1 nodes.
+	if got, limit := ct.numNodes(), 2*len(pois)-1; got > limit {
+		t.Errorf("compressed tree has %d nodes, Lemma 9 allows %d", got, limit)
+	}
+	// Exactly n leaves, radius 0, one per POI.
+	leaves := 0
+	for id, n := range ct.nodes {
+		if len(n.children) == 0 {
+			leaves++
+			if n.radius != 0 {
+				t.Errorf("leaf %d has radius %v", id, n.radius)
+			}
+		}
+		if len(n.children) == 1 && int32(id) != ct.root {
+			t.Errorf("node %d kept a single child", id)
+		}
+	}
+	if leaves != len(pois) {
+		t.Errorf("%d leaves, want %d", leaves, len(pois))
+	}
+	for p := range pois {
+		leaf := ct.leaf[p]
+		if ct.nodes[leaf].center != int32(p) {
+			t.Errorf("leaf of POI %d centered at %d", p, ct.nodes[leaf].center)
+		}
+	}
+}
+
+// Lemma 2: h <= log2(dmax/dmin) + 1.
+func TestHeightBound(t *testing.T) {
+	tr, pois, eng := buildTreeForTest(t, SelectRandom, 63)
+	d := pairwise(eng, pois)
+	dmin, dmax := math.Inf(1), 0.0
+	for i := range pois {
+		for j := i + 1; j < len(pois); j++ {
+			dmin = math.Min(dmin, d[i][j])
+			dmax = math.Max(dmax, d[i][j])
+		}
+	}
+	bound := math.Log2(dmax/dmin) + 1
+	if float64(tr.height) > bound+1 { // +1 slack: r0 is measured from a random root
+		t.Errorf("height %d exceeds Lemma 2 bound %v", tr.height, bound)
+	}
+}
+
+// Failure injection: a disconnected surface cannot cover all POIs from one
+// root, and construction must fail cleanly rather than loop.
+func TestBuildFailsOnDisconnectedSurface(t *testing.T) {
+	// Two triangles with no shared vertices.
+	v := []geom.Vec3{
+		{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 1},
+		{X: 10, Y: 10}, {X: 11, Y: 10}, {X: 10, Y: 11},
+	}
+	m, err := terrain.New(v, [][3]int32{{0, 1, 2}, {3, 4, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pois := []terrain.SurfacePoint{m.FacePoint(0, 1, 1, 1), m.FacePoint(1, 1, 1, 1)}
+	eng := geodesic.NewExact(m)
+	if _, err := Build(eng, pois, Options{Epsilon: 0.1, Seed: 1}); err == nil {
+		t.Error("expected error on disconnected surface")
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import "fmt"
+
+// pathOf returns the layer-indexed array A_s of §3.4: entry i is the
+// compressed node at layer i on the path from POI p's leaf to the root, or
+// -1 when the path skips that layer.
+func (o *Oracle) pathOf(p int32) []int32 {
+	path := make([]int32, o.layerN)
+	for i := range path {
+		path[i] = -1
+	}
+	n := o.tree.leaf[p]
+	for n >= 0 {
+		path[o.tree.nodes[n].layer] = n
+		n = o.tree.nodes[n].parent
+	}
+	return path
+}
+
+// Query returns the ε-approximate geodesic distance between POIs s and t
+// using the efficient O(h) method of §3.4: one same-layer scan plus the
+// first-higher-layer and first-lower-layer passes justified by Lemma 3 /
+// Observation 1.
+func (o *Oracle) Query(s, t int32) (float64, error) {
+	if err := o.checkIDs(s, t); err != nil {
+		return 0, err
+	}
+	as := o.pathOf(s)
+	at := o.pathOf(t)
+
+	// Step 1: same-layer pairs.
+	for i := 0; i < o.layerN; i++ {
+		if as[i] < 0 || at[i] < 0 {
+			continue
+		}
+		if d, ok := o.lookup(as[i], at[i]); ok {
+			return d, nil
+		}
+	}
+	// Step 2: first-higher-layer pairs (Layer(O) < Layer(O')): for each
+	// node At[i], only layers from its parent's layer up to i-1 can hold a
+	// match (Observation 1).
+	for i := 1; i < o.layerN; i++ {
+		if at[i] < 0 {
+			continue
+		}
+		j := o.parentLayer(at[i])
+		for k := j; k < i; k++ {
+			if as[k] < 0 {
+				continue
+			}
+			if d, ok := o.lookup(as[k], at[i]); ok {
+				return d, nil
+			}
+		}
+	}
+	// Step 3: first-lower-layer pairs, symmetric to step 2.
+	for i := 1; i < o.layerN; i++ {
+		if as[i] < 0 {
+			continue
+		}
+		j := o.parentLayer(as[i])
+		for k := j; k < i; k++ {
+			if at[k] < 0 {
+				continue
+			}
+			if d, ok := o.lookup(as[i], at[k]); ok {
+				return d, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("core: no node pair contains POIs (%d,%d); oracle corrupt", s, t)
+}
+
+// QueryNaive answers the same query by scanning the full A_s × A_t product
+// (the O(h²) naive method of §3.4). Kept as the SE-Naive baseline and as a
+// cross-check for Query.
+func (o *Oracle) QueryNaive(s, t int32) (float64, error) {
+	if err := o.checkIDs(s, t); err != nil {
+		return 0, err
+	}
+	as := o.pathOf(s)
+	at := o.pathOf(t)
+	for _, a := range as {
+		if a < 0 {
+			continue
+		}
+		for _, b := range at {
+			if b < 0 {
+				continue
+			}
+			if d, ok := o.lookup(a, b); ok {
+				return d, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("core: no node pair contains POIs (%d,%d); oracle corrupt", s, t)
+}
+
+func (o *Oracle) parentLayer(n int32) int {
+	p := o.tree.nodes[n].parent
+	if p < 0 {
+		return 0
+	}
+	return int(o.tree.nodes[p].layer)
+}
+
+func (o *Oracle) checkIDs(s, t int32) error {
+	if s < 0 || int(s) >= o.npoi {
+		return fmt.Errorf("core: POI id %d out of range [0,%d)", s, o.npoi)
+	}
+	if t < 0 || int(t) >= o.npoi {
+		return fmt.Errorf("core: POI id %d out of range [0,%d)", t, o.npoi)
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+// Package exp is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (§5) on deterministic, laptop-scale
+// stand-ins for the BearHead (BH), EaglePeak (EP) and San Francisco South
+// (SF) datasets of Table 2. Absolute numbers differ from the paper (their
+// testbed ran C++ on million-vertex DEMs); the harness reproduces the
+// *shape*: orderings, orders-of-magnitude gaps and trends across ε, n and N.
+package exp
+
+import (
+	"fmt"
+
+	"seoracle/internal/gen"
+	"seoracle/internal/terrain"
+)
+
+// Scale selects the experiment size.
+type Scale int
+
+const (
+	// Quick finishes the full suite in a few minutes; used by default and
+	// by the benchmarks.
+	Quick Scale = iota
+	// Full mirrors the paper's "smaller version of SF" exactly (1k
+	// vertices, 60 POIs) and scales the other datasets by ~1/150.
+	Full
+)
+
+// Dataset is a terrain plus its POI set.
+type Dataset struct {
+	Name string
+	Desc string
+	Mesh *terrain.Mesh
+	POIs []terrain.SurfacePoint
+}
+
+// gridFor returns the vertex grid side for a dataset at a scale.
+func gridFor(s Scale, quick, full int) int {
+	if s == Full {
+		return full
+	}
+	return quick
+}
+
+func poisFor(s Scale, quick, full int) int {
+	if s == Full {
+		return full
+	}
+	return quick
+}
+
+// SFSmall reproduces the paper's "smaller version of SF dataset" (§5.1):
+// about 1k vertices and 60 POIs, the only dataset on which SE-Naive and
+// SP-Oracle are feasible. At Quick scale it shrinks to ~300 vertices.
+func SFSmall(s Scale) (*Dataset, error) {
+	side := gridFor(s, 17, 33)
+	npoi := poisFor(s, 30, 60)
+	// SF: 30 m resolution, moderate coastal relief.
+	m, err := gen.Fractal(gen.FractalSpec{NX: side, NY: side, CellDX: 30, Amp: 220, Seed: 1701})
+	if err != nil {
+		return nil, err
+	}
+	pois, err := gen.UniformPOIs(m, npoi, 1702)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{
+		Name: "SF-small",
+		Desc: fmt.Sprintf("San Francisco South sub-region stand-in (%d vertices, %d POIs)", m.NumVerts(), len(pois)),
+		Mesh: m,
+		POIs: gen.Dedup(pois, 1e-9),
+	}, nil
+}
+
+// SanFrancisco is the SF stand-in for the n sweeps (Fig. 9/11): 30 m
+// resolution and a POI-heavy workload (the real SF has n/N ≈ 0.3).
+func SanFrancisco(s Scale) (*Dataset, error) {
+	side := gridFor(s, 21, 41)
+	m, err := gen.Fractal(gen.FractalSpec{NX: side, NY: side, CellDX: 30, Amp: 260, Seed: 1703})
+	if err != nil {
+		return nil, err
+	}
+	npoi := poisFor(s, 120, 500)
+	pois, err := gen.UniformPOIs(m, npoi, 1704)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{
+		Name: "SF",
+		Desc: fmt.Sprintf("San Francisco South stand-in (%d vertices, %d POIs)", m.NumVerts(), len(pois)),
+		Mesh: m,
+		POIs: gen.Dedup(pois, 1e-9),
+	}, nil
+}
+
+// BearHead is the BH stand-in: 10 m resolution, strong mountainous relief,
+// sparse POIs (the real BH has n/N ≈ 0.003; the stand-in keeps POIs sparse
+// without starving the oracle).
+func BearHead(s Scale) (*Dataset, error) {
+	side := gridFor(s, 21, 41)
+	m, err := gen.Fractal(gen.FractalSpec{NX: side, NY: side, CellDX: 10, Amp: 160, Seed: 1705})
+	if err != nil {
+		return nil, err
+	}
+	npoi := poisFor(s, 40, 110)
+	pois, err := gen.UniformPOIs(m, npoi, 1706)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{
+		Name: "BH",
+		Desc: fmt.Sprintf("BearHead stand-in (%d vertices, %d POIs)", m.NumVerts(), len(pois)),
+		Mesh: m,
+		POIs: gen.Dedup(pois, 1e-9),
+	}, nil
+}
+
+// EaglePeak is the EP stand-in: 10 m resolution with the sharpest relief of
+// the three datasets.
+func EaglePeak(s Scale) (*Dataset, error) {
+	side := gridFor(s, 21, 41)
+	m, err := gen.Fractal(gen.FractalSpec{NX: side, NY: side, CellDX: 10, Amp: 240, Seed: 1707})
+	if err != nil {
+		return nil, err
+	}
+	npoi := poisFor(s, 40, 110)
+	pois, err := gen.UniformPOIs(m, npoi, 1708)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{
+		Name: "EP",
+		Desc: fmt.Sprintf("EaglePeak stand-in (%d vertices, %d POIs)", m.NumVerts(), len(pois)),
+		Mesh: m,
+		POIs: gen.Dedup(pois, 1e-9),
+	}, nil
+}
+
+// BearHeadLowRes is the coarse BH used for the A2A and n > N experiments
+// (Fig. 12; the paper uses the 30 m, 150k-vertex version of BH).
+func BearHeadLowRes(s Scale) (*Dataset, error) {
+	side := gridFor(s, 13, 21)
+	m, err := gen.Fractal(gen.FractalSpec{NX: side, NY: side, CellDX: 30, Amp: 160, Seed: 1705})
+	if err != nil {
+		return nil, err
+	}
+	npoi := poisFor(s, 30, 60)
+	pois, err := gen.UniformPOIs(m, npoi, 1709)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{
+		Name: "BH-lowres",
+		Desc: fmt.Sprintf("BearHead 30m stand-in (%d vertices, %d POIs)", m.NumVerts(), len(pois)),
+		Mesh: m,
+		POIs: gen.Dedup(pois, 1e-9),
+	}, nil
+}
+
+// BearHeadAtN regenerates the BH region at a given grid side, mirroring the
+// paper's N sweep (same region, different simplification ratio; §5.2.1).
+func BearHeadAtN(side int, npoi int) (*Dataset, error) {
+	m, err := gen.Fractal(gen.FractalSpec{NX: side, NY: side, CellDX: 10 * 40 / float64(side-1), Amp: 160, Seed: 1705})
+	if err != nil {
+		return nil, err
+	}
+	pois, err := gen.UniformPOIs(m, npoi, 1706)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{
+		Name: fmt.Sprintf("BH-N%d", m.NumVerts()),
+		Desc: fmt.Sprintf("BearHead stand-in at %d vertices", m.NumVerts()),
+		Mesh: m,
+		POIs: gen.Dedup(pois, 1e-9),
+	}, nil
+}
+
+// SFV2VAtN builds the V2V dataset of Fig. 11: an SF sub-region where every
+// vertex is a POI (n == N).
+func SFV2VAtN(side int) (*Dataset, error) {
+	m, err := gen.Fractal(gen.FractalSpec{NX: side, NY: side, CellDX: 10, Amp: 200, Seed: 1703})
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{
+		Name: fmt.Sprintf("SF-V2V-%d", m.NumVerts()),
+		Desc: fmt.Sprintf("SF V2V stand-in (%d vertices = POIs)", m.NumVerts()),
+		Mesh: m,
+		POIs: gen.VertexPOIs(m),
+	}, nil
+}

@@ -1,0 +1,126 @@
+package exp
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config {
+	return Config{Scale: Quick, Queries: 12, Seed: 1, Out: io.Discard}
+}
+
+func TestDatasets(t *testing.T) {
+	for _, f := range []func(Scale) (*Dataset, error){SFSmall, SanFrancisco, BearHead, EaglePeak, BearHeadLowRes} {
+		ds, err := f(Quick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ds.Mesh.NumVerts() == 0 || len(ds.POIs) == 0 {
+			t.Fatalf("%s is empty", ds.Name)
+		}
+		for _, p := range ds.POIs {
+			if err := ds.Mesh.Validate(p); err != nil {
+				t.Fatalf("%s POI invalid: %v", ds.Name, err)
+			}
+		}
+	}
+}
+
+func TestQuerySetExactness(t *testing.T) {
+	ds, err := SFSmall(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := newQuerySet(ds, 20, 3)
+	if len(qs.pairs) != 20 || len(qs.exact) != 20 {
+		t.Fatalf("query set sizes: %d %d", len(qs.pairs), len(qs.exact))
+	}
+	for i, d := range qs.exact {
+		if d <= 0 {
+			t.Errorf("query %d has non-positive exact distance %v", i, d)
+		}
+	}
+}
+
+// Smoke-run the ε sweep on the smallest configuration and assert the
+// paper's qualitative outcome: SE query ≪ SP-Oracle query ≪ K-Algo query,
+// and every method's observed error is below its ε.
+func TestFig8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig 8 takes ~1 min")
+	}
+	var buf bytes.Buffer
+	cfg := quickCfg()
+	cfg.Out = &buf
+	cfg.EpsOverride = []float64{0.25} // one sweep point bounds the runtime
+	ms, err := RunFig8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMethod := map[string][]Measurement{}
+	for _, m := range ms {
+		byMethod[m.Method] = append(byMethod[m.Method], m)
+		if m.MaxErr > m.X*(1+1e-9) {
+			t.Errorf("%s at eps=%g: max err %v above eps", m.Method, m.X, m.MaxErr)
+		}
+	}
+	for _, name := range []string{MethodSEGreedy, MethodSERandom, MethodSENaive, MethodSPOracle, MethodKAlgo} {
+		if len(byMethod[name]) == 0 {
+			t.Errorf("method %s missing from fig 8", name)
+		}
+	}
+	// Aggregate query-time ordering.
+	avg := func(name string) (q, b, s float64) {
+		for _, m := range byMethod[name] {
+			q += m.QueryMS
+			b += m.BuildSec
+			s += m.SizeMB
+		}
+		k := float64(len(byMethod[name]))
+		return q / k, b / k, s / k
+	}
+	seQ, seB, seS := avg(MethodSERandom)
+	spQ, spB, spS := avg(MethodSPOracle)
+	kaQ, _, _ := avg(MethodKAlgo)
+	if !(seQ < spQ && spQ < kaQ) {
+		t.Errorf("query-time ordering violated: SE=%v SP=%v K=%v", seQ, spQ, kaQ)
+	}
+	if seB >= spB {
+		t.Errorf("SE build %v not below SP-Oracle build %v", seB, spB)
+	}
+	if seS >= spS {
+		t.Errorf("SE size %v not below SP-Oracle size %v", seS, spS)
+	}
+}
+
+func TestTables(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickCfg()
+	cfg.Out = &buf
+	if err := RunTable1(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunTable2(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunTable3(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 1", "Table 2", "Table 3", "SF-small", "BH", "EP", "geo/euclid"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	WriteCSV(&buf, "eps", []Measurement{{Method: "SE", X: 0.1, BuildSec: 1, SizeMB: 2, QueryMS: 3, AvgErr: 0.01, MaxErr: 0.02}})
+	out := buf.String()
+	if !strings.Contains(out, "method,eps") || !strings.Contains(out, "SE,0.1,1,2,3,0.01,0.02") {
+		t.Errorf("csv output wrong: %q", out)
+	}
+}

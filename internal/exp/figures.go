@@ -1,0 +1,338 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"time"
+
+	"seoracle/internal/baseline"
+	"seoracle/internal/core"
+	"seoracle/internal/gen"
+	"seoracle/internal/geodesic"
+	"seoracle/internal/terrain"
+)
+
+// Config drives the figure runners.
+type Config struct {
+	Scale   Scale
+	Queries int   // queries per configuration (paper: 100)
+	Seed    int64 // base seed for builds
+	Out     io.Writer
+	// EpsOverride replaces the default ε sweep when non-empty (used by
+	// tests to bound runtime).
+	EpsOverride []float64
+}
+
+func (c Config) queries() int {
+	if c.Queries > 0 {
+		return c.Queries
+	}
+	if c.Scale == Full {
+		return 100
+	}
+	return 50
+}
+
+// epsSweep is the paper's ε grid ({0.05,...,0.25}); Quick scale drops to
+// three values to keep SP-Oracle builds affordable.
+func (c Config) epsSweep() []float64 {
+	if len(c.EpsOverride) > 0 {
+		return c.EpsOverride
+	}
+	if c.Scale == Full {
+		return []float64{0.05, 0.1, 0.15, 0.2, 0.25}
+	}
+	return []float64{0.05, 0.15, 0.25}
+}
+
+// RunFig8 reproduces Fig. 8: effect of ε on the small SF dataset, P2P
+// queries, all five methods (SE-Naive and SP-Oracle are only feasible here,
+// exactly as in the paper).
+func RunFig8(cfg Config) ([]Measurement, error) {
+	ds, err := SFSmall(cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	methods := []string{MethodSEGreedy, MethodSERandom, MethodSENaive, MethodSPOracle, MethodKAlgo}
+	return runEpsSweep(cfg, ds, methods, "Fig 8: effect of eps on SF-small (P2P)")
+}
+
+// RunFig13 reproduces Fig. 13: effect of ε on BearHead. SP-Oracle is
+// excluded — in the paper its size exceeds the 48 GB memory budget on BH;
+// here the same policy excludes it on the full datasets.
+func RunFig13(cfg Config) ([]Measurement, error) {
+	ds, err := BearHead(cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	methods := []string{MethodSERandom, MethodKAlgo}
+	return runEpsSweep(cfg, ds, methods, "Fig 13: effect of eps on BearHead (P2P)")
+}
+
+// RunFig14 reproduces Fig. 14: effect of ε on EaglePeak (same policy as
+// Fig. 13).
+func RunFig14(cfg Config) ([]Measurement, error) {
+	ds, err := EaglePeak(cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	methods := []string{MethodSERandom, MethodKAlgo}
+	return runEpsSweep(cfg, ds, methods, "Fig 14: effect of eps on EaglePeak (P2P)")
+}
+
+func runEpsSweep(cfg Config, ds *Dataset, methods []string, title string) ([]Measurement, error) {
+	fmt.Fprintf(cfg.Out, "\n== %s ==\n%s\n", title, ds.Desc)
+	qs := newQuerySet(ds, cfg.queries(), cfg.Seed+100)
+	var out []Measurement
+	for _, eps := range cfg.epsSweep() {
+		for _, name := range methods {
+			m, err := methodByName(name, eps, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			meas, err := measureP2P(ds, m, eps, qs)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, meas)
+			printMeasurement(cfg.Out, "eps", meas)
+		}
+	}
+	return out, nil
+}
+
+// RunFig9 reproduces Fig. 9: effect of n on SF (P2P). Extra POIs beyond the
+// base set are generated with the paper's normal-distribution procedure
+// (§5.2.1).
+func RunFig9(cfg Config) ([]Measurement, error) {
+	base, err := SanFrancisco(cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(cfg.Out, "\n== Fig 9: effect of n on SF (P2P) ==\n%s\n", base.Desc)
+	var sweep []int
+	if cfg.Scale == Full {
+		sweep = []int{300, 600, 900, 1200, 1500}
+	} else {
+		sweep = []int{60, 120, 180}
+	}
+	eps := 0.1
+	var out []Measurement
+	for _, n := range sweep {
+		pois, err := gen.AugmentNormal(base.Mesh, base.POIs, n, cfg.Seed+int64(n))
+		if err != nil {
+			return nil, err
+		}
+		ds := &Dataset{Name: base.Name, Desc: base.Desc, Mesh: base.Mesh, POIs: gen.Dedup(pois, 1e-9)}
+		qs := newQuerySet(ds, cfg.queries(), cfg.Seed+200+int64(n))
+		methods := []string{MethodSERandom, MethodKAlgo}
+		if cfg.Scale == Full {
+			// SP-Oracle's POI-independent index is too expensive for the
+			// quick run (the paper likewise drops it when its footprint
+			// exceeds the budget); the full run includes it.
+			methods = []string{MethodSERandom, MethodSPOracle, MethodKAlgo}
+		}
+		for _, name := range methods {
+			m, err := methodByName(name, eps, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			meas, err := measureP2P(ds, m, float64(len(ds.POIs)), qs)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, meas)
+			printMeasurement(cfg.Out, "n", meas)
+		}
+	}
+	return out, nil
+}
+
+// RunFig10 reproduces Fig. 10: effect of N on BearHead (P2P): the same
+// region regenerated at increasing resolution with a fixed POI set size.
+// SP-Oracle is excluded (memory-budget policy, as in the paper).
+func RunFig10(cfg Config) ([]Measurement, error) {
+	fmt.Fprintf(cfg.Out, "\n== Fig 10: effect of N on BearHead (P2P) ==\n")
+	var sides []int
+	npoi := 40
+	if cfg.Scale == Full {
+		sides = []int{21, 29, 37, 45, 53}
+		npoi = 100
+	} else {
+		sides = []int{13, 17, 21}
+	}
+	eps := 0.1
+	var out []Measurement
+	for _, side := range sides {
+		ds, err := BearHeadAtN(side, npoi)
+		if err != nil {
+			return nil, err
+		}
+		qs := newQuerySet(ds, cfg.queries(), cfg.Seed+300+int64(side))
+		for _, name := range []string{MethodSERandom, MethodKAlgo} {
+			m, err := methodByName(name, eps, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			meas, err := measureP2P(ds, m, float64(ds.Mesh.NumVerts()), qs)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, meas)
+			printMeasurement(cfg.Out, "N", meas)
+		}
+	}
+	return out, nil
+}
+
+// RunFig11 reproduces Fig. 11: V2V queries on SF sub-regions where every
+// vertex is a POI (n == N).
+func RunFig11(cfg Config) ([]Measurement, error) {
+	fmt.Fprintf(cfg.Out, "\n== Fig 11: effect of n on SF (V2V, n = N) ==\n")
+	var sides []int
+	if cfg.Scale == Full {
+		sides = []int{15, 20, 25, 30, 35}
+	} else {
+		sides = []int{9, 12, 15}
+	}
+	eps := 0.1
+	var out []Measurement
+	for _, side := range sides {
+		ds, err := SFV2VAtN(side)
+		if err != nil {
+			return nil, err
+		}
+		qs := newQuerySet(ds, cfg.queries(), cfg.Seed+400+int64(side))
+		methods := []string{MethodSERandom, MethodKAlgo}
+		if cfg.Scale == Full {
+			// See RunFig9: SP-Oracle only at full scale.
+			methods = []string{MethodSERandom, MethodSPOracle, MethodKAlgo}
+		}
+		for _, name := range methods {
+			m, err := methodByName(name, eps, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			meas, err := measureP2P(ds, m, float64(ds.Mesh.NumVerts()), qs)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, meas)
+			printMeasurement(cfg.Out, "n=N", meas)
+		}
+	}
+	return out, nil
+}
+
+// RunFig12 reproduces Fig. 12: A2A queries and P2P queries with n > N on
+// the low-resolution BearHead, sweeping ε. The SE entry is the Appendix C
+// site oracle; SP-Oracle uses its denser [12]-style site placement; K-Algo
+// answers A2A natively.
+func RunFig12(cfg Config) ([]Measurement, error) {
+	ds, err := BearHeadLowRes(cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(cfg.Out, "\n== Fig 12: A2A and P2P(n>N) on BearHead low-res ==\n%s\n", ds.Desc)
+	eng := geodesic.NewExact(ds.Mesh)
+	loc := terrain.NewLocator(ds.Mesh)
+	st := ds.Mesh.ComputeStats()
+
+	// A2A workload: random planar points projected to the surface (§5.1).
+	rng := rand.New(rand.NewSource(cfg.Seed + 500))
+	var qpairs [][2]terrain.SurfacePoint
+	for len(qpairs) < cfg.queries() {
+		sx := st.BBoxMin.X + rng.Float64()*(st.BBoxMax.X-st.BBoxMin.X)
+		sy := st.BBoxMin.Y + rng.Float64()*(st.BBoxMax.Y-st.BBoxMin.Y)
+		tx := st.BBoxMin.X + rng.Float64()*(st.BBoxMax.X-st.BBoxMin.X)
+		ty := st.BBoxMin.Y + rng.Float64()*(st.BBoxMax.Y-st.BBoxMin.Y)
+		s, ok1 := loc.Project(sx, sy)
+		t, ok2 := loc.Project(tx, ty)
+		if ok1 && ok2 && s.P.Dist(t.P) > 1e-9 {
+			qpairs = append(qpairs, [2]terrain.SurfacePoint{s, t})
+		}
+	}
+	exact := make([]float64, len(qpairs))
+	for i, pq := range qpairs {
+		exact[i] = eng.DistancesTo(pq[0], []terrain.SurfacePoint{pq[1]}, geodesic.Stop{CoverTargets: true})[0]
+	}
+
+	type a2aMethod struct {
+		name  string
+		build func(eps float64) (func(s, t terrain.SurfacePoint) (float64, error), int64, error)
+	}
+	methods := []a2aMethod{
+		{name: MethodSERandom, build: func(eps float64) (func(s, t terrain.SurfacePoint) (float64, error), int64, error) {
+			so, err := core.BuildSiteOracle(eng, ds.Mesh, core.SiteOptions{Options: core.Options{Epsilon: eps, Seed: cfg.Seed}})
+			if err != nil {
+				return nil, 0, err
+			}
+			return so.Query, so.MemoryBytes(), nil
+		}},
+		{name: MethodSPOracle, build: func(eps float64) (func(s, t terrain.SurfacePoint) (float64, error), int64, error) {
+			so, err := baseline.NewSPOracle(eng, ds.Mesh, eps, cfg.Seed)
+			if err != nil {
+				return nil, 0, err
+			}
+			return so.Query, so.MemoryBytes(), nil
+		}},
+		{name: MethodKAlgo, build: func(eps float64) (func(s, t terrain.SurfacePoint) (float64, error), int64, error) {
+			k, err := methodByName(MethodKAlgo, eps, cfg.Seed)
+			if err != nil {
+				return nil, 0, err
+			}
+			if err := k.build(ds); err != nil {
+				return nil, 0, err
+			}
+			ka := k.(*kalgoMethod)
+			return func(s, t terrain.SurfacePoint) (float64, error) {
+				d, _, _ := ka.algo.Query(s, t)
+				return d, nil
+			}, ka.sizeBytes(), nil
+		}},
+	}
+
+	var out []Measurement
+	for _, eps := range cfg.epsSweep() {
+		for _, m := range methods {
+			t0 := time.Now()
+			query, size, err := m.build(eps)
+			if err != nil {
+				return nil, fmt.Errorf("fig12 %s eps=%g: %w", m.name, eps, err)
+			}
+			buildSec := time.Since(t0).Seconds()
+			t1 := time.Now()
+			var avgErr, maxErr float64
+			for i, pq := range qpairs {
+				got, err := query(pq[0], pq[1])
+				if err != nil {
+					return nil, err
+				}
+				if exact[i] > 0 {
+					re := math.Abs(got-exact[i]) / exact[i]
+					avgErr += re
+					maxErr = math.Max(maxErr, re)
+				}
+			}
+			meas := Measurement{
+				Method:   m.name,
+				X:        eps,
+				BuildSec: buildSec,
+				SizeMB:   float64(size) / (1 << 20),
+				QueryMS:  time.Since(t1).Seconds() * 1000 / float64(len(qpairs)),
+				AvgErr:   avgErr / float64(len(qpairs)),
+				MaxErr:   maxErr,
+			}
+			out = append(out, meas)
+			printMeasurement(cfg.Out, "eps(A2A)", meas)
+		}
+	}
+	return out, nil
+}
+
+func printMeasurement(w io.Writer, xname string, m Measurement) {
+	fmt.Fprintf(w, "  %-11s %s=%-8.4g build=%9.3fs size=%9.4fMB query=%10.5fms avg_err=%.5f max_err=%.5f\n",
+		m.Method, xname, m.X, m.BuildSec, m.SizeMB, m.QueryMS, m.AvgErr, m.MaxErr)
+}

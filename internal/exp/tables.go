@@ -1,0 +1,118 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+
+	"seoracle/internal/geodesic"
+	"seoracle/internal/terrain"
+)
+
+// RunTable1 prints the complexity comparison of Table 1 (an analytical
+// table in the paper) together with the measured quantities that instantiate
+// it on the SF-small stand-in: tree height h, node-pair count, and SSAD
+// counts for the naive vs efficient construction.
+func RunTable1(cfg Config) error {
+	fmt.Fprintf(cfg.Out, "\n== Table 1: complexity comparison (analytic, with measured h and pair counts) ==\n")
+	fmt.Fprintf(cfg.Out, "%-12s %-34s %-26s %s\n", "Algo", "Oracle Building Time", "Oracle Size", "Query Time")
+	fmt.Fprintf(cfg.Out, "%-12s %-34s %-26s %s\n", "SP-Oracle", "O(N/(sin0*e^2) log^3(N/e) log^2(1/e))", "O(N/(sin0*e^1.5) polylog)", "O(1/(sin0*e) log(1/e) + loglog N)")
+	fmt.Fprintf(cfg.Out, "%-12s %-34s %-26s %s\n", "SE(Naive)", "O(nhN log^2 N / e^2B)", "O(nh/e^2B)", "O(h^2)")
+	fmt.Fprintf(cfg.Out, "%-12s %-34s %-26s %s\n", "K-Algo", "-", "-", "O(poly(N/e))")
+	fmt.Fprintf(cfg.Out, "%-12s %-34s %-26s %s\n", "SE", "O(N log^2 N/e^2B + nh log n + nh/e^2B)", "O(nh/e^2B)", "O(h)")
+
+	ds, err := SFSmall(cfg.Scale)
+	if err != nil {
+		return err
+	}
+	eps := 0.25
+	m, err := methodByName(MethodSERandom, eps, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	if err := m.build(ds); err != nil {
+		return err
+	}
+	se := m.(*seMethod)
+	st := se.oracle.Stats()
+	fmt.Fprintf(cfg.Out, "measured on %s at eps=%g: h=%d, tree nodes=%d (compressed %d), pairs=%d (considered %d), SSADs=%d, enhanced edges=%d\n",
+		ds.Name, eps, st.Height, st.TreeNodes, st.CompressedNodes, st.Pairs, st.PairsConsidered, st.SSADCalls, st.EnhancedEdges)
+	return nil
+}
+
+// RunTable2 prints the dataset statistics table (Table 2) for the stand-in
+// datasets, including the resolution and extent the generators target.
+func RunTable2(cfg Config) error {
+	fmt.Fprintf(cfg.Out, "\n== Table 2: dataset statistics (stand-ins; paper values in DESIGN.md) ==\n")
+	fmt.Fprintf(cfg.Out, "%-10s %10s %10s %12s %18s %8s\n", "Dataset", "Vertices", "Faces", "Resolution", "Region Covered", "POIs")
+	build := []func(Scale) (*Dataset, error){BearHead, EaglePeak, SanFrancisco, SFSmall, BearHeadLowRes}
+	for _, f := range build {
+		ds, err := f(cfg.Scale)
+		if err != nil {
+			return err
+		}
+		st := ds.Mesh.ComputeStats()
+		w := st.BBoxMax.X - st.BBoxMin.X
+		h := st.BBoxMax.Y - st.BBoxMin.Y
+		res := st.MinEdgeLen
+		fmt.Fprintf(cfg.Out, "%-10s %10d %10d %9.0f m %9.2f x %5.2f km %8d\n",
+			ds.Name, st.NumVerts, st.NumFaces, res, w/1000, h/1000, len(ds.POIs))
+	}
+	return nil
+}
+
+// RunTable3 prints the query-distance statistics (Table 3): max, min, mean
+// and standard deviation of the geodesic distances of the generated query
+// workload on each dataset, plus the geodesic/Euclidean ratio the
+// introduction cites.
+func RunTable3(cfg Config) error {
+	fmt.Fprintf(cfg.Out, "\n== Table 3: statistics of query distances ==\n")
+	fmt.Fprintf(cfg.Out, "%-10s %10s %10s %10s %10s %12s\n", "Dataset", "max", "min", "avg", "std", "geo/euclid")
+	for _, f := range []func(Scale) (*Dataset, error){BearHead, EaglePeak, SanFrancisco} {
+		ds, err := f(cfg.Scale)
+		if err != nil {
+			return err
+		}
+		eng := geodesic.NewExact(ds.Mesh)
+		rng := rand.New(rand.NewSource(cfg.Seed + 900))
+		var ds2 []float64
+		maxRatio := 1.0
+		for i := 0; i < cfg.queries(); i++ {
+			s := rng.Intn(len(ds.POIs))
+			t := rng.Intn(len(ds.POIs))
+			if s == t {
+				continue
+			}
+			d := eng.DistancesTo(ds.POIs[s], []terrain.SurfacePoint{ds.POIs[t]}, geodesic.Stop{CoverTargets: true})[0]
+			ds2 = append(ds2, d)
+			if e := ds.POIs[s].P.Dist(ds.POIs[t].P); e > 0 {
+				maxRatio = math.Max(maxRatio, d/e)
+			}
+		}
+		sort.Float64s(ds2)
+		mean := 0.0
+		for _, d := range ds2 {
+			mean += d
+		}
+		mean /= float64(len(ds2))
+		std := 0.0
+		for _, d := range ds2 {
+			std += (d - mean) * (d - mean)
+		}
+		std = math.Sqrt(std / float64(len(ds2)))
+		fmt.Fprintf(cfg.Out, "%-10s %9.3fkm %9.3fkm %9.3fkm %9.3fkm %12.3f\n",
+			ds.Name, ds2[len(ds2)-1]/1000, ds2[0]/1000, mean/1000, std/1000, maxRatio)
+	}
+	return nil
+}
+
+// WriteCSV writes measurements in a machine-readable form next to the
+// human-readable tables.
+func WriteCSV(w io.Writer, xname string, ms []Measurement) {
+	fmt.Fprintf(w, "method,%s,build_sec,size_mb,query_ms,avg_err,max_err\n", xname)
+	for _, m := range ms {
+		fmt.Fprintf(w, "%s,%g,%g,%g,%g,%g,%g\n", m.Method, m.X, m.BuildSec, m.SizeMB, m.QueryMS, m.AvgErr, m.MaxErr)
+	}
+}

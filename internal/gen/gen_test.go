@@ -1,0 +1,201 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"seoracle/internal/terrain"
+)
+
+func TestFractalDeterministic(t *testing.T) {
+	spec := FractalSpec{NX: 17, NY: 17, CellDX: 10, Amp: 50, Seed: 7}
+	m1, err := Fractal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Fractal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m1.Verts {
+		if m1.Verts[i] != m2.Verts[i] {
+			t.Fatalf("vertex %d differs between runs", i)
+		}
+	}
+	spec.Seed = 8
+	m3, err := Fractal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range m1.Verts {
+		if m1.Verts[i] != m3.Verts[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical terrain")
+	}
+}
+
+func TestFractalRelief(t *testing.T) {
+	m, err := Fractal(FractalSpec{NX: 33, NY: 33, CellDX: 10, Amp: 120, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.ComputeStats()
+	relief := s.BBoxMax.Z - s.BBoxMin.Z
+	if math.Abs(relief-120) > 1e-6 {
+		t.Errorf("relief = %v, want 120", relief)
+	}
+	if s.NumVerts != 33*33 {
+		t.Errorf("NumVerts = %d", s.NumVerts)
+	}
+	if s.MinAngle <= 0 {
+		t.Error("degenerate faces in fractal terrain")
+	}
+}
+
+func TestFractalErrors(t *testing.T) {
+	if _, err := Fractal(FractalSpec{NX: 1, NY: 5, CellDX: 1, Amp: 1}); err == nil {
+		t.Error("expected error for tiny grid")
+	}
+}
+
+func TestPlaneAndHills(t *testing.T) {
+	p, err := Plane(9, 9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.ComputeStats()
+	if s.BBoxMax.Z != 0 || s.BBoxMin.Z != 0 {
+		t.Error("plane is not flat")
+	}
+	h, err := Hills(17, 17, 5, 4, 30, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := h.ComputeStats()
+	if hs.BBoxMax.Z <= 0 {
+		t.Error("hills terrain has no relief")
+	}
+}
+
+func TestUniformPOIs(t *testing.T) {
+	m, err := Fractal(FractalSpec{NX: 17, NY: 17, CellDX: 10, Amp: 40, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pois, err := UniformPOIs(m, 100, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pois) != 100 {
+		t.Fatalf("got %d POIs", len(pois))
+	}
+	for i, p := range pois {
+		if err := m.Validate(p); err != nil {
+			t.Fatalf("POI %d invalid: %v", i, err)
+		}
+	}
+	// Determinism.
+	pois2, err := UniformPOIs(m, 100, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pois {
+		if pois[i].P != pois2[i].P {
+			t.Fatal("UniformPOIs not deterministic")
+		}
+	}
+}
+
+func TestVertexPOIs(t *testing.T) {
+	m, err := Plane(5, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pois := VertexPOIs(m)
+	if len(pois) != 20 {
+		t.Fatalf("got %d vertex POIs", len(pois))
+	}
+	for i, p := range pois {
+		if p.Vert != int32(i) {
+			t.Fatalf("POI %d has vert %d", i, p.Vert)
+		}
+	}
+}
+
+func TestAugmentNormal(t *testing.T) {
+	m, err := Fractal(FractalSpec{NX: 17, NY: 17, CellDX: 10, Amp: 30, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := UniformPOIs(m, 20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aug, err := AugmentNormal(m, base, 150, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aug) != 150 {
+		t.Fatalf("got %d augmented POIs", len(aug))
+	}
+	// The base POIs are preserved as a prefix.
+	for i := range base {
+		if aug[i].P != base[i].P {
+			t.Fatal("base POIs not preserved")
+		}
+	}
+	for i, p := range aug {
+		if err := m.Validate(p); err != nil {
+			t.Fatalf("augmented POI %d invalid: %v", i, err)
+		}
+	}
+	// Shrinking just truncates.
+	small, err := AugmentNormal(m, base, 10, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(small) != 10 {
+		t.Fatalf("truncation gave %d", len(small))
+	}
+}
+
+func TestClusteredPOIs(t *testing.T) {
+	m, err := Plane(33, 33, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pois, err := ClusteredPOIs(m, 200, 3, 0.05, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pois) != 200 {
+		t.Fatalf("got %d POIs", len(pois))
+	}
+	for _, p := range pois {
+		if err := m.Validate(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ClusteredPOIs(m, 10, 0, 0.1, 1); err == nil {
+		t.Error("expected error for zero clusters")
+	}
+}
+
+func TestDedup(t *testing.T) {
+	m, err := Plane(5, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.FacePoint(0, 0.3, 0.3, 0.4)
+	b := m.FacePoint(0, 0.3, 0.3, 0.4)
+	c := m.FacePoint(3, 0.2, 0.6, 0.2)
+	got := Dedup([]terrain.SurfacePoint{a, b, c, a}, 1e-9)
+	if len(got) != 2 {
+		t.Fatalf("Dedup kept %d POIs, want 2", len(got))
+	}
+}

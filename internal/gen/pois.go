@@ -1,0 +1,145 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"seoracle/internal/terrain"
+)
+
+// UniformPOIs samples n points uniformly from the terrain's planar extent
+// and projects them onto the surface — the same procedure the paper uses to
+// generate arbitrary query points (§5.1, "Query Generation").
+func UniformPOIs(m *terrain.Mesh, n int, seed int64) ([]terrain.SurfacePoint, error) {
+	loc := terrain.NewLocator(m)
+	s := m.ComputeStats()
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]terrain.SurfacePoint, 0, n)
+	w := s.BBoxMax.X - s.BBoxMin.X
+	h := s.BBoxMax.Y - s.BBoxMin.Y
+	for tries := 0; len(out) < n; tries++ {
+		if tries > 100*n+1000 {
+			return nil, fmt.Errorf("gen: could not place %d POIs (placed %d)", n, len(out))
+		}
+		x := s.BBoxMin.X + rng.Float64()*w
+		y := s.BBoxMin.Y + rng.Float64()*h
+		if sp, ok := loc.Project(x, y); ok {
+			out = append(out, sp)
+		}
+	}
+	return out, nil
+}
+
+// VertexPOIs returns every mesh vertex as a POI — the paper's V2V setting,
+// where "the original POIs are discarded, and we treat all vertices as
+// POIs" (§5.2.2).
+func VertexPOIs(m *terrain.Mesh) []terrain.SurfacePoint {
+	out := make([]terrain.SurfacePoint, m.NumVerts())
+	for v := 0; v < m.NumVerts(); v++ {
+		out[v] = m.VertexPoint(int32(v))
+	}
+	return out
+}
+
+// AugmentNormal extends base to n POIs with the paper's procedure for the
+// "effect of n" experiment (§5.2.1): new planar points are drawn from a
+// normal distribution whose mean and variance are fitted to the existing
+// POIs, discarded when they fall outside the terrain, and projected onto
+// the surface.
+func AugmentNormal(m *terrain.Mesh, base []terrain.SurfacePoint, n int, seed int64) ([]terrain.SurfacePoint, error) {
+	if n <= len(base) {
+		return base[:n], nil
+	}
+	if len(base) == 0 {
+		return nil, fmt.Errorf("gen: AugmentNormal needs a non-empty base POI set")
+	}
+	var mx, my float64
+	for _, p := range base {
+		mx += p.P.X
+		my += p.P.Y
+	}
+	mx /= float64(len(base))
+	my /= float64(len(base))
+	var vx, vy float64
+	for _, p := range base {
+		vx += (p.P.X - mx) * (p.P.X - mx)
+		vy += (p.P.Y - my) * (p.P.Y - my)
+	}
+	vx /= float64(n) // the paper normalizes the variance by n, not n'
+	vy /= float64(n)
+	sx, sy := math.Sqrt(vx), math.Sqrt(vy)
+	if sx == 0 || sy == 0 {
+		st := m.ComputeStats()
+		sx = math.Max(sx, (st.BBoxMax.X-st.BBoxMin.X)/4)
+		sy = math.Max(sy, (st.BBoxMax.Y-st.BBoxMin.Y)/4)
+	}
+
+	loc := terrain.NewLocator(m)
+	rng := rand.New(rand.NewSource(seed))
+	out := append(make([]terrain.SurfacePoint, 0, n), base...)
+	for tries := 0; len(out) < n; tries++ {
+		if tries > 1000*n+1000 {
+			return nil, fmt.Errorf("gen: could not augment to %d POIs (at %d)", n, len(out))
+		}
+		x := mx + rng.NormFloat64()*sx
+		y := my + rng.NormFloat64()*sy
+		if sp, ok := loc.Project(x, y); ok {
+			out = append(out, sp)
+		}
+	}
+	return out, nil
+}
+
+// ClusteredPOIs samples n POIs from k Gaussian clusters with the given
+// spread (fraction of the terrain extent) — a harder, skewed workload for
+// the partition tree's greedy selection strategy.
+func ClusteredPOIs(m *terrain.Mesh, n, k int, spread float64, seed int64) ([]terrain.SurfacePoint, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("gen: need at least one cluster")
+	}
+	loc := terrain.NewLocator(m)
+	s := m.ComputeStats()
+	rng := rand.New(rand.NewSource(seed))
+	w := s.BBoxMax.X - s.BBoxMin.X
+	h := s.BBoxMax.Y - s.BBoxMin.Y
+	type center struct{ x, y float64 }
+	centers := make([]center, k)
+	for i := range centers {
+		centers[i] = center{s.BBoxMin.X + rng.Float64()*w, s.BBoxMin.Y + rng.Float64()*h}
+	}
+	out := make([]terrain.SurfacePoint, 0, n)
+	for tries := 0; len(out) < n; tries++ {
+		if tries > 1000*n+1000 {
+			return nil, fmt.Errorf("gen: could not place %d clustered POIs", n)
+		}
+		c := centers[rng.Intn(k)]
+		x := c.x + rng.NormFloat64()*spread*w
+		y := c.y + rng.NormFloat64()*spread*h
+		if sp, ok := loc.Project(x, y); ok {
+			out = append(out, sp)
+		}
+	}
+	return out, nil
+}
+
+// Dedup merges co-located POIs (the paper assumes P has no duplicates and
+// merges co-located POIs in a preprocessing step, §2). Two POIs are
+// co-located when their positions agree within tol.
+func Dedup(pois []terrain.SurfacePoint, tol float64) []terrain.SurfacePoint {
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	type key struct{ x, y, z int64 }
+	seen := make(map[key]bool, len(pois))
+	out := make([]terrain.SurfacePoint, 0, len(pois))
+	for _, p := range pois {
+		k := key{int64(math.Round(p.P.X / tol)), int64(math.Round(p.P.Y / tol)), int64(math.Round(p.P.Z / tol))}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+// Package gen synthesizes the datasets of the evaluation. The paper uses
+// three real DEM terrains (BearHead, EaglePeak, San Francisco South, Table 2)
+// with POIs extracted from OpenStreetMap; neither resource is available
+// offline, so this package generates deterministic fractal stand-ins whose
+// extent, relief and POI densities are scaled from Table 2, plus the POI
+// samplers the paper itself describes (§5.2.1): uniform surface sampling and
+// normal-distribution augmentation.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"seoracle/internal/terrain"
+)
+
+// FractalSpec configures a value-noise (fBm) height field.
+type FractalSpec struct {
+	NX, NY  int     // grid vertices per axis (N = NX*NY)
+	CellDX  float64 // grid spacing (the dataset "resolution")
+	CellDY  float64
+	Amp     float64 // peak-to-peak vertical relief
+	Octaves int     // number of noise octaves (default 5)
+	Seed    int64
+}
+
+// Fractal builds a fractal terrain from spec. The same spec always produces
+// the same terrain.
+func Fractal(spec FractalSpec) (*terrain.Mesh, error) {
+	if spec.NX < 2 || spec.NY < 2 {
+		return nil, fmt.Errorf("gen: fractal grid %dx%d too small", spec.NX, spec.NY)
+	}
+	if spec.CellDY == 0 {
+		spec.CellDY = spec.CellDX
+	}
+	oct := spec.Octaves
+	if oct <= 0 {
+		oct = 5
+	}
+	h := make([]float64, spec.NX*spec.NY)
+	n := newValueNoise(spec.Seed)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for j := 0; j < spec.NY; j++ {
+		for i := 0; i < spec.NX; i++ {
+			// Normalized coordinates so the feature scale is independent of
+			// the grid resolution (same region, different N).
+			x := float64(i) / float64(spec.NX-1)
+			y := float64(j) / float64(spec.NY-1)
+			v := n.fbm(x*4, y*4, oct)
+			h[j*spec.NX+i] = v
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	// Rescale to the requested relief.
+	scale := 0.0
+	if hi > lo {
+		scale = spec.Amp / (hi - lo)
+	}
+	for i := range h {
+		h[i] = (h[i] - lo) * scale
+	}
+	return terrain.NewGrid(spec.NX, spec.NY, spec.CellDX, spec.CellDY, h)
+}
+
+// Plane builds a flat nx x ny terrain (the degenerate control surface).
+func Plane(nx, ny int, d float64) (*terrain.Mesh, error) {
+	return terrain.NewGrid(nx, ny, d, d, make([]float64, nx*ny))
+}
+
+// Hills builds a terrain of nHills Gaussian bumps on an nx x ny grid; a
+// smoother alternative to Fractal with pronounced saddle structure.
+func Hills(nx, ny int, d float64, nHills int, amp float64, seed int64) (*terrain.Mesh, error) {
+	rng := rand.New(rand.NewSource(seed))
+	type hill struct{ cx, cy, s, a float64 }
+	hills := make([]hill, nHills)
+	w := float64(nx-1) * d
+	hgt := float64(ny-1) * d
+	for i := range hills {
+		hills[i] = hill{
+			cx: rng.Float64() * w,
+			cy: rng.Float64() * hgt,
+			s:  (0.05 + 0.15*rng.Float64()) * math.Max(w, hgt),
+			a:  amp * (0.3 + 0.7*rng.Float64()),
+		}
+	}
+	h := make([]float64, nx*ny)
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			x, y := float64(i)*d, float64(j)*d
+			v := 0.0
+			for _, hl := range hills {
+				dx, dy := x-hl.cx, y-hl.cy
+				v += hl.a * math.Exp(-(dx*dx+dy*dy)/(2*hl.s*hl.s))
+			}
+			h[j*nx+i] = v
+		}
+	}
+	return terrain.NewGrid(nx, ny, d, d, h)
+}
+
+// valueNoise is deterministic lattice value noise with cosine interpolation.
+type valueNoise struct {
+	seed int64
+}
+
+func newValueNoise(seed int64) *valueNoise { return &valueNoise{seed: seed} }
+
+// lattice returns a pseudo-random value in [-1,1] for integer lattice point
+// (i,j) at octave o.
+func (n *valueNoise) lattice(i, j, o int64) float64 {
+	x := uint64(i)*0x9e3779b97f4a7c15 ^ uint64(j)*0xc2b2ae3d27d4eb4f ^ uint64(o)*0x165667b19e3779f9 ^ uint64(n.seed)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x)/float64(math.MaxUint64)*2 - 1
+}
+
+func (n *valueNoise) at(x, y float64, o int64) float64 {
+	i := math.Floor(x)
+	j := math.Floor(y)
+	fx := x - i
+	fy := y - j
+	sx := 0.5 - 0.5*math.Cos(math.Pi*fx)
+	sy := 0.5 - 0.5*math.Cos(math.Pi*fy)
+	ii, jj := int64(i), int64(j)
+	v00 := n.lattice(ii, jj, o)
+	v10 := n.lattice(ii+1, jj, o)
+	v01 := n.lattice(ii, jj+1, o)
+	v11 := n.lattice(ii+1, jj+1, o)
+	a := v00 + sx*(v10-v00)
+	b := v01 + sx*(v11-v01)
+	return a + sy*(b-a)
+}
+
+func (n *valueNoise) fbm(x, y float64, octaves int) float64 {
+	v := 0.0
+	amp := 1.0
+	freq := 1.0
+	for o := 0; o < octaves; o++ {
+		v += amp * n.at(x*freq, y*freq, int64(o))
+		amp *= 0.5
+		freq *= 2
+	}
+	return v
+}

@@ -1,0 +1,42 @@
+// Package geodesic computes single-source all-destination (SSAD) geodesic
+// distances on a terrain surface.
+//
+// The primary implementation, Exact, is a window-propagation algorithm in the
+// continuous-Dijkstra paradigm of Mitchell, Mount and Papadimitriou (the
+// paper's reference [26], with the practical bookkeeping of later MMP
+// implementations). It supports the two stopping rules the paper's oracle
+// construction needs (§3.2, "Implementation Detail 2"): expand until a set of
+// target points is covered, or expand until the search frontier passes a
+// radius.
+package geodesic
+
+import (
+	"math"
+
+	"seoracle/internal/terrain"
+)
+
+// Stop bounds an SSAD expansion.
+type Stop struct {
+	// Radius, when positive, halts the expansion once the search frontier's
+	// distance exceeds it; targets farther than Radius are reported as +Inf.
+	Radius float64
+	// CoverTargets halts the expansion as soon as every target's distance is
+	// settled, even if Radius has not been reached.
+	CoverTargets bool
+}
+
+// Unbounded expands until the whole surface is settled (or all targets, when
+// CoverTargets is used by the caller).
+var Unbounded = Stop{}
+
+// Engine is the SSAD abstraction consumed by the oracle and the baselines.
+// DistancesTo runs a single-source expansion from src and returns one
+// geodesic distance per target, in order. Targets that were not reached
+// before the stop condition fired are reported as +Inf.
+type Engine interface {
+	DistancesTo(src terrain.SurfacePoint, targets []terrain.SurfacePoint, stop Stop) []float64
+}
+
+// inf is the local shorthand for an unreached distance.
+func inf() float64 { return math.Inf(1) }

@@ -1,0 +1,370 @@
+package geodesic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"seoracle/internal/geom"
+	"seoracle/internal/terrain"
+)
+
+const distTol = 1e-6 // relative tolerance for exact-geodesic comparisons
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / want
+}
+
+func flatGrid(t *testing.T, nx, ny int) *terrain.Mesh {
+	t.Helper()
+	m, err := terrain.NewGrid(nx, ny, 1, 1, make([]float64, nx*ny))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func tiltedGrid(t *testing.T, nx, ny int, ax, ay float64) *terrain.Mesh {
+	t.Helper()
+	h := make([]float64, nx*ny)
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			h[j*nx+i] = ax*float64(i) + ay*float64(j)
+		}
+	}
+	m, err := terrain.NewGrid(nx, ny, 1, 1, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// On a flat terrain the geodesic distance between any two points is their
+// planar Euclidean distance.
+func TestExactFlatVertexDistances(t *testing.T) {
+	m := flatGrid(t, 9, 9)
+	e := NewExact(m)
+	src := m.VertexPoint(0) // corner
+	d := e.VertexDistances(src, Unbounded)
+	for v := 0; v < m.NumVerts(); v++ {
+		want := m.Verts[v].Dist(m.Verts[0])
+		if relErr(d[v], want) > distTol {
+			t.Fatalf("vertex %d: got %v, want %v", v, d[v], want)
+		}
+	}
+}
+
+func TestExactFlatInteriorSource(t *testing.T) {
+	m := flatGrid(t, 7, 7)
+	e := NewExact(m)
+	src := m.FacePoint(24, 0.3, 0.4, 0.3) // somewhere in the middle
+	d := e.VertexDistances(src, Unbounded)
+	for v := 0; v < m.NumVerts(); v++ {
+		want := m.Verts[v].Dist(src.P)
+		if relErr(d[v], want) > distTol {
+			t.Fatalf("vertex %d: got %v, want %v (src %v)", v, d[v], want, src.P)
+		}
+	}
+}
+
+// A tilted plane is isometric to the plane, so geodesic distances equal 3-D
+// Euclidean distances.
+func TestExactTiltedPlane(t *testing.T) {
+	m := tiltedGrid(t, 8, 8, 0.5, -0.75)
+	e := NewExact(m)
+	src := m.VertexPoint(27)
+	d := e.VertexDistances(src, Unbounded)
+	for v := 0; v < m.NumVerts(); v++ {
+		want := m.Verts[v].Dist(m.Verts[27])
+		if relErr(d[v], want) > distTol {
+			t.Fatalf("vertex %d: got %v, want %v", v, d[v], want)
+		}
+	}
+}
+
+// foldMesh builds a floor [0,1]x[0,1] plus a vertical wall at x==1 of height
+// 1, triangulated with 4 faces. Geodesics crossing the fold can be computed
+// by unfolding the wall into the floor plane: (1, y, z) -> (1+z, y).
+func foldMesh(t *testing.T) *terrain.Mesh {
+	t.Helper()
+	verts := []geom.Vec3{
+		{X: 0, Y: 0, Z: 0}, // 0
+		{X: 1, Y: 0, Z: 0}, // 1
+		{X: 1, Y: 1, Z: 0}, // 2
+		{X: 0, Y: 1, Z: 0}, // 3
+		{X: 1, Y: 0, Z: 1}, // 4
+		{X: 1, Y: 1, Z: 1}, // 5
+	}
+	faces := [][3]int32{
+		{0, 1, 2}, {0, 2, 3}, // floor
+		{1, 4, 5}, {1, 5, 2}, // wall
+	}
+	m, err := terrain.New(verts, faces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestExactAcrossFold(t *testing.T) {
+	m := foldMesh(t)
+	e := NewExact(m)
+
+	// Vertex 0 = (0,0,0) to vertex 5 = (1,1,1): unfolded target (2,1).
+	d := e.VertexDistances(m.VertexPoint(0), Unbounded)
+	if want := math.Sqrt(5); relErr(d[5], want) > distTol {
+		t.Errorf("fold 0->5: got %v, want %v", d[5], want)
+	}
+	// Vertex 3 = (0,1,0) to vertex 4 = (1,0,1): unfolded target (2,0):
+	// straight segment from (0,1) to (2,0) crosses x=1 at y=0.5, inside the
+	// shared edge, so the geodesic is sqrt(4+1).
+	d3 := e.VertexDistances(m.VertexPoint(3), Unbounded)
+	if want := math.Sqrt(5); relErr(d3[4], want) > distTol {
+		t.Errorf("fold 3->4: got %v, want %v", d3[4], want)
+	}
+}
+
+func TestExactAcrossFoldInteriorPoints(t *testing.T) {
+	m := foldMesh(t)
+	e := NewExact(m)
+	loc := terrain.NewLocator(m)
+	src, ok := loc.Project(0.25, 0.5)
+	if !ok {
+		t.Fatal("project source")
+	}
+	// Target at (1, 0.5, 0.75) on the wall: face {1,5,2} or {1,4,5}.
+	// Its unfolded position is (1.75, 0.5) so the distance is exactly 1.5.
+	tgt := wallPoint(t, m, 0.5, 0.75)
+	got := e.DistancesTo(src, []terrain.SurfacePoint{tgt}, Stop{CoverTargets: true})
+	if want := 1.5; relErr(got[0], want) > distTol {
+		t.Errorf("fold interior: got %v, want %v", got[0], want)
+	}
+}
+
+// wallPoint returns the surface point (1, y, z) on the wall of foldMesh.
+func wallPoint(t *testing.T, m *terrain.Mesh, y, z float64) terrain.SurfacePoint {
+	t.Helper()
+	p := geom.Vec3{X: 1, Y: y, Z: z}
+	for f := int32(0); f < int32(m.NumFaces()); f++ {
+		fa := m.Faces[f]
+		u, v, w := geom.Barycentric(p, m.Verts[fa[0]], m.Verts[fa[1]], m.Verts[fa[2]])
+		const eps = 1e-9
+		if u >= -eps && v >= -eps && w >= -eps {
+			rec := m.Verts[fa[0]].Scale(u).Add(m.Verts[fa[1]].Scale(v)).Add(m.Verts[fa[2]].Scale(w))
+			if rec.Dist(p) < 1e-9 {
+				return m.FacePoint(f, u, v, w)
+			}
+		}
+	}
+	t.Fatalf("no face contains %v", p)
+	return terrain.SurfacePoint{}
+}
+
+func TestExactFaceTargetsFlat(t *testing.T) {
+	m := flatGrid(t, 6, 6)
+	e := NewExact(m)
+	rng := rand.New(rand.NewSource(11))
+	src := m.FacePoint(7, 0.2, 0.3, 0.5)
+	var targets []terrain.SurfacePoint
+	for i := 0; i < 40; i++ {
+		f := int32(rng.Intn(m.NumFaces()))
+		u := rng.Float64()
+		v := rng.Float64() * (1 - u)
+		targets = append(targets, m.FacePoint(f, u, v, 1-u-v))
+	}
+	got := e.DistancesTo(src, targets, Stop{CoverTargets: true})
+	for i, tgt := range targets {
+		want := tgt.P.Dist(src.P)
+		if relErr(got[i], want) > distTol {
+			t.Fatalf("target %d: got %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestExactSameFaceTarget(t *testing.T) {
+	m := flatGrid(t, 3, 3)
+	e := NewExact(m)
+	src := m.FacePoint(0, 0.6, 0.2, 0.2)
+	tgt := m.FacePoint(0, 0.1, 0.5, 0.4)
+	got := e.DistancesTo(src, []terrain.SurfacePoint{tgt}, Stop{CoverTargets: true})
+	if want := src.P.Dist(tgt.P); relErr(got[0], want) > 1e-12 {
+		t.Errorf("same face: got %v, want %v", got[0], want)
+	}
+	// Distance to itself is zero.
+	self := e.DistancesTo(src, []terrain.SurfacePoint{src}, Stop{CoverTargets: true})
+	if self[0] != 0 {
+		t.Errorf("self distance = %v", self[0])
+	}
+}
+
+// bumpyGrid is a deterministic non-flat terrain for metric-property tests.
+func bumpyGrid(t *testing.T, nx, ny int, amp float64) *terrain.Mesh {
+	t.Helper()
+	h := make([]float64, nx*ny)
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			h[j*nx+i] = amp * (math.Sin(float64(i)*1.3) * math.Cos(float64(j)*0.9))
+		}
+	}
+	m, err := terrain.NewGrid(nx, ny, 1, 1, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestExactSymmetry(t *testing.T) {
+	m := bumpyGrid(t, 8, 8, 1.5)
+	e := NewExact(m)
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 10; i++ {
+		a := int32(rng.Intn(m.NumVerts()))
+		b := int32(rng.Intn(m.NumVerts()))
+		if a == b {
+			continue
+		}
+		dab := e.DistancesTo(m.VertexPoint(a), []terrain.SurfacePoint{m.VertexPoint(b)}, Stop{CoverTargets: true})[0]
+		dba := e.DistancesTo(m.VertexPoint(b), []terrain.SurfacePoint{m.VertexPoint(a)}, Stop{CoverTargets: true})[0]
+		if relErr(dab, dba) > 1e-6 {
+			t.Fatalf("asymmetry %d<->%d: %v vs %v", a, b, dab, dba)
+		}
+	}
+}
+
+func TestExactTriangleInequality(t *testing.T) {
+	m := bumpyGrid(t, 7, 7, 1.2)
+	e := NewExact(m)
+	rng := rand.New(rand.NewSource(13))
+	pts := make([]terrain.SurfacePoint, 6)
+	for i := range pts {
+		pts[i] = m.VertexPoint(int32(rng.Intn(m.NumVerts())))
+	}
+	d := make([][]float64, len(pts))
+	for i := range pts {
+		d[i] = e.DistancesTo(pts[i], pts, Stop{CoverTargets: true})
+	}
+	for i := range pts {
+		for j := range pts {
+			for k := range pts {
+				if d[i][j] > d[i][k]+d[k][j]+1e-9*(1+d[i][j]) {
+					t.Fatalf("triangle inequality violated: d(%d,%d)=%v > %v+%v",
+						i, j, d[i][j], d[i][k], d[k][j])
+				}
+			}
+		}
+	}
+}
+
+// Geodesic distances are bounded below by 3-D Euclidean distance and above
+// by any edge path; on a bumpy terrain they must exceed Euclidean somewhere.
+func TestExactBounds(t *testing.T) {
+	m := bumpyGrid(t, 9, 9, 2.0)
+	e := NewExact(m)
+	src := m.VertexPoint(0)
+	d := e.VertexDistances(src, Unbounded)
+	exceeds := false
+	for v := 0; v < m.NumVerts(); v++ {
+		euclid := m.Verts[v].Dist(m.Verts[0])
+		if d[v] < euclid-1e-9*(1+euclid) {
+			t.Fatalf("vertex %d: geodesic %v below Euclidean %v", v, d[v], euclid)
+		}
+		if d[v] > euclid*(1+1e-9) {
+			exceeds = true
+		}
+	}
+	if !exceeds {
+		t.Error("geodesic never exceeded Euclidean on a bumpy terrain")
+	}
+}
+
+func TestExactRadiusStop(t *testing.T) {
+	m := flatGrid(t, 9, 9)
+	e := NewExact(m)
+	src := m.VertexPoint(0)
+	const radius = 3.0
+	d := e.VertexDistances(src, Stop{Radius: radius})
+	for v := 0; v < m.NumVerts(); v++ {
+		want := m.Verts[v].Dist(m.Verts[0])
+		if want <= radius {
+			if relErr(d[v], want) > distTol {
+				t.Fatalf("vertex %d inside radius: got %v, want %v", v, d[v], want)
+			}
+		} else if !math.IsInf(d[v], 1) {
+			// Vertices beyond the radius must be +Inf.
+			t.Fatalf("vertex %d beyond radius: got %v, want +Inf", v, d[v])
+		}
+	}
+}
+
+func TestExactCoverTargetsMatchesUnbounded(t *testing.T) {
+	m := bumpyGrid(t, 8, 8, 1.0)
+	e := NewExact(m)
+	src := m.VertexPoint(20)
+	var targets []terrain.SurfacePoint
+	for _, v := range []int32{3, 17, 40, 63, 55} {
+		targets = append(targets, m.VertexPoint(v))
+	}
+	fast := e.DistancesTo(src, targets, Stop{CoverTargets: true})
+	full := e.VertexDistances(src, Unbounded)
+	for i, tgt := range targets {
+		if relErr(fast[i], full[tgt.Vert]) > 1e-9 {
+			t.Fatalf("target %d: cover-stop %v vs full %v", i, fast[i], full[tgt.Vert])
+		}
+	}
+}
+
+func TestExactVertexTargets(t *testing.T) {
+	m := flatGrid(t, 6, 6)
+	e := NewExact(m)
+	src := m.VertexPoint(14)
+	targets := []terrain.SurfacePoint{m.VertexPoint(0), m.VertexPoint(35), m.VertexPoint(14)}
+	d := e.DistancesTo(src, targets, Stop{CoverTargets: true})
+	for i, tgt := range targets {
+		want := m.Verts[tgt.Vert].Dist(m.Verts[14])
+		if relErr(d[i], want) > distTol {
+			t.Fatalf("vertex target %d: got %v, want %v", i, d[i], want)
+		}
+	}
+}
+
+// The engine must also work on meshes with saddle vertices (total angle
+// > 2*pi), where geodesics bend around vertices. We verify against the known
+// unfolding on a "pit" (inverted cone-like) configuration indirectly through
+// the lower-bound and symmetry properties, plus a straight-over-the-top
+// check on a shallow bump where the direct unfolding stays optimal.
+func TestExactSaddleMeshSanity(t *testing.T) {
+	// A single raised vertex in the middle of a flat 5x5 grid. The 8 ring
+	// vertices around the peak become saddle vertices.
+	nx, ny := 5, 5
+	h := make([]float64, nx*ny)
+	h[2*nx+2] = 2.0
+	m, err := terrain.NewGrid(nx, ny, 1, 1, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewExact(m)
+	src := m.VertexPoint(0)
+	d := e.VertexDistances(src, Unbounded)
+	for v := 0; v < m.NumVerts(); v++ {
+		euclid := m.Verts[v].Dist(m.Verts[0])
+		if d[v] < euclid-1e-9 {
+			t.Fatalf("vertex %d below Euclidean bound", v)
+		}
+		if math.IsInf(d[v], 1) {
+			t.Fatalf("vertex %d unreachable", v)
+		}
+	}
+	// The far corner must be reachable by a path around the bump no longer
+	// than the flat-walk upper bound along the grid boundary.
+	far := (ny-1)*nx + (nx - 1)
+	if d[far] > 8.0+1e-9 {
+		t.Errorf("far corner distance %v exceeds boundary-walk bound 8", d[far])
+	}
+	// And no shorter than the flat diagonal.
+	if d[far] < math.Sqrt(32)-1e-9 {
+		t.Errorf("far corner distance %v below flat diagonal", d[far])
+	}
+}

@@ -1,0 +1,216 @@
+package geodesic
+
+import (
+	"math"
+
+	"seoracle/internal/geom"
+)
+
+// insert adds a candidate window (interval [b0,b1] on half-edge he with
+// pseudo-source (px,py) and source offset sigma) to the edge's window list,
+// resolving overlaps with existing windows so that the per-edge windows stay
+// (numerically) disjoint. Surviving pieces are queued for propagation and
+// drive vertex-label and target-estimate updates.
+func (r *run) insert(he int32, b0, b1, px, py, sigma float64) {
+	L := r.m.Halfedge(he).Len
+	epsLen := 1e-11 * L
+	if b0 < 0 {
+		b0 = 0
+	}
+	if b1 > L {
+		b1 = L
+	}
+	if b1-b0 <= epsLen {
+		return
+	}
+
+	type iv struct{ a, b float64 }
+	pieces := []iv{{b0, b1}}
+	cand := window{he: he, px: px, py: py, sigma: sigma}
+	distC := func(t float64) float64 { return cand.distAt(t) }
+
+	snapshot := make([]*window, len(r.lists[he]))
+	copy(snapshot, r.lists[he])
+	for _, wE := range snapshot {
+		if !wE.alive {
+			continue
+		}
+		var next []iv
+		for _, p := range pieces {
+			lo := math.Max(p.a, wE.b0)
+			hi := math.Min(p.b, wE.b1)
+			if hi-lo <= epsLen {
+				next = append(next, p)
+				continue
+			}
+			dNlo, dNhi := distC(lo), distC(hi)
+			dElo, dEhi := wE.distAt(lo), wE.distAt(hi)
+			tol := 1e-12 * (1 + math.Abs(dNlo) + math.Abs(dElo))
+			newWinsLo := dNlo < dElo-tol
+			newWinsHi := dNhi < dEhi-tol
+			switch {
+			case !newWinsLo && !newWinsHi:
+				// The candidate loses throughout the overlap.
+				if lo-p.a > epsLen {
+					next = append(next, iv{p.a, lo})
+				}
+				if p.b-hi > epsLen {
+					next = append(next, iv{hi, p.b})
+				}
+			case newWinsLo && newWinsHi:
+				// The existing window loses throughout the overlap.
+				r.clipWindow(he, wE, lo, hi, epsLen)
+				next = append(next, p)
+			default:
+				// Exactly one crossing inside (lo,hi): bisect d_new - d_old.
+				t := bisectCross(&cand, wE, lo, hi, newWinsLo)
+				if newWinsLo {
+					// Candidate wins [lo,t], existing wins [t,hi].
+					r.clipWindow(he, wE, lo, t, epsLen)
+					if t-p.a > epsLen {
+						next = append(next, iv{p.a, t})
+					}
+					if p.b-hi > epsLen {
+						next = append(next, iv{hi, p.b})
+					}
+				} else {
+					// Existing wins [lo,t], candidate wins [t,hi].
+					r.clipWindow(he, wE, t, hi, epsLen)
+					if lo-p.a > epsLen {
+						next = append(next, iv{p.a, lo})
+					}
+					if p.b-t > epsLen {
+						next = append(next, iv{t, p.b})
+					}
+				}
+			}
+		}
+		pieces = next
+		if len(pieces) == 0 {
+			return
+		}
+	}
+
+	for _, p := range pieces {
+		w := &window{he: he, b0: p.a, b1: p.b, px: px, py: py, sigma: sigma, alive: true}
+		r.lists[he] = append(r.lists[he], w)
+		pushWindow(&r.queue, w)
+		r.afterInsert(w, L, epsLen)
+	}
+	r.compact(he)
+}
+
+// compact drops dead windows from an edge list once they dominate it.
+func (r *run) compact(he int32) {
+	list := r.lists[he]
+	if len(list) <= 32 {
+		return
+	}
+	dead := 0
+	for _, w := range list {
+		if !w.alive {
+			dead++
+		}
+	}
+	if 2*dead <= len(list) {
+		return
+	}
+	live := make([]*window, 0, len(list)-dead)
+	for _, w := range list {
+		if w.alive {
+			live = append(live, w)
+		}
+	}
+	r.lists[he] = live
+}
+
+// clipWindow removes [lo,hi] from a live window, replacing it with up to two
+// remainder pieces. Pieces inherit the propagated flag: a window that was
+// already unfolded across its face does not need to be unfolded again for a
+// sub-interval.
+func (r *run) clipWindow(he int32, w *window, lo, hi, epsLen float64) {
+	w.alive = false
+	if lo-w.b0 > epsLen {
+		left := &window{he: he, b0: w.b0, b1: lo, px: w.px, py: w.py, sigma: w.sigma,
+			alive: true, propagated: w.propagated}
+		r.lists[he] = append(r.lists[he], left)
+		if !left.propagated {
+			pushWindow(&r.queue, left)
+		}
+	}
+	if w.b1-hi > epsLen {
+		right := &window{he: he, b0: hi, b1: w.b1, px: w.px, py: w.py, sigma: w.sigma,
+			alive: true, propagated: w.propagated}
+		r.lists[he] = append(r.lists[he], right)
+		if !right.propagated {
+			pushWindow(&r.queue, right)
+		}
+	}
+}
+
+// bisectCross finds the parameter where the candidate and the existing
+// window have equal distance, assuming a single crossing in (lo, hi).
+func bisectCross(cand, wE *window, lo, hi float64, newWinsLo bool) float64 {
+	f := func(t float64) float64 { return cand.distAt(t) - wE.distAt(t) }
+	// f(lo) < 0 iff the candidate wins at lo.
+	a, b := lo, hi
+	for i := 0; i < 60 && b-a > 1e-15*(1+math.Abs(b)); i++ {
+		mid := 0.5 * (a + b)
+		v := f(mid)
+		if (v < 0) == newWinsLo {
+			a = mid
+		} else {
+			b = mid
+		}
+	}
+	return 0.5 * (a + b)
+}
+
+// afterInsert performs the bookkeeping attached to a freshly inserted live
+// window: vertex labels at covered edge endpoints and target estimates on
+// the window's face.
+func (r *run) afterInsert(w *window, L, epsLen float64) {
+	he := r.m.Halfedge(w.he)
+	if w.b0 <= epsLen {
+		r.updateLabel(he.Org, w.sigma+math.Hypot(w.px, w.py), false)
+	}
+	if w.b1 >= L-epsLen {
+		r.updateLabel(he.Dst, w.sigma+math.Hypot(L-w.px, w.py), false)
+	}
+	if len(r.faceTargets) == 0 {
+		return
+	}
+	tis := r.faceTargets[he.Face]
+	if len(tis) == 0 {
+		return
+	}
+	local := int(w.he % 3)
+	for _, ti := range tis {
+		q := r.tcoords[ti][local]
+		r.updateEstimate(ti, r.windowDistTo(w, q, L))
+	}
+}
+
+// windowDistTo evaluates the geodesic distance to a point q (in the window's
+// half-edge frame, q.Y >= 0) through window w: straight through the window
+// when the unfolded segment crosses inside [b0,b1], otherwise bending at the
+// nearer window endpoint. Both cases are lengths of genuine surface paths,
+// so the value never underestimates; it is exact for the window containing
+// the true geodesic's crossing.
+func (r *run) windowDistTo(w *window, q geom.Vec2, L float64) float64 {
+	px, py := w.px, w.py
+	den := q.Y - py
+	if den > 1e-14*L {
+		u := -py / den
+		x := px + u*(q.X-px)
+		if x >= w.b0-1e-12*L && x <= w.b1+1e-12*L {
+			return w.sigma + math.Hypot(q.X-px, q.Y-py)
+		}
+	} else if px >= w.b0 && px <= w.b1 {
+		// Degenerate: pseudo-source and target both on the axis.
+		return w.sigma + math.Abs(q.X-px)
+	}
+	d0 := w.distAt(w.b0) + math.Hypot(q.X-w.b0, q.Y)
+	d1 := w.distAt(w.b1) + math.Hypot(q.X-w.b1, q.Y)
+	return math.Min(d0, d1)
+}

@@ -1,0 +1,117 @@
+package geodesic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"seoracle/internal/geom"
+	"seoracle/internal/terrain"
+)
+
+// rotateAboutAxis rotates p around the line through a with unit direction u
+// by angle theta (Rodrigues' formula) — an independent unfolding primitive
+// that shares no code with the engine's local-frame math.
+func rotateAboutAxis(p, a, u geom.Vec3, theta float64) geom.Vec3 {
+	v := p.Sub(a)
+	cos, sin := math.Cos(theta), math.Sin(theta)
+	term1 := v.Scale(cos)
+	term2 := u.Cross(v).Scale(sin)
+	term3 := u.Scale(u.Dot(v) * (1 - cos))
+	return a.Add(term1).Add(term2).Add(term3)
+}
+
+// dihedralUnfold rotates point p (on the face with apex c2, shared edge
+// a-b) into the plane of the face with apex c1, returning the unfolded
+// position. The rotation is constructed directly: after unfolding, the
+// radial direction of c2 (its component perpendicular to the edge) must
+// point exactly opposite the radial direction of c1, which makes the two
+// faces coplanar with c2 across the edge.
+func dihedralUnfold(p, a, b, c1, c2 geom.Vec3) geom.Vec3 {
+	u := b.Sub(a).Normalize()
+	radial := func(q geom.Vec3) geom.Vec3 {
+		v := q.Sub(a)
+		return v.Sub(u.Scale(v.Dot(u))).Normalize()
+	}
+	r1 := radial(c1)
+	r2 := radial(c2)
+	target := r1.Scale(-1)
+	cos := r2.Dot(target)
+	sin := u.Dot(r2.Cross(target))
+	theta := math.Atan2(sin, cos)
+	return rotateAboutAxis(p, a, u, theta)
+}
+
+// segCrossesEdgeInterior reports whether the 3-D segment s->t (both in the
+// plane of face 1 after unfolding) crosses the open edge segment a-b.
+func segCrossesEdgeInterior(s, t, a, b geom.Vec3) bool {
+	d := t.Sub(s)
+	e := b.Sub(a)
+	// Solve s + x*d = a + y*e in the plane (least squares via the two
+	// largest-coordinate axes of the plane normal).
+	n := d.Cross(e)
+	den := n.Norm2()
+	if den < 1e-18 {
+		return false
+	}
+	r := a.Sub(s)
+	x := r.Cross(e).Dot(n) / den
+	y := r.Cross(d).Dot(n) / den
+	const eps = 1e-9
+	return x > eps && x < 1-eps && y > eps && y < 1-eps
+}
+
+// TestExactMatchesIndependentUnfolding checks the engine against a fully
+// independent two-face computation on random folds.
+func TestExactMatchesIndependentUnfolding(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	tried := 0
+	for iter := 0; iter < 300 && tried < 120; iter++ {
+		// Shared edge a-b on the x-axis, apexes on either side with random
+		// heights: a non-degenerate fold.
+		a := geom.Vec3{X: 0, Y: 0, Z: 0}
+		b := geom.Vec3{X: 2 + rng.Float64(), Y: 0, Z: 0}
+		c1 := geom.Vec3{X: rng.Float64() * b.X, Y: 1 + rng.Float64(), Z: rng.Float64()}
+		c2 := geom.Vec3{X: rng.Float64() * b.X, Y: -(1 + rng.Float64()), Z: rng.Float64()}
+		verts := []geom.Vec3{a, b, c1, c2}
+		faces := [][3]int32{{0, 1, 2}, {1, 0, 3}}
+		m, err := terrain.New(verts, faces)
+		if err != nil {
+			continue
+		}
+		if m.ComputeStats().MinAngle < 0.15 {
+			continue // skip slivers; they stress fp, not logic
+		}
+		// Random interior points on each face.
+		u1, v1 := rng.Float64()*0.8+0.1, 0.0
+		v1 = rng.Float64() * (0.9 - u1)
+		s := m.FacePoint(0, u1, v1, 1-u1-v1)
+		u2, v2 := rng.Float64()*0.8+0.1, 0.0
+		v2 = rng.Float64() * (0.9 - u2)
+		tt := m.FacePoint(1, u2, v2, 1-u2-v2)
+
+		// Independent expectation.
+		tUnf := dihedralUnfold(tt.P, a, b, c1, c2)
+		var want float64
+		if segCrossesEdgeInterior(s.P, tUnf, a, b) {
+			want = s.P.Dist(tUnf)
+		} else {
+			// Geodesic bends at a shared vertex.
+			want = math.Min(
+				s.P.Dist(a)+a.Dist(tt.P),
+				s.P.Dist(b)+b.Dist(tt.P),
+			)
+		}
+
+		e := NewExact(m)
+		got := e.DistancesTo(s, []terrain.SurfacePoint{tt}, Stop{CoverTargets: true})[0]
+		if relErr(got, want) > 1e-6 {
+			t.Fatalf("iter %d: engine %v vs unfolding %v\n a=%v b=%v c1=%v c2=%v s=%v t=%v",
+				iter, got, want, a, b, c1, c2, s.P, tt.P)
+		}
+		tried++
+	}
+	if tried < 60 {
+		t.Fatalf("only %d valid random folds exercised", tried)
+	}
+}

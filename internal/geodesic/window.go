@@ -1,0 +1,89 @@
+package geodesic
+
+import (
+	"container/heap"
+	"math"
+)
+
+// window is an interval [b0,b1] on a directed half-edge together with an
+// unfolded pseudo-source. The half-edge's local frame puts its origin vertex
+// at (0,0) and its destination at (len,0); the half-edge's own face lies
+// above the axis. A window on half-edge h describes geodesic paths that
+// cross the edge *into* h's face, so its pseudo-source (px,py) always has
+// py <= 0. The geodesic distance at parameter t in [b0,b1] is
+//
+//	d(t) = sigma + hypot(t-px, py)
+//
+// where sigma is the distance from the true source to the pseudo-source.
+type window struct {
+	he         int32
+	b0, b1     float64
+	px, py     float64
+	sigma      float64
+	alive      bool
+	propagated bool
+}
+
+// distAt returns the window's distance value at edge parameter t.
+func (w *window) distAt(t float64) float64 {
+	return w.sigma + math.Hypot(t-w.px, w.py)
+}
+
+// minDist returns the smallest distance over the window's interval; it is
+// the window's priority in the continuous-Dijkstra queue.
+func (w *window) minDist() float64 {
+	switch {
+	case w.px < w.b0:
+		return w.sigma + math.Hypot(w.b0-w.px, w.py)
+	case w.px > w.b1:
+		return w.sigma + math.Hypot(w.b1-w.px, w.py)
+	default:
+		return w.sigma + math.Abs(w.py)
+	}
+}
+
+// qitem is an entry of the propagation queue: either a window event or a
+// vertex (pseudo-source) event.
+type qitem struct {
+	key  float64
+	win  *window // nil for vertex events
+	vert int32   // valid when win == nil
+}
+
+type qheap []qitem
+
+func (q qheap) Len() int            { return len(q) }
+func (q qheap) Less(i, j int) bool  { return q[i].key < q[j].key }
+func (q qheap) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *qheap) Push(x interface{}) { *q = append(*q, x.(qitem)) }
+func (q *qheap) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+func pushWindow(q *qheap, w *window)             { heap.Push(q, qitem{key: w.minDist(), win: w}) }
+func pushVertex(q *qheap, v int32, dist float64) { heap.Push(q, qitem{key: dist, vert: v}) }
+
+// estItem tracks a target's current best distance estimate for the lazy
+// settledness check.
+type estItem struct {
+	est float64
+	idx int
+}
+
+type estHeap []estItem
+
+func (q estHeap) Len() int            { return len(q) }
+func (q estHeap) Less(i, j int) bool  { return q[i].est < q[j].est }
+func (q estHeap) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *estHeap) Push(x interface{}) { *q = append(*q, x.(estItem)) }
+func (q *estHeap) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}

@@ -1,0 +1,126 @@
+package geom
+
+import "math"
+
+// TriApex returns the planar position of a triangle's apex when its base edge
+// is laid out along the x-axis from (0,0) to (base,0). The returned apex has
+// non-negative y.
+//
+//	base = |dst - org|   (length of the base edge)
+//	a    = |apex - dst|  (length of the side leaving the base endpoint)
+//	b    = |apex - org|  (length of the side leaving the base origin)
+//
+// Degenerate inputs (violating the triangle inequality through rounding) are
+// clamped so the result is always finite.
+func TriApex(base, a, b float64) Vec2 {
+	x := (base*base + b*b - a*a) / (2 * base)
+	y2 := b*b - x*x
+	if y2 < 0 {
+		y2 = 0
+	}
+	return Vec2{x, math.Sqrt(y2)}
+}
+
+// LineIntersect solves p1 + s*d1 == p2 + t*d2 and reports the parameters
+// (s, t). ok is false when the lines are (numerically) parallel.
+func LineIntersect(p1, d1, p2, d2 Vec2) (s, t float64, ok bool) {
+	den := d1.Cross(d2)
+	if den == 0 {
+		return 0, 0, false
+	}
+	r := p2.Sub(p1)
+	s = r.Cross(d2) / den
+	t = r.Cross(d1) / den
+	return s, t, true
+}
+
+// ClosestParamOnSegment returns the parameter t in [0,1] of the point on the
+// segment a→b closest to p.
+func ClosestParamOnSegment(p, a, b Vec2) float64 {
+	ab := b.Sub(a)
+	den := ab.Norm2()
+	if den == 0 {
+		return 0
+	}
+	t := p.Sub(a).Dot(ab) / den
+	return math.Max(0, math.Min(1, t))
+}
+
+// PointSegDist returns the distance from p to the segment a→b.
+func PointSegDist(p, a, b Vec2) float64 {
+	t := ClosestParamOnSegment(p, a, b)
+	return p.Dist(a.Lerp(b, t))
+}
+
+// Barycentric computes the barycentric coordinates of point p with respect to
+// the 3-D triangle (a, b, c). The result (u, v, w) satisfies
+// u+v+w == 1 and u*a + v*b + w*c is the projection of p onto the triangle's
+// plane. Degenerate triangles yield (1, 0, 0).
+func Barycentric(p, a, b, c Vec3) (u, v, w float64) {
+	v0 := b.Sub(a)
+	v1 := c.Sub(a)
+	v2 := p.Sub(a)
+	d00 := v0.Dot(v0)
+	d01 := v0.Dot(v1)
+	d11 := v1.Dot(v1)
+	d20 := v2.Dot(v0)
+	d21 := v2.Dot(v1)
+	den := d00*d11 - d01*d01
+	if den == 0 {
+		return 1, 0, 0
+	}
+	v = (d11*d20 - d01*d21) / den
+	w = (d00*d21 - d01*d20) / den
+	u = 1 - v - w
+	return u, v, w
+}
+
+// InTriangle2D reports whether p lies inside (or on the boundary of) the 2-D
+// triangle (a, b, c), with a small relative tolerance.
+func InTriangle2D(p, a, b, c Vec2) bool {
+	d1 := sign2(p, a, b)
+	d2 := sign2(p, b, c)
+	d3 := sign2(p, c, a)
+	const eps = 1e-12
+	hasNeg := d1 < -eps || d2 < -eps || d3 < -eps
+	hasPos := d1 > eps || d2 > eps || d3 > eps
+	return !(hasNeg && hasPos)
+}
+
+func sign2(p, a, b Vec2) float64 {
+	return (p.X-b.X)*(a.Y-b.Y) - (a.X-b.X)*(p.Y-b.Y)
+}
+
+// TriangleArea2D returns the signed area of the 2-D triangle (a, b, c);
+// positive when the vertices are counter-clockwise.
+func TriangleArea2D(a, b, c Vec2) float64 {
+	return 0.5 * (b.Sub(a)).Cross(c.Sub(a))
+}
+
+// TriangleArea3D returns the (unsigned) area of the 3-D triangle (a, b, c).
+func TriangleArea3D(a, b, c Vec3) float64 {
+	return 0.5 * b.Sub(a).Cross(c.Sub(a)).Norm()
+}
+
+// MinAngle returns the smallest interior angle (radians) of the 3-D triangle
+// (a, b, c). Degenerate triangles return 0.
+func MinAngle(a, b, c Vec3) float64 {
+	la := b.Dist(c) // side opposite a
+	lb := a.Dist(c) // side opposite b
+	lc := a.Dist(b) // side opposite c
+	if la == 0 || lb == 0 || lc == 0 {
+		return 0
+	}
+	angA := AngleFromSides(la, lb, lc)
+	angB := AngleFromSides(lb, la, lc)
+	angC := AngleFromSides(lc, la, lb)
+	return math.Min(angA, math.Min(angB, angC))
+}
+
+// AngleFromSides returns the angle opposite side `opp` in a triangle with the
+// other two sides s1 and s2 (law of cosines, clamped for robustness).
+func AngleFromSides(opp, s1, s2 float64) float64 {
+	cos := (s1*s1 + s2*s2 - opp*opp) / (2 * s1 * s2)
+	cos = math.Max(-1, math.Min(1, cos))
+	return math.Acos(cos)
+}

@@ -1,0 +1,189 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTriApexRightTriangle(t *testing.T) {
+	// Base of length 4, sides 5 (from origin side b) and 3 (from far end a):
+	// classic 3-4-5 right triangle, apex above the far end of the base.
+	apex := TriApex(4, 3, 5)
+	if !almostEq(apex.X, 4, 1e-12) || !almostEq(apex.Y, 3, 1e-12) {
+		t.Errorf("apex = %v, want (4,3)", apex)
+	}
+}
+
+func TestTriApexEquilateral(t *testing.T) {
+	apex := TriApex(2, 2, 2)
+	if !almostEq(apex.X, 1, 1e-12) || !almostEq(apex.Y, math.Sqrt(3), 1e-12) {
+		t.Errorf("apex = %v", apex)
+	}
+}
+
+// Property: TriApex reproduces the side lengths it was given.
+func TestTriApexRoundTrip(t *testing.T) {
+	f := func(s1, s2, s3 float64) bool {
+		// Build a valid triangle from three positive values by sorting and
+		// ensuring the inequality.
+		a := 1 + math.Abs(clampF(s1))
+		b := 1 + math.Abs(clampF(s2))
+		base := math.Abs(a-b) + 0.5 + math.Mod(math.Abs(clampF(s3)), a+b-math.Abs(a-b)-0.5)
+		apex := TriApex(base, a, b)
+		okB := almostEq(apex.Norm(), b, 1e-9)
+		okA := almostEq(apex.Dist(Vec2{base, 0}), a, 1e-9)
+		return okA && okB && apex.Y >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriApexDegenerate(t *testing.T) {
+	// Violates the triangle inequality; must still be finite with y == 0.
+	apex := TriApex(10, 1, 1)
+	if math.IsNaN(apex.X) || math.IsNaN(apex.Y) {
+		t.Fatalf("degenerate apex not finite: %v", apex)
+	}
+	if apex.Y != 0 {
+		t.Errorf("degenerate apex y = %v, want 0", apex.Y)
+	}
+}
+
+func TestLineIntersect(t *testing.T) {
+	// x-axis vs vertical line at x=2.
+	s, u, ok := LineIntersect(Vec2{0, 0}, Vec2{1, 0}, Vec2{2, -1}, Vec2{0, 1})
+	if !ok {
+		t.Fatal("expected intersection")
+	}
+	if !almostEq(s, 2, 1e-12) || !almostEq(u, 1, 1e-12) {
+		t.Errorf("params = %v %v", s, u)
+	}
+	// Parallel lines.
+	if _, _, ok := LineIntersect(Vec2{0, 0}, Vec2{1, 1}, Vec2{5, 0}, Vec2{2, 2}); ok {
+		t.Error("parallel lines reported as intersecting")
+	}
+}
+
+func TestClosestParamOnSegment(t *testing.T) {
+	a, b := Vec2{0, 0}, Vec2{10, 0}
+	cases := []struct {
+		p    Vec2
+		want float64
+	}{
+		{Vec2{5, 3}, 0.5},
+		{Vec2{-4, 2}, 0},
+		{Vec2{20, -1}, 1},
+		{Vec2{2.5, 0}, 0.25},
+	}
+	for _, c := range cases {
+		if got := ClosestParamOnSegment(c.p, a, b); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("ClosestParamOnSegment(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Degenerate segment.
+	if got := ClosestParamOnSegment(Vec2{1, 1}, a, a); got != 0 {
+		t.Errorf("degenerate segment param = %v", got)
+	}
+}
+
+func TestPointSegDist(t *testing.T) {
+	a, b := Vec2{0, 0}, Vec2{10, 0}
+	if got := PointSegDist(Vec2{5, 3}, a, b); !almostEq(got, 3, 1e-12) {
+		t.Errorf("dist = %v", got)
+	}
+	if got := PointSegDist(Vec2{13, 4}, a, b); !almostEq(got, 5, 1e-12) {
+		t.Errorf("dist = %v", got)
+	}
+}
+
+func TestBarycentric(t *testing.T) {
+	a := Vec3{0, 0, 0}
+	b := Vec3{1, 0, 0}
+	c := Vec3{0, 1, 0}
+	u, v, w := Barycentric(Vec3{0.25, 0.25, 0}, a, b, c)
+	if !almostEq(u, 0.5, 1e-12) || !almostEq(v, 0.25, 1e-12) || !almostEq(w, 0.25, 1e-12) {
+		t.Errorf("bary = %v %v %v", u, v, w)
+	}
+	// Vertices map to unit coordinates.
+	u, v, w = Barycentric(b, a, b, c)
+	if !almostEq(u, 0, 1e-12) || !almostEq(v, 1, 1e-12) || !almostEq(w, 0, 1e-12) {
+		t.Errorf("bary at vertex = %v %v %v", u, v, w)
+	}
+}
+
+// Property: barycentric coordinates reconstruct points inside the triangle.
+func TestBarycentricRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		a := randVec3(rng)
+		b := randVec3(rng)
+		c := randVec3(rng)
+		if TriangleArea3D(a, b, c) < 1e-6 {
+			continue
+		}
+		// Random point inside the triangle.
+		u := rng.Float64()
+		v := rng.Float64() * (1 - u)
+		w := 1 - u - v
+		p := a.Scale(u).Add(b.Scale(v)).Add(c.Scale(w))
+		gu, gv, gw := Barycentric(p, a, b, c)
+		if !almostEq(gu, u, 1e-6) || !almostEq(gv, v, 1e-6) || !almostEq(gw, w, 1e-6) {
+			t.Fatalf("roundtrip failed: want (%v,%v,%v) got (%v,%v,%v)", u, v, w, gu, gv, gw)
+		}
+	}
+}
+
+func randVec3(rng *rand.Rand) Vec3 {
+	return Vec3{rng.Float64()*20 - 10, rng.Float64()*20 - 10, rng.Float64()*20 - 10}
+}
+
+func TestInTriangle2D(t *testing.T) {
+	a, b, c := Vec2{0, 0}, Vec2{4, 0}, Vec2{0, 4}
+	if !InTriangle2D(Vec2{1, 1}, a, b, c) {
+		t.Error("interior point reported outside")
+	}
+	if !InTriangle2D(Vec2{2, 0}, a, b, c) {
+		t.Error("boundary point reported outside")
+	}
+	if InTriangle2D(Vec2{3, 3}, a, b, c) {
+		t.Error("exterior point reported inside")
+	}
+	// Orientation should not matter.
+	if !InTriangle2D(Vec2{1, 1}, c, b, a) {
+		t.Error("clockwise orientation broke containment")
+	}
+}
+
+func TestMinAngle(t *testing.T) {
+	// Equilateral: all angles 60 degrees.
+	a := Vec3{0, 0, 0}
+	b := Vec3{1, 0, 0}
+	c := Vec3{0.5, math.Sqrt(3) / 2, 0}
+	if got := MinAngle(a, b, c); !almostEq(got, math.Pi/3, 1e-9) {
+		t.Errorf("equilateral min angle = %v", got)
+	}
+	// 3-4-5 right triangle: smallest angle = atan(3/4).
+	d := Vec3{4, 0, 0}
+	e := Vec3{4, 3, 0}
+	if got := MinAngle(a, d, e); !almostEq(got, math.Atan2(3, 4), 1e-9) {
+		t.Errorf("3-4-5 min angle = %v", got)
+	}
+	if got := MinAngle(a, a, b); got != 0 {
+		t.Errorf("degenerate min angle = %v", got)
+	}
+}
+
+func TestTriangleAreas(t *testing.T) {
+	if got := TriangleArea2D(Vec2{0, 0}, Vec2{2, 0}, Vec2{0, 2}); got != 2 {
+		t.Errorf("area2d = %v", got)
+	}
+	if got := TriangleArea2D(Vec2{0, 0}, Vec2{0, 2}, Vec2{2, 0}); got != -2 {
+		t.Errorf("signed area2d = %v", got)
+	}
+	if got := TriangleArea3D(Vec3{0, 0, 0}, Vec3{2, 0, 0}, Vec3{0, 2, 0}); got != 2 {
+		t.Errorf("area3d = %v", got)
+	}
+}

@@ -1,0 +1,141 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return diff <= tol*scale
+}
+
+func TestVec3Basics(t *testing.T) {
+	a := Vec3{1, 2, 3}
+	b := Vec3{4, -5, 6}
+	if got := a.Add(b); got != (Vec3{5, -3, 9}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != (Vec3{-3, 7, -3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != (Vec3{2, 4, 6}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != 1*4+2*-5+3*6 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := a.Norm2(); got != 14 {
+		t.Errorf("Norm2 = %v", got)
+	}
+	if got := a.Norm(); !almostEq(got, math.Sqrt(14), 1e-15) {
+		t.Errorf("Norm = %v", got)
+	}
+}
+
+func TestVec3Cross(t *testing.T) {
+	x := Vec3{1, 0, 0}
+	y := Vec3{0, 1, 0}
+	z := Vec3{0, 0, 1}
+	if got := x.Cross(y); got != z {
+		t.Errorf("x cross y = %v, want %v", got, z)
+	}
+	if got := y.Cross(x); got != z.Scale(-1) {
+		t.Errorf("y cross x = %v, want %v", got, z.Scale(-1))
+	}
+	// Cross product is orthogonal to both operands.
+	a := Vec3{1.5, -2.25, 0.5}
+	b := Vec3{0.25, 3, -1}
+	c := a.Cross(b)
+	if !almostEq(c.Dot(a), 0, 1e-12) || !almostEq(c.Dot(b), 0, 1e-12) {
+		t.Errorf("cross not orthogonal: %v %v", c.Dot(a), c.Dot(b))
+	}
+}
+
+func TestVec3Normalize(t *testing.T) {
+	v := Vec3{3, 4, 12}
+	n := v.Normalize()
+	if !almostEq(n.Norm(), 1, 1e-15) {
+		t.Errorf("Normalize length = %v", n.Norm())
+	}
+	zero := Vec3{}
+	if zero.Normalize() != zero {
+		t.Errorf("Normalize(0) changed the zero vector")
+	}
+}
+
+func TestVec3Lerp(t *testing.T) {
+	a := Vec3{0, 0, 0}
+	b := Vec3{2, 4, 8}
+	if got := a.Lerp(b, 0.5); got != (Vec3{1, 2, 4}) {
+		t.Errorf("Lerp = %v", got)
+	}
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+}
+
+func TestVec2Basics(t *testing.T) {
+	a := Vec2{3, 4}
+	if got := a.Norm(); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := a.Norm2(); got != 25 {
+		t.Errorf("Norm2 = %v", got)
+	}
+	b := Vec2{1, 1}
+	if got := a.Dot(b); got != 7 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := a.Cross(b); got != 3-4 {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := a.Dist(Vec2{0, 0}); got != 5 {
+		t.Errorf("Dist = %v", got)
+	}
+}
+
+// Property: the triangle inequality holds for Vec3 distances.
+func TestVec3TriangleInequality(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz, cx, cy, cz float64) bool {
+		a := Vec3{clampF(ax), clampF(ay), clampF(az)}
+		b := Vec3{clampF(bx), clampF(by), clampF(bz)}
+		c := Vec3{clampF(cx), clampF(cy), clampF(cz)}
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-9*(1+a.Dist(c))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: |a x b|^2 + (a.b)^2 == |a|^2 |b|^2 (Lagrange identity).
+func TestVec3LagrangeIdentity(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a := Vec3{clampF(ax), clampF(ay), clampF(az)}
+		b := Vec3{clampF(bx), clampF(by), clampF(bz)}
+		lhs := a.Cross(b).Norm2() + a.Dot(b)*a.Dot(b)
+		rhs := a.Norm2() * b.Norm2()
+		return almostEq(lhs, rhs, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// clampF maps arbitrary float inputs from testing/quick into a sane range so
+// that the properties are tested away from overflow.
+func clampF(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(x, 1e6)
+}

@@ -1,0 +1,168 @@
+// Package perfecthash implements the FKS two-level perfect hashing scheme
+// (Fredman–Komlós–Szemerédi; the paper's reference [7]) for static sets of
+// uint64 keys. The oracle uses it to index its node-pair set: construction
+// is O(n) expected time and space, and lookups are worst-case O(1) with two
+// table probes.
+package perfecthash
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+)
+
+// mix is a strong 64-bit mixer (splitmix64 finalizer) applied before the
+// universal multiply-shift hash, so that structured keys (packed ID pairs)
+// spread well.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// hash maps key into [0, mod) for the family member identified by mult. The
+// key is re-mixed together with the multiplier (a fresh avalanche per family
+// member) and reduced with the multiply-high trick, which uses the high bits
+// of the product. A plain multiply-shift that keeps only low product bits is
+// NOT a safe family here: two keys whose mixed values differ by a multiple
+// of 2^(shift+log2(mod)) would collide under every multiplier.
+func hash(key, mult uint64, mod int) int {
+	if mod <= 1 {
+		return 0
+	}
+	z := mix(key ^ mult)
+	hi, _ := bits.Mul64(z, uint64(mod))
+	return int(hi)
+}
+
+type bucket struct {
+	mult  uint64
+	start int32 // offset into the slot arrays
+	size  int32 // number of slots (count^2)
+}
+
+// Table is an immutable perfect-hash table mapping uint64 keys to the dense
+// indices 0..N-1 in insertion order.
+type Table struct {
+	topMult uint64
+	buckets []bucket
+	slotKey []uint64
+	slotVal []int32 // index of the key, or -1 for an empty slot
+	n       int
+}
+
+// Build constructs a perfect hash over keys. The value returned by Lookup
+// for keys[i] is i. Build fails on duplicate keys. seed makes construction
+// deterministic.
+func Build(keys []uint64, seed int64) (*Table, error) {
+	n := len(keys)
+	t := &Table{n: n}
+	if n == 0 {
+		t.buckets = make([]bucket, 1)
+		return t, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// First level: find a multiplier whose bucket sizes keep the total
+	// second-level space linear (sum of squares <= 4n is achievable in O(1)
+	// expected tries for a universal family).
+	m := n
+	var byBucket [][]int32
+	for try := 0; ; try++ {
+		if try > 64 {
+			return nil, fmt.Errorf("perfecthash: could not find a first-level function (duplicate keys?)")
+		}
+		t.topMult = rng.Uint64()
+		byBucket = make([][]int32, m)
+		for i, k := range keys {
+			b := hash(k, t.topMult, m)
+			byBucket[b] = append(byBucket[b], int32(i))
+		}
+		total := 0
+		for _, b := range byBucket {
+			total += len(b) * len(b)
+		}
+		if total <= 4*n {
+			break
+		}
+	}
+
+	// Second level: per-bucket collision-free tables of quadratic size.
+	t.buckets = make([]bucket, m)
+	for b, ids := range byBucket {
+		cnt := len(ids)
+		if cnt == 0 {
+			continue
+		}
+		size := cnt * cnt
+		start := len(t.slotKey)
+		for i := 0; i < size; i++ {
+			t.slotKey = append(t.slotKey, 0)
+			t.slotVal = append(t.slotVal, -1)
+		}
+		for try := 0; ; try++ {
+			if try > 1024 {
+				return nil, fmt.Errorf("perfecthash: bucket %d unresolvable (duplicate keys?)", b)
+			}
+			mult := rng.Uint64()
+			ok := true
+			for i := start; i < start+size; i++ {
+				t.slotVal[i] = -1
+			}
+			for _, id := range ids {
+				s := start + hash(keys[id], mult, size)
+				if t.slotVal[s] >= 0 {
+					ok = false
+					break
+				}
+				t.slotKey[s] = keys[id]
+				t.slotVal[s] = id
+			}
+			if ok {
+				t.buckets[b] = bucket{mult: mult, start: int32(start), size: int32(size)}
+				break
+			}
+		}
+	}
+
+	// Duplicate detection: every key must look itself up.
+	for i, k := range keys {
+		if v, ok := t.Lookup(k); !ok || v != int32(i) {
+			return nil, fmt.Errorf("perfecthash: duplicate key %#x", k)
+		}
+	}
+	return t, nil
+}
+
+// Lookup returns the dense index of key, or ok == false when the key is not
+// in the table.
+func (t *Table) Lookup(key uint64) (int32, bool) {
+	if t.n == 0 {
+		return 0, false
+	}
+	b := t.buckets[hash(key, t.topMult, len(t.buckets))]
+	if b.size == 0 {
+		return 0, false
+	}
+	s := b.start + int32(hash(key, b.mult, int(b.size)))
+	if t.slotVal[s] >= 0 && t.slotKey[s] == key {
+		return t.slotVal[s], true
+	}
+	return 0, false
+}
+
+// Len returns the number of keys in the table.
+func (t *Table) Len() int { return t.n }
+
+// MemoryBytes estimates the table's resident size; it is the space term the
+// oracle-size accounting charges for the hash index.
+func (t *Table) MemoryBytes() int64 {
+	return int64(len(t.buckets))*16 + int64(len(t.slotKey))*8 + int64(len(t.slotVal))*4 + 16
+}
+
+// Slots returns the number of second-level slots (linear in Len by the FKS
+// guarantee); exposed for the space-bound property tests.
+func (t *Table) Slots() int { return len(t.slotKey) }

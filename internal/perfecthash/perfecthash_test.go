@@ -1,0 +1,149 @@
+package perfecthash
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	tab, err := Build(nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tab.Lookup(42); ok {
+		t.Error("lookup in empty table succeeded")
+	}
+	if tab.Len() != 0 {
+		t.Errorf("Len = %d", tab.Len())
+	}
+}
+
+func TestSingle(t *testing.T) {
+	tab, err := Build([]uint64{7}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := tab.Lookup(7); !ok || v != 0 {
+		t.Errorf("Lookup(7) = %d, %v", v, ok)
+	}
+	if _, ok := tab.Lookup(8); ok {
+		t.Error("Lookup(8) should miss")
+	}
+}
+
+func TestSequentialKeys(t *testing.T) {
+	keys := make([]uint64, 1000)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	tab, err := Build(keys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		if v, ok := tab.Lookup(k); !ok || v != int32(i) {
+			t.Fatalf("Lookup(%d) = %d, %v", k, v, ok)
+		}
+	}
+	for k := uint64(1000); k < 2000; k++ {
+		if _, ok := tab.Lookup(k); ok {
+			t.Fatalf("Lookup(%d) should miss", k)
+		}
+	}
+}
+
+func TestPackedPairKeys(t *testing.T) {
+	// The oracle's keys are packed (id1, id2) pairs; make sure structured
+	// keys hash fine.
+	var keys []uint64
+	for a := uint64(0); a < 50; a++ {
+		for b := uint64(0); b < 50; b++ {
+			keys = append(keys, a<<32|b)
+		}
+	}
+	tab, err := Build(keys, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		if v, ok := tab.Lookup(k); !ok || v != int32(i) {
+			t.Fatalf("Lookup(%#x) = %d, %v", k, v, ok)
+		}
+	}
+	if _, ok := tab.Lookup(uint64(51) << 32); ok {
+		t.Error("miss expected")
+	}
+}
+
+func TestDuplicateKeysRejected(t *testing.T) {
+	if _, err := Build([]uint64{1, 2, 3, 2}, 4); err == nil {
+		t.Error("expected error on duplicate keys")
+	}
+}
+
+// FKS guarantee: total second-level space stays linear.
+func TestLinearSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{10, 100, 1000, 20000} {
+		keys := make([]uint64, n)
+		seen := map[uint64]bool{}
+		for i := range keys {
+			for {
+				k := rng.Uint64()
+				if !seen[k] {
+					seen[k] = true
+					keys[i] = k
+					break
+				}
+			}
+		}
+		tab, err := Build(keys, int64(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tab.Slots() > 4*n {
+			t.Errorf("n=%d: %d slots exceeds 4n", n, tab.Slots())
+		}
+		if tab.MemoryBytes() <= 0 {
+			t.Error("MemoryBytes must be positive")
+		}
+	}
+}
+
+// Property: for random key sets, every key is found with its index and
+// perturbed keys miss.
+func TestLookupProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		seen := map[uint64]bool{}
+		keys := make([]uint64, 0, n)
+		for len(keys) < n {
+			k := rng.Uint64()
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+		tab, err := Build(keys, seed)
+		if err != nil {
+			return false
+		}
+		for i, k := range keys {
+			if v, ok := tab.Lookup(k); !ok || v != int32(i) {
+				return false
+			}
+		}
+		for i := 0; i < 50; i++ {
+			k := rng.Uint64()
+			if v, ok := tab.Lookup(k); ok && (int(v) >= len(keys) || keys[v] != k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,137 @@
+package steiner
+
+import (
+	"container/heap"
+	"math"
+
+	"seoracle/internal/geodesic"
+	"seoracle/internal/terrain"
+)
+
+// Engine adapts a Steiner graph to the geodesic.Engine interface: distances
+// are shortest paths in Gε, seeded and read out through straight in-face
+// segments, so arbitrary surface points work as sources and targets.
+type Engine struct {
+	g *Graph
+}
+
+// NewEngine wraps g as an SSAD engine.
+func NewEngine(g *Graph) *Engine { return &Engine{g: g} }
+
+// Graph returns the underlying Steiner graph.
+func (e *Engine) Graph() *Graph { return e.g }
+
+type pqItem struct {
+	node int32
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// DistancesTo implements geodesic.Engine over the Steiner graph.
+func (e *Engine) DistancesTo(src terrain.SurfacePoint, targets []terrain.SurfacePoint, stop geodesic.Stop) []float64 {
+	dist := e.run(src, targets, stop)
+	out := make([]float64, len(targets))
+	for i, t := range targets {
+		out[i] = e.readout(dist, t)
+		if stop.Radius > 0 && out[i] > stop.Radius {
+			out[i] = math.Inf(1)
+		}
+	}
+	return out
+}
+
+// NodeDistances runs Dijkstra from src and returns the per-node distance
+// array (mesh vertices first). It is the building block SP-Oracle uses to
+// index Steiner-point distances.
+func (e *Engine) NodeDistances(src terrain.SurfacePoint, stop geodesic.Stop) []float64 {
+	return e.run(src, nil, stop)
+}
+
+// run executes Dijkstra seeded from src. When stop.CoverTargets is set it
+// halts once every node needed to evaluate the targets is settled.
+func (e *Engine) run(src terrain.SurfacePoint, targets []terrain.SurfacePoint, stop geodesic.Stop) []float64 {
+	g := e.g
+	dist := make([]float64, len(g.nodes))
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	var q pq
+	relax := func(n int32, d float64) {
+		if d < dist[n] {
+			dist[n] = d
+			heap.Push(&q, pqItem{node: n, dist: d})
+		}
+	}
+	if src.Vert >= 0 {
+		relax(src.Vert, 0)
+	} else {
+		for _, n := range g.faceNodes[src.Face] {
+			relax(n, src.P.Dist(g.nodes[n]))
+		}
+	}
+
+	var needed map[int32]bool
+	if stop.CoverTargets && len(targets) > 0 {
+		needed = make(map[int32]bool)
+		for _, t := range targets {
+			if t.Vert >= 0 {
+				needed[t.Vert] = true
+				continue
+			}
+			for _, n := range g.faceNodes[t.Face] {
+				needed[n] = true
+			}
+		}
+	}
+
+	settled := make([]bool, len(g.nodes))
+	remaining := len(needed)
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		if settled[it.node] {
+			continue
+		}
+		if stop.Radius > 0 && it.dist > stop.Radius {
+			break
+		}
+		settled[it.node] = true
+		if needed != nil && needed[it.node] {
+			remaining--
+			if remaining == 0 {
+				break
+			}
+		}
+		for _, a := range g.adj[it.node] {
+			relax(a.to, it.dist+a.w)
+		}
+	}
+	return dist
+}
+
+// readout converts the node distance field into the distance at an arbitrary
+// surface point by combining node labels with straight in-face segments.
+func (e *Engine) readout(dist []float64, t terrain.SurfacePoint) float64 {
+	if t.Vert >= 0 {
+		return dist[t.Vert]
+	}
+	best := math.Inf(1)
+	for _, n := range e.g.faceNodes[t.Face] {
+		if d := dist[n] + t.P.Dist(e.g.nodes[n]); d < best {
+			best = d
+		}
+	}
+	return best
+}

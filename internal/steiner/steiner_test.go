@@ -1,0 +1,200 @@
+package steiner
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"seoracle/internal/geodesic"
+	"seoracle/internal/terrain"
+)
+
+func grid(t *testing.T, nx, ny int, hf func(i, j int) float64) *terrain.Mesh {
+	t.Helper()
+	h := make([]float64, nx*ny)
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			h[j*nx+i] = hf(i, j)
+		}
+	}
+	m, err := terrain.NewGrid(nx, ny, 1, 1, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func flat(i, j int) float64 { return 0 }
+func bumpy(i, j int) float64 {
+	return 1.5 * math.Sin(float64(i)*1.1) * math.Cos(float64(j)*0.8)
+}
+
+func TestPerEdgeForEps(t *testing.T) {
+	if got := PerEdgeForEps(0.25); got != 4 {
+		t.Errorf("PerEdgeForEps(0.25) = %d, want 4", got)
+	}
+	if got := PerEdgeForEps(0.1); got != 10 {
+		t.Errorf("PerEdgeForEps(0.1) = %d, want 10", got)
+	}
+	if got := PerEdgeForEps(0); got != 32 {
+		t.Errorf("PerEdgeForEps(0) = %d, want 32", got)
+	}
+}
+
+func TestGraphCounts(t *testing.T) {
+	m := grid(t, 3, 3, flat)
+	per := 2
+	g, err := NewGraph(m, per)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNodes := m.NumVerts() + per*m.NumEdges()
+	if g.NumNodes() != wantNodes {
+		t.Errorf("NumNodes = %d, want %d", g.NumNodes(), wantNodes)
+	}
+	// Each face's node list: 3 corners + 3*per Steiner points.
+	for f := int32(0); f < int32(m.NumFaces()); f++ {
+		if got, want := len(g.FaceNodes(f)), 3+3*per; got != want {
+			t.Errorf("face %d nodes = %d, want %d", f, got, want)
+		}
+	}
+	if _, err := NewGraph(m, -1); err == nil {
+		t.Error("expected error for negative perEdge")
+	}
+}
+
+func TestVertexGraphIsEdgeDijkstra(t *testing.T) {
+	// perEdge == 0 gives plain Dijkstra over mesh edges; on a flat grid the
+	// distance from a corner to the opposite corner along edges is known.
+	m := grid(t, 3, 3, flat)
+	g, err := NewGraph(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(g)
+	d := e.DistancesTo(m.VertexPoint(0), []terrain.SurfacePoint{m.VertexPoint(8)}, geodesic.Unbounded)
+	// Two diagonal hops of sqrt(2) along the cell diagonals.
+	want := 2 * math.Sqrt2
+	if math.Abs(d[0]-want) > 1e-12 {
+		t.Errorf("corner-to-corner = %v, want %v", d[0], want)
+	}
+}
+
+// The Steiner graph distance must always be an upper bound on the exact
+// geodesic distance, converging as the density grows.
+func TestSteinerUpperBoundAndConvergence(t *testing.T) {
+	m := grid(t, 9, 9, bumpy)
+	exact := geodesic.NewExact(m)
+	src := m.VertexPoint(0)
+	targets := []terrain.SurfacePoint{
+		m.VertexPoint(80), m.VertexPoint(44), m.VertexPoint(72), m.FacePoint(60, 0.3, 0.4, 0.3),
+	}
+	want := exact.DistancesTo(src, targets, geodesic.Stop{CoverTargets: true})
+
+	prevErr := math.Inf(1)
+	for _, per := range []int{1, 3, 6, 12} {
+		g, err := NewGraph(m, per)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := NewEngine(g).DistancesTo(src, targets, geodesic.Unbounded)
+		worst := 0.0
+		for i := range targets {
+			if got[i] < want[i]-1e-9*(1+want[i]) {
+				t.Fatalf("per=%d target %d: graph %v below exact %v", per, i, got[i], want[i])
+			}
+			worst = math.Max(worst, (got[i]-want[i])/want[i])
+		}
+		if worst > prevErr+1e-9 {
+			t.Errorf("per=%d error %v worse than sparser %v", per, worst, prevErr)
+		}
+		prevErr = worst
+		if per == 12 && worst > 0.05 {
+			t.Errorf("per=12 error %v still above 5%%", worst)
+		}
+	}
+}
+
+func TestSteinerFlatAccuracy(t *testing.T) {
+	m := grid(t, 7, 7, flat)
+	g, err := NewGraph(m, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(g)
+	rng := rand.New(rand.NewSource(21))
+	src := m.VertexPoint(0)
+	for i := 0; i < 30; i++ {
+		v := int32(rng.Intn(m.NumVerts()))
+		d := e.DistancesTo(src, []terrain.SurfacePoint{m.VertexPoint(v)}, geodesic.Unbounded)
+		want := m.Verts[v].Dist(m.Verts[0])
+		if want == 0 {
+			continue
+		}
+		if (d[0]-want)/want > 0.05 {
+			t.Errorf("vertex %d: steiner %v vs euclid %v", v, d[0], want)
+		}
+	}
+}
+
+func TestSteinerRadiusStop(t *testing.T) {
+	m := grid(t, 9, 9, flat)
+	g, err := NewGraph(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(g)
+	src := m.VertexPoint(0)
+	var targets []terrain.SurfacePoint
+	for v := int32(0); v < int32(m.NumVerts()); v++ {
+		targets = append(targets, m.VertexPoint(v))
+	}
+	d := e.DistancesTo(src, targets, geodesic.Stop{Radius: 3})
+	for i := range targets {
+		euclid := m.Verts[i].Dist(m.Verts[0])
+		if euclid > 3.5 && !math.IsInf(d[i], 1) {
+			t.Errorf("vertex %d at %v reported %v despite radius 3", i, euclid, d[i])
+		}
+		if euclid < 2.5 && math.IsInf(d[i], 1) {
+			t.Errorf("vertex %d at %v unreachable despite radius 3", i, euclid)
+		}
+	}
+}
+
+func TestSteinerCoverTargetsMatchesFull(t *testing.T) {
+	m := grid(t, 8, 8, bumpy)
+	g, err := NewGraph(m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(g)
+	src := m.FacePoint(10, 0.4, 0.3, 0.3)
+	targets := []terrain.SurfacePoint{
+		m.VertexPoint(63), m.FacePoint(90, 0.2, 0.2, 0.6), m.VertexPoint(5),
+	}
+	fast := e.DistancesTo(src, targets, geodesic.Stop{CoverTargets: true})
+	full := e.DistancesTo(src, targets, geodesic.Unbounded)
+	for i := range targets {
+		if math.Abs(fast[i]-full[i]) > 1e-9 {
+			t.Errorf("target %d: cover %v vs full %v", i, fast[i], full[i])
+		}
+	}
+}
+
+func TestMemoryBytesPositive(t *testing.T) {
+	m := grid(t, 4, 4, flat)
+	g, err := NewGraph(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.MemoryBytes() <= 0 {
+		t.Error("MemoryBytes must be positive")
+	}
+	g2, err := NewGraph(m, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.MemoryBytes() <= g.MemoryBytes() {
+		t.Error("denser graph should report more memory")
+	}
+}

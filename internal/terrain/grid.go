@@ -1,0 +1,46 @@
+package terrain
+
+import (
+	"fmt"
+
+	"seoracle/internal/geom"
+)
+
+// NewGrid builds a height-field terrain on a regular nx × ny grid of
+// vertices. heights must have nx*ny entries in row-major order (x fastest);
+// vertex (i,j) sits at (i*dx, j*dy, heights[j*nx+i]). Every grid cell is
+// split into two triangles along its (i,j)-(i+1,j+1) diagonal, oriented
+// counter-clockwise when viewed from above.
+func NewGrid(nx, ny int, dx, dy float64, heights []float64) (*Mesh, error) {
+	if nx < 2 || ny < 2 {
+		return nil, fmt.Errorf("terrain: grid must be at least 2x2, got %dx%d", nx, ny)
+	}
+	if len(heights) != nx*ny {
+		return nil, fmt.Errorf("terrain: got %d heights, want %d", len(heights), nx*ny)
+	}
+	if dx <= 0 || dy <= 0 {
+		return nil, fmt.Errorf("terrain: non-positive grid spacing %g x %g", dx, dy)
+	}
+	verts := make([]geom.Vec3, 0, nx*ny)
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			verts = append(verts, geom.Vec3{
+				X: float64(i) * dx,
+				Y: float64(j) * dy,
+				Z: heights[j*nx+i],
+			})
+		}
+	}
+	faces := make([][3]int32, 0, 2*(nx-1)*(ny-1))
+	idx := func(i, j int) int32 { return int32(j*nx + i) }
+	for j := 0; j < ny-1; j++ {
+		for i := 0; i < nx-1; i++ {
+			v00 := idx(i, j)
+			v10 := idx(i+1, j)
+			v01 := idx(i, j+1)
+			v11 := idx(i+1, j+1)
+			faces = append(faces, [3]int32{v00, v10, v11}, [3]int32{v00, v11, v01})
+		}
+	}
+	return New(verts, faces)
+}

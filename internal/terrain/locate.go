@@ -1,0 +1,94 @@
+package terrain
+
+import (
+	"math"
+
+	"seoracle/internal/geom"
+)
+
+// Locator answers planar point-location queries against a mesh: given (x,y),
+// find the face whose x-y projection contains the point and the surface
+// point above it. It bins the face projections into a uniform grid, so
+// queries are O(1) expected for height-field terrains.
+type Locator struct {
+	mesh       *Mesh
+	minX, minY float64
+	cellW      float64
+	nx, ny     int
+	cells      [][]int32
+}
+
+// NewLocator builds a locator for m. It costs O(F) time and memory.
+func NewLocator(m *Mesh) *Locator {
+	s := m.ComputeStats()
+	loc := &Locator{mesh: m, minX: s.BBoxMin.X, minY: s.BBoxMin.Y}
+	w := s.BBoxMax.X - s.BBoxMin.X
+	h := s.BBoxMax.Y - s.BBoxMin.Y
+	nf := m.NumFaces()
+	if nf == 0 || w <= 0 || h <= 0 {
+		loc.cellW = 1
+		loc.nx, loc.ny = 1, 1
+		loc.cells = make([][]int32, 1)
+		return loc
+	}
+	// Aim for roughly one face per cell.
+	loc.cellW = math.Sqrt(w * h / float64(nf))
+	loc.nx = int(w/loc.cellW) + 1
+	loc.ny = int(h/loc.cellW) + 1
+	loc.cells = make([][]int32, loc.nx*loc.ny)
+	for f := range m.Faces {
+		fa := m.Faces[f]
+		lox, hix := math.Inf(1), math.Inf(-1)
+		loy, hiy := math.Inf(1), math.Inf(-1)
+		for _, v := range fa {
+			p := m.Verts[v]
+			lox, hix = math.Min(lox, p.X), math.Max(hix, p.X)
+			loy, hiy = math.Min(loy, p.Y), math.Max(hiy, p.Y)
+		}
+		ci0, cj0 := loc.cellOf(lox, loy)
+		ci1, cj1 := loc.cellOf(hix, hiy)
+		for cj := cj0; cj <= cj1; cj++ {
+			for ci := ci0; ci <= ci1; ci++ {
+				loc.cells[cj*loc.nx+ci] = append(loc.cells[cj*loc.nx+ci], int32(f))
+			}
+		}
+	}
+	return loc
+}
+
+func (l *Locator) cellOf(x, y float64) (int, int) {
+	ci := int((x - l.minX) / l.cellW)
+	cj := int((y - l.minY) / l.cellW)
+	ci = max(0, min(l.nx-1, ci))
+	cj = max(0, min(l.ny-1, cj))
+	return ci, cj
+}
+
+// Project returns the surface point whose x-y projection is (x, y). ok is
+// false when no face covers the point.
+func (l *Locator) Project(x, y float64) (SurfacePoint, bool) {
+	ci, cj := l.cellOf(x, y)
+	q := geom.Vec2{X: x, Y: y}
+	for _, f := range l.cells[cj*l.nx+ci] {
+		fa := l.mesh.Faces[f]
+		a := l.mesh.Verts[fa[0]]
+		b := l.mesh.Verts[fa[1]]
+		c := l.mesh.Verts[fa[2]]
+		a2 := geom.Vec2{X: a.X, Y: a.Y}
+		b2 := geom.Vec2{X: b.X, Y: b.Y}
+		c2 := geom.Vec2{X: c.X, Y: c.Y}
+		if !geom.InTriangle2D(q, a2, b2, c2) {
+			continue
+		}
+		// Barycentric in 2-D, lifted to 3-D.
+		den := geom.TriangleArea2D(a2, b2, c2)
+		if den == 0 {
+			continue
+		}
+		u := geom.TriangleArea2D(q, b2, c2) / den
+		v := geom.TriangleArea2D(a2, q, c2) / den
+		w := 1 - u - v
+		return l.mesh.FacePoint(f, u, v, w), true
+	}
+	return SurfacePoint{}, false
+}

@@ -1,0 +1,119 @@
+package terrain
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestLocatorProjectFlat(t *testing.T) {
+	m := flatGrid(t, 5, 5)
+	loc := NewLocator(m)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		x := rng.Float64() * 4
+		y := rng.Float64() * 4
+		sp, ok := loc.Project(x, y)
+		if !ok {
+			t.Fatalf("Project(%v,%v) failed", x, y)
+		}
+		if !almostEq(sp.P.X, x, 1e-9) || !almostEq(sp.P.Y, y, 1e-9) || !almostEq(sp.P.Z, 0, 1e-9) {
+			t.Fatalf("Project(%v,%v) = %v", x, y, sp.P)
+		}
+		if err := m.Validate(sp); err != nil {
+			t.Fatalf("projected point invalid: %v", err)
+		}
+	}
+}
+
+func TestLocatorProjectSloped(t *testing.T) {
+	// Heights follow z = x + 2y; the projected z must interpolate exactly.
+	nx, ny := 6, 4
+	h := make([]float64, nx*ny)
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			h[j*nx+i] = float64(i) + 2*float64(j)
+		}
+	}
+	m, err := NewGrid(nx, ny, 1, 1, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc := NewLocator(m)
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 200; i++ {
+		x := rng.Float64() * float64(nx-1)
+		y := rng.Float64() * float64(ny-1)
+		sp, ok := loc.Project(x, y)
+		if !ok {
+			t.Fatalf("Project(%v,%v) failed", x, y)
+		}
+		if !almostEq(sp.P.Z, x+2*y, 1e-9) {
+			t.Fatalf("Project(%v,%v).Z = %v, want %v", x, y, sp.P.Z, x+2*y)
+		}
+	}
+}
+
+func TestLocatorOutside(t *testing.T) {
+	m := flatGrid(t, 3, 3)
+	loc := NewLocator(m)
+	if _, ok := loc.Project(-1, -1); ok {
+		t.Error("Project outside bbox succeeded")
+	}
+	if _, ok := loc.Project(100, 0.5); ok {
+		t.Error("Project far outside succeeded")
+	}
+}
+
+func TestOFFRoundTrip(t *testing.T) {
+	m := flatGrid(t, 4, 3)
+	var buf bytes.Buffer
+	if err := WriteOFF(&buf, m); err != nil {
+		t.Fatalf("WriteOFF: %v", err)
+	}
+	m2, err := ReadOFF(&buf)
+	if err != nil {
+		t.Fatalf("ReadOFF: %v", err)
+	}
+	if m2.NumVerts() != m.NumVerts() || m2.NumFaces() != m.NumFaces() {
+		t.Fatalf("roundtrip counts: %d/%d vs %d/%d",
+			m2.NumVerts(), m2.NumFaces(), m.NumVerts(), m.NumFaces())
+	}
+	for i := range m.Verts {
+		if m.Verts[i] != m2.Verts[i] {
+			t.Fatalf("vertex %d changed: %v vs %v", i, m.Verts[i], m2.Verts[i])
+		}
+	}
+	for i := range m.Faces {
+		if m.Faces[i] != m2.Faces[i] {
+			t.Fatalf("face %d changed", i)
+		}
+	}
+}
+
+func TestReadOFFErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad header":    "NOFF\n1 0 0\n0 0 0\n",
+		"bad counts":    "OFF\nx y z\n",
+		"missing verts": "OFF\n2 0 0\n0 0 0\n",
+		"quad face":     "OFF\n4 1 0\n0 0 0\n1 0 0\n1 1 0\n0 1 0\n4 0 1 2 3\n",
+		"empty":         "",
+	}
+	for name, data := range cases {
+		if _, err := ReadOFF(strings.NewReader(data)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadOFFSkipsComments(t *testing.T) {
+	data := "# comment\nOFF\n# another\n3 1 0\n0 0 0\n1 0 0\n0 1 0\n3 0 1 2\n"
+	m, err := ReadOFF(strings.NewReader(data))
+	if err != nil {
+		t.Fatalf("ReadOFF: %v", err)
+	}
+	if m.NumVerts() != 3 || m.NumFaces() != 1 {
+		t.Fatalf("counts: %d %d", m.NumVerts(), m.NumFaces())
+	}
+}

@@ -1,0 +1,242 @@
+// Package terrain implements the triangulated-irregular-network (TIN)
+// substrate of the reproduction: an indexed triangle mesh with half-edge
+// adjacency, points that live on the surface, a planar spatial locator, OFF
+// file I/O and mesh statistics.
+//
+// A terrain in the sense of the paper is a triangle mesh whose projection
+// onto the x-y plane is injective (a height field), but nothing in this
+// package requires that; any manifold triangle mesh works.
+package terrain
+
+import (
+	"fmt"
+	"math"
+
+	"seoracle/internal/geom"
+)
+
+// Halfedge is one directed side of a face. The half-edge with index f*3+i
+// runs from Faces[f][i] to Faces[f][(i+1)%3] and has face f on its left.
+type Halfedge struct {
+	Org, Dst int32   // endpoint vertex indices
+	Face     int32   // the face this half-edge belongs to
+	Twin     int32   // opposite half-edge, or -1 on a boundary
+	Len      float64 // Euclidean length
+}
+
+// Mesh is an indexed triangle mesh with derived adjacency structures. Build
+// one with New (or the helpers in this package) so the adjacency is
+// populated; a Mesh is immutable after construction.
+type Mesh struct {
+	Verts []geom.Vec3
+	Faces [][3]int32
+
+	halfedges []Halfedge
+	vertFaces [][]int32 // faces incident to each vertex (unordered)
+	boundary  []bool    // per-vertex: lies on a boundary edge
+}
+
+// New builds a Mesh from vertex positions and faces, computing half-edge
+// adjacency. It returns an error when the input is not an orientable
+// 2-manifold (a directed edge shared by two faces) or references
+// out-of-range vertices.
+func New(verts []geom.Vec3, faces [][3]int32) (*Mesh, error) {
+	m := &Mesh{Verts: verts, Faces: faces}
+	if err := m.buildAdjacency(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (m *Mesh) buildAdjacency() error {
+	nv := int32(len(m.Verts))
+	m.halfedges = make([]Halfedge, 3*len(m.Faces))
+	m.vertFaces = make([][]int32, nv)
+	m.boundary = make([]bool, nv)
+
+	index := make(map[uint64]int32, 3*len(m.Faces))
+	for f, face := range m.Faces {
+		for i := 0; i < 3; i++ {
+			org, dst := face[i], face[(i+1)%3]
+			if org < 0 || org >= nv || dst < 0 || dst >= nv {
+				return fmt.Errorf("terrain: face %d references vertex out of range", f)
+			}
+			if org == dst {
+				return fmt.Errorf("terrain: face %d is degenerate (repeated vertex %d)", f, org)
+			}
+			he := int32(3*f + i)
+			key := edgeKey(org, dst)
+			if _, dup := index[key]; dup {
+				return fmt.Errorf("terrain: non-manifold or inconsistently oriented edge %d->%d", org, dst)
+			}
+			index[key] = he
+			m.halfedges[he] = Halfedge{
+				Org:  org,
+				Dst:  dst,
+				Face: int32(f),
+				Twin: -1,
+				Len:  m.Verts[org].Dist(m.Verts[dst]),
+			}
+		}
+		for i := 0; i < 3; i++ {
+			m.vertFaces[face[i]] = append(m.vertFaces[face[i]], int32(f))
+		}
+	}
+	for i := range m.halfedges {
+		he := &m.halfedges[i]
+		if twin, ok := index[edgeKey(he.Dst, he.Org)]; ok {
+			he.Twin = twin
+		} else {
+			m.boundary[he.Org] = true
+			m.boundary[he.Dst] = true
+		}
+	}
+	return nil
+}
+
+func edgeKey(org, dst int32) uint64 {
+	return uint64(uint32(org))<<32 | uint64(uint32(dst))
+}
+
+// NumVerts returns the number of vertices (the paper's N).
+func (m *Mesh) NumVerts() int { return len(m.Verts) }
+
+// NumFaces returns the number of triangular faces.
+func (m *Mesh) NumFaces() int { return len(m.Faces) }
+
+// NumEdges returns the number of undirected edges.
+func (m *Mesh) NumEdges() int {
+	n := 0
+	for i := range m.halfedges {
+		he := &m.halfedges[i]
+		if he.Twin == -1 || int32(i) < he.Twin {
+			n++
+		}
+	}
+	return n
+}
+
+// Halfedge returns the half-edge with the given index (f*3+i).
+func (m *Mesh) Halfedge(id int32) Halfedge { return m.halfedges[id] }
+
+// NumHalfedges returns the number of half-edges (3 * NumFaces).
+func (m *Mesh) NumHalfedges() int { return len(m.halfedges) }
+
+// FaceHalfedges returns the three half-edge ids of face f.
+func (m *Mesh) FaceHalfedges(f int32) [3]int32 {
+	return [3]int32{3 * f, 3*f + 1, 3*f + 2}
+}
+
+// HalfedgeID returns the id of the half-edge of face f whose origin is the
+// i-th vertex of the face.
+func (m *Mesh) HalfedgeID(f int32, i int) int32 { return 3*f + int32(i) }
+
+// NextInFace returns the half-edge following he inside its face.
+func (m *Mesh) NextInFace(he int32) int32 {
+	f := he / 3
+	return f*3 + (he%3+1)%3
+}
+
+// VertFaces returns the faces incident to vertex v. The returned slice is
+// owned by the mesh and must not be modified.
+func (m *Mesh) VertFaces(v int32) []int32 { return m.vertFaces[v] }
+
+// IsBoundaryVert reports whether vertex v lies on the mesh boundary.
+func (m *Mesh) IsBoundaryVert(v int32) bool { return m.boundary[v] }
+
+// FaceCentroid returns the centroid of face f.
+func (m *Mesh) FaceCentroid(f int32) geom.Vec3 {
+	fa := m.Faces[f]
+	return m.Verts[fa[0]].Add(m.Verts[fa[1]]).Add(m.Verts[fa[2]]).Scale(1.0 / 3.0)
+}
+
+// OppositeVert returns the vertex of the face of half-edge he that is not an
+// endpoint of he.
+func (m *Mesh) OppositeVert(he int32) int32 {
+	f := m.halfedges[he].Face
+	h := m.halfedges[he]
+	for _, v := range m.Faces[f] {
+		if v != h.Org && v != h.Dst {
+			return v
+		}
+	}
+	// Unreachable for valid meshes.
+	return -1
+}
+
+// Stats summarizes structural and metric properties of a mesh. It feeds the
+// dataset-statistics table of the evaluation (paper Table 2).
+type Stats struct {
+	NumVerts    int
+	NumFaces    int
+	NumEdges    int
+	MinAngle    float64 // radians; the paper's theta
+	MinEdgeLen  float64 // the paper's l_min
+	MaxEdgeLen  float64 // the paper's l_max
+	TotalArea   float64
+	BBoxMin     geom.Vec3
+	BBoxMax     geom.Vec3
+	NumBoundary int
+}
+
+// ComputeStats scans the mesh once and returns its statistics.
+func (m *Mesh) ComputeStats() Stats {
+	s := Stats{
+		NumVerts: m.NumVerts(),
+		NumFaces: m.NumFaces(),
+		NumEdges: m.NumEdges(),
+		MinAngle: math.Inf(1),
+		BBoxMin:  geom.Vec3{X: math.Inf(1), Y: math.Inf(1), Z: math.Inf(1)},
+		BBoxMax:  geom.Vec3{X: math.Inf(-1), Y: math.Inf(-1), Z: math.Inf(-1)},
+	}
+	s.MinEdgeLen = math.Inf(1)
+	for _, f := range m.Faces {
+		a, b, c := m.Verts[f[0]], m.Verts[f[1]], m.Verts[f[2]]
+		s.MinAngle = math.Min(s.MinAngle, geom.MinAngle(a, b, c))
+		s.TotalArea += geom.TriangleArea3D(a, b, c)
+	}
+	for i := range m.halfedges {
+		l := m.halfedges[i].Len
+		s.MinEdgeLen = math.Min(s.MinEdgeLen, l)
+		s.MaxEdgeLen = math.Max(s.MaxEdgeLen, l)
+	}
+	for v, p := range m.Verts {
+		s.BBoxMin.X = math.Min(s.BBoxMin.X, p.X)
+		s.BBoxMin.Y = math.Min(s.BBoxMin.Y, p.Y)
+		s.BBoxMin.Z = math.Min(s.BBoxMin.Z, p.Z)
+		s.BBoxMax.X = math.Max(s.BBoxMax.X, p.X)
+		s.BBoxMax.Y = math.Max(s.BBoxMax.Y, p.Y)
+		s.BBoxMax.Z = math.Max(s.BBoxMax.Z, p.Z)
+		if m.boundary[v] {
+			s.NumBoundary++
+		}
+	}
+	if s.NumFaces == 0 {
+		s.MinAngle = 0
+	}
+	if len(m.halfedges) == 0 {
+		s.MinEdgeLen = 0
+	}
+	return s
+}
+
+// Enlarge returns a new mesh in which every face of m has been split into
+// three by inserting a vertex at its centroid — exactly the construction the
+// paper uses to produce the "enlarged BH" dataset for its N sweep (§5.2.1).
+func (m *Mesh) Enlarge() (*Mesh, error) {
+	nv := len(m.Verts)
+	verts := make([]geom.Vec3, nv, nv+len(m.Faces))
+	copy(verts, m.Verts)
+	faces := make([][3]int32, 0, 3*len(m.Faces))
+	for f := range m.Faces {
+		c := int32(len(verts))
+		verts = append(verts, m.FaceCentroid(int32(f)))
+		fa := m.Faces[f]
+		faces = append(faces,
+			[3]int32{fa[0], fa[1], c},
+			[3]int32{fa[1], fa[2], c},
+			[3]int32{fa[2], fa[0], c},
+		)
+	}
+	return New(verts, faces)
+}

@@ -1,0 +1,212 @@
+package terrain
+
+import (
+	"math"
+	"testing"
+
+	"seoracle/internal/geom"
+)
+
+// flatGrid builds an nx x ny flat terrain with unit spacing.
+func flatGrid(t *testing.T, nx, ny int) *Mesh {
+	t.Helper()
+	m, err := NewGrid(nx, ny, 1, 1, make([]float64, nx*ny))
+	if err != nil {
+		t.Fatalf("NewGrid: %v", err)
+	}
+	return m
+}
+
+func TestNewGridCounts(t *testing.T) {
+	m := flatGrid(t, 4, 3)
+	if got, want := m.NumVerts(), 12; got != want {
+		t.Errorf("NumVerts = %d, want %d", got, want)
+	}
+	if got, want := m.NumFaces(), 12; got != want {
+		t.Errorf("NumFaces = %d, want %d", got, want)
+	}
+	// Euler: E = V + F - 1 for a disk-topology mesh (chi = 1).
+	if got, want := m.NumEdges(), m.NumVerts()+m.NumFaces()-1; got != want {
+		t.Errorf("NumEdges = %d, want %d", got, want)
+	}
+}
+
+func TestNewGridErrors(t *testing.T) {
+	if _, err := NewGrid(1, 3, 1, 1, make([]float64, 3)); err == nil {
+		t.Error("expected error for 1-wide grid")
+	}
+	if _, err := NewGrid(2, 2, 1, 1, make([]float64, 3)); err == nil {
+		t.Error("expected error for wrong height count")
+	}
+	if _, err := NewGrid(2, 2, 0, 1, make([]float64, 4)); err == nil {
+		t.Error("expected error for zero spacing")
+	}
+}
+
+func TestHalfedgeInvariants(t *testing.T) {
+	m := flatGrid(t, 5, 5)
+	for i := 0; i < m.NumHalfedges(); i++ {
+		he := m.Halfedge(int32(i))
+		if he.Len <= 0 {
+			t.Fatalf("halfedge %d has non-positive length", i)
+		}
+		if he.Twin >= 0 {
+			tw := m.Halfedge(he.Twin)
+			if tw.Org != he.Dst || tw.Dst != he.Org {
+				t.Fatalf("halfedge %d twin mismatch: %v vs %v", i, he, tw)
+			}
+			if tw.Twin != int32(i) {
+				t.Fatalf("twin of twin of %d is %d", i, tw.Twin)
+			}
+			if tw.Face == he.Face {
+				t.Fatalf("halfedge %d and twin share face %d", i, he.Face)
+			}
+		}
+		// Next stays within the face.
+		next := m.Halfedge(m.NextInFace(int32(i)))
+		if next.Face != he.Face {
+			t.Fatalf("NextInFace left the face")
+		}
+		if next.Org != he.Dst {
+			t.Fatalf("NextInFace origin %d != dst %d", next.Org, he.Dst)
+		}
+	}
+}
+
+func TestOppositeVert(t *testing.T) {
+	m := flatGrid(t, 3, 3)
+	for i := 0; i < m.NumHalfedges(); i++ {
+		he := m.Halfedge(int32(i))
+		ov := m.OppositeVert(int32(i))
+		if ov == he.Org || ov == he.Dst {
+			t.Fatalf("OppositeVert(%d) = %d is an endpoint", i, ov)
+		}
+		found := false
+		for _, v := range m.Faces[he.Face] {
+			if v == ov {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("OppositeVert(%d) = %d not in face", i, ov)
+		}
+	}
+}
+
+func TestBoundaryDetection(t *testing.T) {
+	m := flatGrid(t, 4, 4)
+	// Corner and edge vertices are boundary; the 4 interior ones are not.
+	interior := map[int32]bool{5: true, 6: true, 9: true, 10: true}
+	for v := int32(0); v < int32(m.NumVerts()); v++ {
+		want := !interior[v]
+		if got := m.IsBoundaryVert(v); got != want {
+			t.Errorf("IsBoundaryVert(%d) = %v, want %v", v, got, want)
+		}
+	}
+}
+
+func TestNewRejectsNonManifold(t *testing.T) {
+	verts := []geom.Vec3{{X: 0}, {X: 1}, {Y: 1}, {Z: 1}}
+	// Two faces with the same orientation over the same edge 0->1.
+	faces := [][3]int32{{0, 1, 2}, {0, 1, 3}}
+	if _, err := New(verts, faces); err == nil {
+		t.Error("expected non-manifold error")
+	}
+	// Out-of-range vertex.
+	if _, err := New(verts, [][3]int32{{0, 1, 9}}); err == nil {
+		t.Error("expected out-of-range error")
+	}
+	// Degenerate face.
+	if _, err := New(verts, [][3]int32{{0, 0, 1}}); err == nil {
+		t.Error("expected degenerate-face error")
+	}
+}
+
+func TestComputeStatsFlat(t *testing.T) {
+	m := flatGrid(t, 3, 3)
+	s := m.ComputeStats()
+	if s.NumVerts != 9 || s.NumFaces != 8 {
+		t.Fatalf("stats counts: %+v", s)
+	}
+	if !almostEq(s.TotalArea, 4, 1e-12) {
+		t.Errorf("TotalArea = %v, want 4", s.TotalArea)
+	}
+	if !almostEq(s.MinEdgeLen, 1, 1e-12) {
+		t.Errorf("MinEdgeLen = %v", s.MinEdgeLen)
+	}
+	if !almostEq(s.MaxEdgeLen, math.Sqrt2, 1e-12) {
+		t.Errorf("MaxEdgeLen = %v", s.MaxEdgeLen)
+	}
+	if !almostEq(s.MinAngle, math.Pi/4, 1e-12) {
+		t.Errorf("MinAngle = %v, want pi/4", s.MinAngle)
+	}
+	if s.BBoxMax != (geom.Vec3{X: 2, Y: 2, Z: 0}) {
+		t.Errorf("BBoxMax = %v", s.BBoxMax)
+	}
+}
+
+func TestEnlarge(t *testing.T) {
+	m := flatGrid(t, 3, 3)
+	e, err := m.Enlarge()
+	if err != nil {
+		t.Fatalf("Enlarge: %v", err)
+	}
+	if got, want := e.NumVerts(), m.NumVerts()+m.NumFaces(); got != want {
+		t.Errorf("enlarged NumVerts = %d, want %d", got, want)
+	}
+	if got, want := e.NumFaces(), 3*m.NumFaces(); got != want {
+		t.Errorf("enlarged NumFaces = %d, want %d", got, want)
+	}
+	// Surface area is preserved (centroids lie in the face planes).
+	if !almostEq(e.ComputeStats().TotalArea, m.ComputeStats().TotalArea, 1e-9) {
+		t.Errorf("Enlarge changed total area")
+	}
+}
+
+func TestVertexAndFacePoints(t *testing.T) {
+	m := flatGrid(t, 3, 3)
+	vp := m.VertexPoint(4)
+	if vp.Vert != 4 || vp.P != m.Verts[4] {
+		t.Errorf("VertexPoint = %+v", vp)
+	}
+	if err := m.Validate(vp); err != nil {
+		t.Errorf("Validate(vertex point): %v", err)
+	}
+	fp := m.FacePoint(0, 1, 1, 1)
+	if fp.Vert != -1 {
+		t.Errorf("centroid point should not be a vertex: %+v", fp)
+	}
+	if err := m.Validate(fp); err != nil {
+		t.Errorf("Validate(face point): %v", err)
+	}
+	if got := m.FaceCentroid(0); !almostEq(got.Dist(fp.P), 0, 1e-12) {
+		t.Errorf("FacePoint(1,1,1) != centroid: %v vs %v", fp.P, got)
+	}
+	// Corner coordinates resolve to the vertex.
+	cp := m.FacePoint(0, 1, 0, 0)
+	if cp.Vert != m.Faces[0][0] {
+		t.Errorf("corner FacePoint vert = %d", cp.Vert)
+	}
+}
+
+func TestValidateRejectsBadPoints(t *testing.T) {
+	m := flatGrid(t, 3, 3)
+	bad := SurfacePoint{Face: 0, Vert: -1, P: geom.Vec3{X: -5, Y: -5, Z: 0}}
+	if err := m.Validate(bad); err == nil {
+		t.Error("expected error for point outside its face")
+	}
+	off := SurfacePoint{Face: 0, Vert: -1, P: m.FaceCentroid(0).Add(geom.Vec3{Z: 1})}
+	if err := m.Validate(off); err == nil {
+		t.Error("expected error for point off the face plane")
+	}
+	badVert := SurfacePoint{Face: 0, Vert: 2, P: geom.Vec3{X: 9, Y: 9, Z: 9}}
+	if err := m.Validate(badVert); err == nil {
+		t.Error("expected error for mispositioned vertex point")
+	}
+}
+
+func almostEq(a, b, tol float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return diff <= tol*scale
+}

@@ -1,0 +1,91 @@
+package terrain
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"seoracle/internal/geom"
+)
+
+// ReadOFF parses a mesh in the OFF format (the interchange format of the
+// geometry-processing community; the public terrain datasets the paper uses
+// ship as OFF/TIN files). Only triangular faces are accepted.
+func ReadOFF(r io.Reader) (*Mesh, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	next := func() (string, error) {
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			return line, nil
+		}
+		if err := sc.Err(); err != nil {
+			return "", err
+		}
+		return "", io.ErrUnexpectedEOF
+	}
+
+	header, err := next()
+	if err != nil {
+		return nil, fmt.Errorf("terrain: reading OFF header: %w", err)
+	}
+	if header != "OFF" {
+		return nil, fmt.Errorf("terrain: not an OFF file (header %q)", header)
+	}
+	counts, err := next()
+	if err != nil {
+		return nil, fmt.Errorf("terrain: reading OFF counts: %w", err)
+	}
+	var nv, nf, ne int
+	if _, err := fmt.Sscan(counts, &nv, &nf, &ne); err != nil {
+		return nil, fmt.Errorf("terrain: bad OFF counts %q: %w", counts, err)
+	}
+	if nv < 0 || nf < 0 {
+		return nil, fmt.Errorf("terrain: negative OFF counts %q", counts)
+	}
+	verts := make([]geom.Vec3, nv)
+	for i := 0; i < nv; i++ {
+		line, err := next()
+		if err != nil {
+			return nil, fmt.Errorf("terrain: reading vertex %d: %w", i, err)
+		}
+		if _, err := fmt.Sscan(line, &verts[i].X, &verts[i].Y, &verts[i].Z); err != nil {
+			return nil, fmt.Errorf("terrain: bad vertex line %q: %w", line, err)
+		}
+	}
+	faces := make([][3]int32, nf)
+	for i := 0; i < nf; i++ {
+		line, err := next()
+		if err != nil {
+			return nil, fmt.Errorf("terrain: reading face %d: %w", i, err)
+		}
+		var k int
+		var a, b, c int32
+		if _, err := fmt.Sscan(line, &k, &a, &b, &c); err != nil {
+			return nil, fmt.Errorf("terrain: bad face line %q: %w", line, err)
+		}
+		if k != 3 {
+			return nil, fmt.Errorf("terrain: face %d has %d vertices; only triangles supported", i, k)
+		}
+		faces[i] = [3]int32{a, b, c}
+	}
+	return New(verts, faces)
+}
+
+// WriteOFF writes the mesh in OFF format.
+func WriteOFF(w io.Writer, m *Mesh) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "OFF")
+	fmt.Fprintf(bw, "%d %d %d\n", m.NumVerts(), m.NumFaces(), m.NumEdges())
+	for _, v := range m.Verts {
+		fmt.Fprintf(bw, "%.17g %.17g %.17g\n", v.X, v.Y, v.Z)
+	}
+	for _, f := range m.Faces {
+		fmt.Fprintf(bw, "3 %d %d %d\n", f[0], f[1], f[2])
+	}
+	return bw.Flush()
+}

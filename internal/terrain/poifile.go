@@ -1,0 +1,55 @@
+package terrain
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"seoracle/internal/geom"
+)
+
+// WritePOIs writes a POI set in the text interchange format used by the
+// command-line tools: one "face u v w" line per POI (barycentric
+// coordinates within the face), with '#' comments.
+func WritePOIs(w io.Writer, m *Mesh, pois []SurfacePoint) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# face u v w")
+	for i, p := range pois {
+		if p.Face < 0 || int(p.Face) >= len(m.Faces) {
+			return fmt.Errorf("terrain: POI %d has invalid face %d", i, p.Face)
+		}
+		fa := m.Faces[p.Face]
+		u, v, ww := geom.Barycentric(p.P, m.Verts[fa[0]], m.Verts[fa[1]], m.Verts[fa[2]])
+		fmt.Fprintf(bw, "%d %.17g %.17g %.17g\n", p.Face, u, v, ww)
+	}
+	return bw.Flush()
+}
+
+// ReadPOIs parses the POI interchange format against mesh m.
+func ReadPOIs(r io.Reader, m *Mesh) ([]SurfacePoint, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var out []SurfacePoint
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var f int32
+		var u, v, w float64
+		if _, err := fmt.Sscan(line, &f, &u, &v, &w); err != nil {
+			return nil, fmt.Errorf("terrain: POI line %d %q: %w", lineNo, line, err)
+		}
+		if f < 0 || int(f) >= len(m.Faces) {
+			return nil, fmt.Errorf("terrain: POI line %d: face %d out of range", lineNo, f)
+		}
+		out = append(out, m.FacePoint(f, u, v, w))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,59 @@
+package terrain
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPOIFileRoundTrip(t *testing.T) {
+	m := flatGrid(t, 4, 4)
+	pois := []SurfacePoint{
+		m.FacePoint(0, 0.5, 0.25, 0.25),
+		m.FacePoint(7, 0.1, 0.1, 0.8),
+		m.VertexPoint(5),
+	}
+	var buf bytes.Buffer
+	if err := WritePOIs(&buf, m, pois); err != nil {
+		t.Fatalf("WritePOIs: %v", err)
+	}
+	back, err := ReadPOIs(&buf, m)
+	if err != nil {
+		t.Fatalf("ReadPOIs: %v", err)
+	}
+	if len(back) != len(pois) {
+		t.Fatalf("got %d POIs, want %d", len(back), len(pois))
+	}
+	for i := range pois {
+		if back[i].P.Dist(pois[i].P) > 1e-9 {
+			t.Errorf("POI %d moved: %v vs %v", i, back[i].P, pois[i].P)
+		}
+	}
+}
+
+func TestReadPOIsErrors(t *testing.T) {
+	m := flatGrid(t, 3, 3)
+	if _, err := ReadPOIs(strings.NewReader("not a poi line\n"), m); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadPOIs(strings.NewReader("99 0.3 0.3 0.4\n"), m); err == nil {
+		t.Error("out-of-range face accepted")
+	}
+	// Comments and blank lines are fine.
+	pois, err := ReadPOIs(strings.NewReader("# header\n\n0 1 0 0\n"), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pois) != 1 {
+		t.Fatalf("got %d POIs", len(pois))
+	}
+}
+
+func TestWritePOIsRejectsBadFace(t *testing.T) {
+	m := flatGrid(t, 3, 3)
+	var buf bytes.Buffer
+	bad := []SurfacePoint{{Face: -1}}
+	if err := WritePOIs(&buf, m, bad); err == nil {
+		t.Error("bad face accepted")
+	}
+}

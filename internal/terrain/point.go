@@ -1,0 +1,79 @@
+package terrain
+
+import (
+	"fmt"
+
+	"seoracle/internal/geom"
+)
+
+// SurfacePoint is a point on the terrain surface: a position together with a
+// containing face. Vert is the vertex index when the point coincides with a
+// mesh vertex, and -1 otherwise. Points in the interior of an edge may carry
+// either adjacent face.
+type SurfacePoint struct {
+	Face int32
+	Vert int32
+	P    geom.Vec3
+}
+
+// VertexPoint returns the SurfacePoint for mesh vertex v. The containing
+// face is an arbitrary incident face.
+func (m *Mesh) VertexPoint(v int32) SurfacePoint {
+	faces := m.vertFaces[v]
+	f := int32(-1)
+	if len(faces) > 0 {
+		f = faces[0]
+	}
+	return SurfacePoint{Face: f, Vert: v, P: m.Verts[v]}
+}
+
+// FacePoint returns the SurfacePoint at barycentric coordinates (u,v,w) of
+// face f (coordinates are normalized to sum to 1). When the coordinates pin
+// the point to a corner, the vertex index is recorded.
+func (m *Mesh) FacePoint(f int32, u, v, w float64) SurfacePoint {
+	s := u + v + w
+	if s != 0 {
+		u, v, w = u/s, v/s, w/s
+	}
+	fa := m.Faces[f]
+	p := m.Verts[fa[0]].Scale(u).Add(m.Verts[fa[1]].Scale(v)).Add(m.Verts[fa[2]].Scale(w))
+	vert := int32(-1)
+	const one = 1 - 1e-12
+	switch {
+	case u >= one:
+		vert = fa[0]
+	case v >= one:
+		vert = fa[1]
+	case w >= one:
+		vert = fa[2]
+	}
+	return SurfacePoint{Face: f, Vert: vert, P: p}
+}
+
+// Validate checks that sp is consistent with the mesh: its face index is in
+// range and its position lies on (numerically close to) that face.
+func (m *Mesh) Validate(sp SurfacePoint) error {
+	if sp.Vert >= 0 {
+		if int(sp.Vert) >= len(m.Verts) {
+			return fmt.Errorf("terrain: surface point vertex %d out of range", sp.Vert)
+		}
+		if sp.P.Dist(m.Verts[sp.Vert]) > 1e-9 {
+			return fmt.Errorf("terrain: surface point position does not match vertex %d", sp.Vert)
+		}
+		return nil
+	}
+	if sp.Face < 0 || int(sp.Face) >= len(m.Faces) {
+		return fmt.Errorf("terrain: surface point face %d out of range", sp.Face)
+	}
+	fa := m.Faces[sp.Face]
+	u, v, w := geom.Barycentric(sp.P, m.Verts[fa[0]], m.Verts[fa[1]], m.Verts[fa[2]])
+	const eps = 1e-7
+	if u < -eps || v < -eps || w < -eps {
+		return fmt.Errorf("terrain: surface point outside face %d (bary %g %g %g)", sp.Face, u, v, w)
+	}
+	rec := m.Verts[fa[0]].Scale(u).Add(m.Verts[fa[1]].Scale(v)).Add(m.Verts[fa[2]].Scale(w))
+	if rec.Dist(sp.P) > 1e-6*(1+rec.Norm()) {
+		return fmt.Errorf("terrain: surface point not on the plane of face %d", sp.Face)
+	}
+	return nil
+}

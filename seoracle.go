@@ -1,0 +1,143 @@
+// Package seoracle is a Go implementation of the Space-Efficient distance
+// oracle (SE) for geodesic shortest-distance queries on terrain surfaces,
+// reproducing "Distance Oracle on Terrain Surface" (Wei, Wong, Long, Mount;
+// SIGMOD 2017).
+//
+// The library answers ε-approximate geodesic distance queries between
+// points-of-interest (POIs) on a triangulated terrain in O(h) time (h is the
+// POI partition-tree height, < 30 in practice) from an index whose size is
+// linear in the number of POIs — independent of the terrain size. It also
+// ships the substrates the paper builds on: an exact geodesic
+// single-source-all-destinations (SSAD) engine in the continuous-Dijkstra
+// (MMP) paradigm, Steiner-graph approximations, an FKS perfect hash and a
+// B+-tree, plus the baselines the paper compares against.
+//
+// Basic usage:
+//
+//	mesh, _ := seoracle.GenerateFractalTerrain(seoracle.FractalSpec{
+//		NX: 65, NY: 65, CellDX: 10, Amp: 120, Seed: 1,
+//	})
+//	pois, _ := seoracle.SampleUniformPOIs(mesh, 200, 2)
+//	oracle, _ := seoracle.Build(mesh, pois, seoracle.Options{Epsilon: 0.1})
+//	d, _ := oracle.Query(3, 17) // ε-approximate geodesic distance
+//
+// For arbitrary (non-POI) query points, build an A2A oracle with
+// BuildA2A. For exact one-off distances, use ExactDistance.
+package seoracle
+
+import (
+	"io"
+
+	"seoracle/internal/core"
+	"seoracle/internal/gen"
+	"seoracle/internal/geodesic"
+	"seoracle/internal/geom"
+	"seoracle/internal/terrain"
+)
+
+// Terrain is a triangulated terrain surface (a TIN).
+type Terrain = terrain.Mesh
+
+// SurfacePoint is a point on a terrain surface.
+type SurfacePoint = terrain.SurfacePoint
+
+// Stats summarizes a terrain's structural and metric properties.
+type Stats = terrain.Stats
+
+// Oracle is the SE distance oracle over a fixed POI set.
+type Oracle = core.Oracle
+
+// A2AOracle answers distance queries between arbitrary surface points
+// (paper Appendix C), including the n > N regime (Appendix D).
+type A2AOracle = core.SiteOracle
+
+// Options configures oracle construction.
+type Options = core.Options
+
+// BuildStats reports construction statistics.
+type BuildStats = core.BuildStats
+
+// FractalSpec configures the synthetic terrain generator.
+type FractalSpec = gen.FractalSpec
+
+// Selection strategies for the partition tree (§3.2, Implementation
+// Detail 1).
+const (
+	SelectRandom = core.SelectRandom
+	SelectGreedy = core.SelectGreedy
+)
+
+// Vec3 is a 3-D point (x, y, z).
+type Vec3 = geom.Vec3
+
+// NewTerrain builds a terrain from vertices and triangles, validating
+// manifoldness.
+func NewTerrain(verts []Vec3, faces [][3]int32) (*Terrain, error) {
+	return terrain.New(verts, faces)
+}
+
+// GenerateFractalTerrain synthesizes a deterministic fractal terrain.
+func GenerateFractalTerrain(spec FractalSpec) (*Terrain, error) { return gen.Fractal(spec) }
+
+// GenerateGridTerrain builds a height-field terrain from a row-major height
+// grid.
+func GenerateGridTerrain(nx, ny int, dx, dy float64, heights []float64) (*Terrain, error) {
+	return terrain.NewGrid(nx, ny, dx, dy, heights)
+}
+
+// ReadTerrainOFF parses an OFF mesh.
+func ReadTerrainOFF(r io.Reader) (*Terrain, error) { return terrain.ReadOFF(r) }
+
+// WriteTerrainOFF writes a terrain as OFF.
+func WriteTerrainOFF(w io.Writer, t *Terrain) error { return terrain.WriteOFF(w, t) }
+
+// SampleUniformPOIs samples n POIs uniformly over the terrain extent.
+func SampleUniformPOIs(t *Terrain, n int, seed int64) ([]SurfacePoint, error) {
+	pois, err := gen.UniformPOIs(t, n, seed)
+	if err != nil {
+		return nil, err
+	}
+	return gen.Dedup(pois, 1e-9), nil
+}
+
+// VertexPOIs returns every terrain vertex as a POI (the V2V setting).
+func VertexPOIs(t *Terrain) []SurfacePoint { return gen.VertexPOIs(t) }
+
+// Build constructs an SE oracle over the POIs using the exact geodesic
+// engine.
+func Build(t *Terrain, pois []SurfacePoint, opt Options) (*Oracle, error) {
+	return core.Build(geodesic.NewExact(t), pois, opt)
+}
+
+// BuildA2A constructs the arbitrary-point oracle of Appendix C.
+func BuildA2A(t *Terrain, opt Options) (*A2AOracle, error) {
+	return core.BuildSiteOracle(geodesic.NewExact(t), t, core.SiteOptions{Options: opt})
+}
+
+// DynamicOracle is an SE oracle supporting POI insertion and deletion (the
+// paper's stated future work). Queries touching freshly inserted POIs are
+// exact; the base index is rebuilt amortized as churn accumulates.
+type DynamicOracle = core.DynamicOracle
+
+// BuildDynamic constructs a dynamic SE oracle over the initial POI set.
+func BuildDynamic(t *Terrain, pois []SurfacePoint, opt Options) (*DynamicOracle, error) {
+	return core.NewDynamicOracle(geodesic.NewExact(t), pois, opt)
+}
+
+// LoadOracle reads a serialized oracle written with Oracle.Encode.
+func LoadOracle(r io.Reader) (*Oracle, error) { return core.Decode(r) }
+
+// ExactDistance computes the exact geodesic distance between two surface
+// points with the window-propagation SSAD engine. For repeated queries,
+// build an Oracle instead.
+func ExactDistance(t *Terrain, s, d SurfacePoint) float64 {
+	eng := geodesic.NewExact(t)
+	return eng.DistancesTo(s, []SurfacePoint{d}, geodesic.Stop{CoverTargets: true})[0]
+}
+
+// ExactDistances computes exact geodesic distances from one source to many
+// targets with a single SSAD run.
+func ExactDistances(t *Terrain, s SurfacePoint, targets []SurfacePoint) []float64 {
+	eng := geodesic.NewExact(t)
+	return eng.DistancesTo(s, targets, geodesic.Stop{CoverTargets: true})
+}
