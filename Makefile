@@ -1,0 +1,40 @@
+# Development and CI entry points. CI (.github/workflows/ci.yml) invokes
+# exactly these targets, so a green `make ci` locally means a green build.
+
+GO ?= go
+
+.PHONY: all build test race bench bench-smoke lint fmt fmt-check fuzz-smoke ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detect the packages with concurrent construction and query paths.
+race:
+	$(GO) test -race ./internal/core/... ./internal/geodesic/...
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# One iteration of every benchmark: catches bit-rot without burning CI time.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+lint:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Exercise the decoder fuzz target briefly (CI runs this non-blocking).
+fuzz-smoke:
+	$(GO) test -fuzz=Fuzz -fuzztime=10s -run='^$$' ./internal/core
+
+ci: fmt-check lint build test race

@@ -5,6 +5,7 @@
 package seoracle
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -45,6 +46,26 @@ func buildSE(b *testing.B, w *benchWorld, eps float64, sel core.Selection) *core
 		b.Fatal(err)
 	}
 	return o
+}
+
+// --- Parallel construction: worker sweep on the seeded benchmark terrain ---
+
+// BenchmarkBuildParallel sweeps Options.Workers over 1/2/4/8 on the same
+// seeded terrain. Every row builds a bit-identical oracle; the wall-clock
+// spread is the speedup of the parallel SSAD fan-out.
+func BenchmarkBuildParallel(b *testing.B) {
+	w := world(b, "sf-small", exp.SFSmall)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				o, err := core.Build(w.eng, w.ds.POIs, core.Options{Epsilon: 0.1, Seed: 1, Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(o.Stats().SSADCalls), "ssads")
+			}
+		})
+	}
 }
 
 // --- Table 1: construction cost drivers (SSAD count, pair count) ---

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	experiments [-run all|table1|table2|table3|fig8|fig9|fig10|fig11|fig12|fig13|fig14]
-//	            [-full] [-queries N] [-seed S] [-csv DIR]
+//	            [-full] [-queries N] [-seed S] [-csv DIR] [-workers 0]
 package main
 
 import (
@@ -25,10 +25,15 @@ func main() {
 		queries = flag.Int("queries", 0, "queries per configuration (0 = scale default)")
 		seed    = flag.Int64("seed", 42, "base random seed")
 		csvDir  = flag.String("csv", "", "directory for CSV output (optional)")
+		// Default to sequential builds: the figures compare construction
+		// times against single-threaded baselines, so parallel SE builds
+		// must be opted into explicitly. Oracle contents (and thus error
+		// and size columns) are identical for any worker count.
+		workers = flag.Int("workers", 1, "oracle-construction worker goroutines (1 = sequential, paper-comparable build times; 0 = all CPUs)")
 	)
 	flag.Parse()
 
-	cfg := exp.Config{Scale: exp.Quick, Queries: *queries, Seed: *seed, Out: os.Stdout}
+	cfg := exp.Config{Scale: exp.Quick, Queries: *queries, Seed: *seed, Workers: *workers, Out: os.Stdout}
 	if *full {
 		cfg.Scale = exp.Full
 	}

@@ -4,13 +4,14 @@
 // Usage:
 //
 //	sebuild -terrain terrain.off -pois pois.txt -out oracle.se
-//	        [-eps 0.1] [-greedy] [-naive] [-seed 1] [-check]
+//	        [-eps 0.1] [-greedy] [-naive] [-seed 1] [-check] [-workers 0]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"seoracle/internal/core"
@@ -29,6 +30,7 @@ func main() {
 		naive       = flag.Bool("naive", false, "use the naive construction (SE-Naive)")
 		seed        = flag.Int64("seed", 1, "random seed")
 		check       = flag.Bool("check", false, "verify oracle invariants after construction")
+		workers     = flag.Int("workers", 0, "construction worker goroutines (0 = all CPUs; output is identical for any value)")
 	)
 	flag.Parse()
 
@@ -52,7 +54,7 @@ func main() {
 	}
 	pois = gen.Dedup(pois, 1e-9)
 
-	opt := core.Options{Epsilon: *eps, Seed: *seed, NaivePairDistances: *naive}
+	opt := core.Options{Epsilon: *eps, Seed: *seed, NaivePairDistances: *naive, Workers: *workers}
 	if *greedy {
 		opt.Selection = core.SelectGreedy
 	}
@@ -81,10 +83,14 @@ func main() {
 
 	st := oracle.Stats()
 	fmt.Printf("oracle: %d POIs, eps=%g, h=%d -> %s\n", oracle.NumPOIs(), *eps, oracle.Height(), *out)
-	fmt.Printf("build: %v total (tree %v, edges %v, pairs %v, hash %v), %d SSADs\n",
+	nw := *workers
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("build: %v total (tree %v, edges %v, pairs %v, hash %v), %d SSADs, %d workers\n",
 		elapsed.Round(time.Millisecond), st.TreeTime.Round(time.Millisecond),
 		st.EdgeTime.Round(time.Millisecond), st.PairTime.Round(time.Millisecond),
-		st.HashTime.Round(time.Millisecond), st.SSADCalls)
+		st.HashTime.Round(time.Millisecond), st.SSADCalls, nw)
 	fmt.Printf("size: %d node pairs, %.3f MB\n", oracle.NumPairs(), float64(oracle.MemoryBytes())/(1<<20))
 }
 

@@ -1,0 +1,3 @@
+module seoracle
+
+go 1.22

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"seoracle/internal/geodesic"
 	"seoracle/internal/terrain"
@@ -29,7 +30,12 @@ type SiteOracle struct {
 	// handling of [12], whose query bound O(1/(sinθ·ε)·log(1/ε)) likewise
 	// pays a local 1/ε term.
 	localThreshold float64
-	localQueries   int // statistics: how many queries used the local regime
+	// localQueries counts queries that used the local regime. It is the
+	// only mutable field a query touches, and it is atomic, so a built
+	// SiteOracle is safe for concurrent use (the inner Oracle, the site
+	// tables and the locator are immutable, and the engine is
+	// concurrency-safe).
+	localQueries atomic.Int64
 }
 
 // SitesPerEdgeForEps returns the per-edge site density used for the target
@@ -137,7 +143,7 @@ func (so *SiteOracle) Query(s, t terrain.SurfacePoint) (float64, error) {
 		// Short-range regime: the additive site-spacing error would exceed
 		// ε at this scale, so resolve exactly with an SSAD bounded by the
 		// upper bound just computed (a constant-size neighborhood).
-		so.localQueries++
+		so.localQueries.Add(1)
 		d := so.eng.DistancesTo(s, []terrain.SurfacePoint{t},
 			geodesic.Stop{Radius: best * (1 + 1e-9), CoverTargets: true})[0]
 		if d < best {
@@ -149,7 +155,7 @@ func (so *SiteOracle) Query(s, t terrain.SurfacePoint) (float64, error) {
 
 // LocalQueries reports how many queries fell into the short-range exact
 // regime since construction.
-func (so *SiteOracle) LocalQueries() int { return so.localQueries }
+func (so *SiteOracle) LocalQueries() int { return int(so.localQueries.Load()) }
 
 // QueryXY projects the planar coordinates onto the surface and answers the
 // A2A query — the form used by the evaluation's query generator (§5.1).

@@ -19,6 +19,36 @@ const (
 	hashSeed      = 0x5e0ac1e
 )
 
+// decodeChunk bounds how many elements Decode materializes per read, so the
+// memory committed before a truncated stream hits EOF stays proportional to
+// the data actually present.
+const decodeChunk = 1 << 16
+
+// capHint clamps a header-declared length to a safe initial capacity.
+func capHint(n int64) int {
+	if n > decodeChunk {
+		return decodeChunk
+	}
+	return int(n)
+}
+
+// decodeSlice reads n little-endian values in bounded chunks.
+func decodeSlice[T any](r io.Reader, n int64) ([]T, error) {
+	out := make([]T, 0, capHint(n))
+	for int64(len(out)) < n {
+		c := n - int64(len(out))
+		if c > decodeChunk {
+			c = decodeChunk
+		}
+		buf := make([]T, c)
+		if err := binary.Read(r, binary.LittleEndian, buf); err != nil {
+			return nil, err
+		}
+		out = append(out, buf...)
+	}
+	return out, nil
+}
+
 // Encode writes the oracle to w.
 func (o *Oracle) Encode(w io.Writer) error {
 	bw := bufio.NewWriter(w)
@@ -72,37 +102,45 @@ func Decode(r io.Reader) (*Oracle, error) {
 	if version != encodeVersion {
 		return nil, fmt.Errorf("core: unsupported version %d", version)
 	}
-	if npoi <= 0 || nNodes <= 0 || nPairs < 0 || nNodes > 1<<40 || nPairs > 1<<40 {
+	if npoi <= 0 || nNodes <= 0 || nPairs < 0 || npoi > 1<<40 || nNodes > 1<<40 || nPairs > 1<<40 {
 		return nil, fmt.Errorf("core: implausible sizes npoi=%d nodes=%d pairs=%d", npoi, nNodes, nPairs)
 	}
 	ct := &ctree{height: int32(height), root: int32(root), r0: r0}
-	ct.nodes = make([]cnode, nNodes)
-	for i := range ct.nodes {
-		n := &ct.nodes[i]
+	// Grow incrementally with a bounded initial capacity: a corrupt header
+	// claiming a huge count then fails at EOF instead of attempting one
+	// giant allocation.
+	ct.nodes = make([]cnode, 0, capHint(nNodes))
+	for i := int64(0); i < nNodes; i++ {
+		var n cnode
 		if err := get(&n.center, &n.layer, &n.parent, &n.radius); err != nil {
 			return nil, fmt.Errorf("core: decoding node %d: %w", i, err)
 		}
 		if n.parent >= int32(nNodes) || n.center < 0 || n.center >= int32(npoi) {
 			return nil, fmt.Errorf("core: node %d references out of range", i)
 		}
+		ct.nodes = append(ct.nodes, n)
 	}
 	for i := range ct.nodes {
 		if p := ct.nodes[i].parent; p >= 0 {
 			ct.nodes[p].children = append(ct.nodes[p].children, int32(i))
 		}
 	}
-	ct.leaf = make([]int32, npoi)
-	if err := get(ct.leaf); err != nil {
+	leaf, err := decodeSlice[int32](br, npoi)
+	if err != nil {
 		return nil, fmt.Errorf("core: decoding leaf map: %w", err)
 	}
+	ct.leaf = leaf
 	for poi, l := range ct.leaf {
 		if l < 0 || int64(l) >= nNodes {
 			return nil, fmt.Errorf("core: leaf of POI %d out of range", poi)
 		}
 	}
-	keys := make([]uint64, nPairs)
-	dist := make([]float64, nPairs)
-	if err := get(keys, dist); err != nil {
+	keys, err := decodeSlice[uint64](br, nPairs)
+	if err != nil {
+		return nil, fmt.Errorf("core: decoding pairs: %w", err)
+	}
+	dist, err := decodeSlice[float64](br, nPairs)
+	if err != nil {
 		return nil, fmt.Errorf("core: decoding pairs: %w", err)
 	}
 	for i, d := range dist {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"math"
 	"testing"
 
@@ -50,6 +51,50 @@ func TestOracleInvariantsAcrossSeeds(t *testing.T) {
 			}
 		}
 	}
+}
+
+// FuzzDecode feeds arbitrary bytes to the oracle deserializer: it must
+// reject or accept without panicking or over-allocating, and any stream it
+// accepts must survive an encode/decode round trip (the serialization is
+// canonical: logical content in, deterministic bytes out).
+func FuzzDecode(f *testing.F) {
+	m, err := gen.Fractal(gen.FractalSpec{NX: 7, NY: 7, CellDX: 10, Amp: 12, Seed: 601})
+	if err != nil {
+		f.Fatal(err)
+	}
+	pois, err := gen.UniformPOIs(m, 8, 602)
+	if err != nil {
+		f.Fatal(err)
+	}
+	o, err := Build(geodesic.NewExact(m), gen.Dedup(pois, 1e-9), Options{Epsilon: 0.3, Seed: 603})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var seed bytes.Buffer
+	if err := o.Encode(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add(seed.Bytes()[:seed.Len()/2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		o, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := o.Encode(&out); err != nil {
+			t.Fatalf("re-encoding a decoded oracle: %v", err)
+		}
+		o2, err := Decode(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decoding a re-encoded oracle: %v", err)
+		}
+		if o2.NumPOIs() != o.NumPOIs() || o2.NumPairs() != o.NumPairs() {
+			t.Fatalf("round trip changed sizes: %d/%d -> %d/%d",
+				o.NumPOIs(), o.NumPairs(), o2.NumPOIs(), o2.NumPairs())
+		}
+	})
 }
 
 // Appendix D: when n > N, the POI-independent site oracle answers P2P

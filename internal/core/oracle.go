@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"seoracle/internal/geodesic"
@@ -23,6 +24,14 @@ type Options struct {
 	// method (§3.5): one SSAD per considered node pair instead of the
 	// enhanced-edge index. Used by the SE-Naive baseline.
 	NaivePairDistances bool
+	// Workers bounds the number of goroutines used by the parallel
+	// construction phases (the enhanced-edge SSAD fan-out and node-pair
+	// distance resolution). 0 means runtime.GOMAXPROCS(0); 1 forces a fully
+	// sequential build. Every worker count produces a bit-identical oracle
+	// — the Seed-driven determinism contract holds regardless of
+	// parallelism. When Workers > 1 the Engine must be safe for concurrent
+	// DistancesTo calls (geodesic.Exact and steiner.Engine both are).
+	Workers int
 }
 
 // BuildStats reports what construction did; the evaluation harness records
@@ -46,6 +55,10 @@ type BuildStats struct {
 // perfect-hashed well-separated node-pair set. It answers ε-approximate
 // POI-to-POI geodesic distance queries in O(h) time and occupies O(nh/ε^2β)
 // space, independent of the terrain size N.
+//
+// A built (or decoded) Oracle is immutable: Query, QueryNaive,
+// CheckInvariants, Encode and every accessor only read its state, so one
+// Oracle may be shared freely across goroutines without external locking.
 type Oracle struct {
 	eps    float64
 	tree   *ctree
@@ -66,10 +79,15 @@ func Build(eng geodesic.Engine, pois []terrain.SurfacePoint, opt Options) (*Orac
 	if len(pois) == 0 {
 		return nil, fmt.Errorf("core: no POIs")
 	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
 	var stats BuildStats
+	var ctr buildCounters
 
 	t0 := time.Now()
-	counting := &countingEngine{Engine: eng, calls: &stats.SSADCalls}
+	counting := &countingEngine{Engine: eng, calls: &ctr.ssadCalls}
 	t, err := buildPartitionTree(counting, pois, opt.Selection, opt.Seed)
 	if err != nil {
 		return nil, err
@@ -83,20 +101,23 @@ func Build(eng geodesic.Engine, pois []terrain.SurfacePoint, opt Options) (*Orac
 	t1 := time.Now()
 	var res *pairResolver
 	if opt.NaivePairDistances {
-		res = newPairResolver(counting, t, ct, pois, map[uint64]float64{}, &stats)
+		res = newPairResolver(counting, t, ct, pois, map[uint64]float64{}, &ctr, workers)
 	} else {
-		edges := enhancedEdges(counting, t, pois, opt.Epsilon, &stats)
+		edges := enhancedEdges(counting, t, pois, opt.Epsilon, workers)
 		stats.EnhancedEdges = len(edges)
-		res = newPairResolver(counting, t, ct, pois, edges, &stats)
+		res = newPairResolver(counting, t, ct, pois, edges, &ctr, workers)
 	}
 	stats.EdgeTime = time.Since(t1)
 
 	t2 := time.Now()
-	pairs, err := generatePairs(ct, res, opt.Epsilon, &stats)
+	pairs, err := generatePairs(ct, res, opt.Epsilon, &ctr)
 	if err != nil {
 		return nil, err
 	}
 	stats.Pairs = len(pairs)
+	stats.SSADCalls = int(ctr.ssadCalls.Load())
+	stats.PairsConsidered = int(ctr.pairsConsidered.Load())
+	stats.ResolverFallbacks = int(ctr.resolverFallbacks.Load())
 	if opt.NaivePairDistances {
 		// Every pair resolution fell back to a direct SSAD by design; do
 		// not report them as anomalies.
@@ -129,14 +150,16 @@ func Build(eng geodesic.Engine, pois []terrain.SurfacePoint, opt Options) (*Orac
 	}, nil
 }
 
-// countingEngine counts SSAD invocations for BuildStats.
+// countingEngine counts SSAD invocations for BuildStats. The counter is
+// atomic because the parallel construction phases invoke the engine from
+// multiple goroutines at once.
 type countingEngine struct {
 	geodesic.Engine
-	calls *int
+	calls *atomic.Int64
 }
 
 func (c *countingEngine) DistancesTo(src terrain.SurfacePoint, targets []terrain.SurfacePoint, stop geodesic.Stop) []float64 {
-	*c.calls++
+	c.calls.Add(1)
 	return c.Engine.DistancesTo(src, targets, stop)
 }
 

@@ -15,32 +15,60 @@ func packPair(a, b int32) uint64 { return uint64(uint32(a))<<32 | uint64(uint32(
 // the geodesic distances to all same-layer nodes O' with
 // dg(cO, cO') <= l*rO, l = 8/ε + 10 (§3.5, Step 2). One SSAD per tree node.
 // The result maps packPair(origID, origID') -> distance, in both directions.
-func enhancedEdges(eng geodesic.Engine, t *ptree, pois []terrain.SurfacePoint, eps float64, stats *BuildStats) map[uint64]float64 {
+//
+// The per-node SSADs within a layer are independent, so they fan out across
+// the worker pool; the results land in an index-addressed slice and are
+// merged into the map on the calling goroutine in node-id order — the same
+// insertion (and overwrite) order as a sequential pass, so the index is
+// identical for every worker count.
+func enhancedEdges(eng geodesic.Engine, t *ptree, pois []terrain.SurfacePoint, eps float64, workers int) map[uint64]float64 {
 	l := 8/eps + 10
 	edges := make(map[uint64]float64)
 	for layer, ids := range t.layers {
+		if layer == 0 {
+			// The root's enhanced edge is its self-loop; still record it so
+			// pair generation can start from (root, root).
+			for _, id := range ids {
+				edges[packPair(id, id)] = 0
+			}
+			continue
+		}
 		// Per-layer target list: the centers of every node in the layer.
 		targets := make([]terrain.SurfacePoint, len(ids))
 		for i, id := range ids {
 			targets[i] = pois[t.nodes[id].center]
 		}
-		for _, id := range ids {
-			r := t.nodes[id].radius
-			reach := l * r * (1 + 1e-9)
-			if layer == 0 {
-				// The root's enhanced edge is its self-loop; still record it
-				// so pair generation can start from (root, root).
-				edges[packPair(id, id)] = 0
-				continue
+		// Process the layer in bounded chunks: buffering every node's full
+		// result at once would hold len(ids)^2 floats (quadratic in the POI
+		// count on the leaf layer), while a chunk caps the resident results
+		// at chunk*len(ids) without changing the merge order.
+		chunk := 4 * workers
+		if chunk < 16 {
+			chunk = 16
+		}
+		dists := make([][]float64, chunk)
+		reaches := make([]float64, chunk)
+		for lo := 0; lo < len(ids); lo += chunk {
+			hi := lo + chunk
+			if hi > len(ids) {
+				hi = len(ids)
 			}
-			d := eng.DistancesTo(pois[t.nodes[id].center], targets, geodesic.Stop{Radius: reach})
-			stats.SSADCalls++
-			for i, other := range ids {
-				if math.IsInf(d[i], 1) || d[i] > reach {
-					continue
+			parfor(workers, hi-lo, func(k int) {
+				id := ids[lo+k]
+				reaches[k] = l * t.nodes[id].radius * (1 + 1e-9)
+				dists[k] = eng.DistancesTo(pois[t.nodes[id].center], targets, geodesic.Stop{Radius: reaches[k]})
+			})
+			for k := 0; k < hi-lo; k++ {
+				id := ids[lo+k]
+				d := dists[k]
+				dists[k] = nil
+				for i, other := range ids {
+					if math.IsInf(d[i], 1) || d[i] > reaches[k] {
+						continue
+					}
+					edges[packPair(id, other)] = d[i]
+					edges[packPair(other, id)] = d[i]
 				}
-				edges[packPair(id, other)] = d[i]
-				edges[packPair(other, id)] = d[i]
 			}
 		}
 	}
@@ -51,22 +79,34 @@ func enhancedEdges(eng geodesic.Engine, t *ptree, pois []terrain.SurfacePoint, e
 // enhanced-edge index: walk the two original leaf-to-root paths in lockstep
 // while their centers still match the queried centers, and return the first
 // enhanced edge found (Lemma 4 guarantees one exists).
+//
+// resolve is pure with respect to the resolver's shared state (it only
+// reads the tree and the edge index, and the engine is concurrency-safe),
+// so prefetch may fan resolutions out across the worker pool. The cache is
+// written exclusively on the generatePairs goroutine.
 type pairResolver struct {
-	t      *ptree
-	c      *ctree
-	pois   []terrain.SurfacePoint
-	edges  map[uint64]float64
-	eng    geodesic.Engine
-	stats  *BuildStats
-	cache  map[uint64]float64 // center-pair distance cache
-	pathsA []int32            // scratch: original path buffers
-	pathsB []int32
+	t       *ptree
+	c       *ctree
+	pois    []terrain.SurfacePoint
+	edges   map[uint64]float64
+	eng     geodesic.Engine
+	ctr     *buildCounters
+	cache   map[uint64]float64 // center-pair distance cache
+	workers int
+	// prefetching is enabled only for the naive construction (empty edge
+	// index), where every resolution is a full SSAD worth batching. With
+	// the enhanced-edge index, resolve is a cheap map walk (Lemma 4 says
+	// fallbacks are not expected), so scanning the pending stack on every
+	// cache miss would cost more than it parallelizes.
+	prefetching bool
 }
 
-func newPairResolver(eng geodesic.Engine, t *ptree, c *ctree, pois []terrain.SurfacePoint, edges map[uint64]float64, stats *BuildStats) *pairResolver {
+func newPairResolver(eng geodesic.Engine, t *ptree, c *ctree, pois []terrain.SurfacePoint, edges map[uint64]float64, ctr *buildCounters, workers int) *pairResolver {
 	return &pairResolver{
-		t: t, c: c, pois: pois, edges: edges, eng: eng, stats: stats,
-		cache: make(map[uint64]float64),
+		t: t, c: c, pois: pois, edges: edges, eng: eng, ctr: ctr,
+		cache:       make(map[uint64]float64),
+		workers:     workers,
+		prefetching: workers > 1 && len(edges) == 0,
 	}
 }
 
@@ -87,7 +127,64 @@ func (pr *pairResolver) distance(a, b int32) float64 {
 	return d
 }
 
+// cached reports whether distance(a, b) would hit the cache (or the
+// zero-distance fast path).
+func (pr *pairResolver) cached(a, b int32) bool {
+	ca := pr.c.nodes[a].center
+	cb := pr.c.nodes[b].center
+	if ca == cb {
+		return true
+	}
+	_, ok := pr.cache[packPair(ca, cb)]
+	return ok
+}
+
+// prefetch resolves, across the worker pool, every uncached center-pair
+// distance the pending pairs will need, then fills the cache in
+// deterministic (first-occurrence) order. Every pending pair is eventually
+// popped and resolved by generatePairs, so prefetch performs exactly the
+// resolutions a sequential run would — just concurrently.
+func (pr *pairResolver) prefetch(pending [][2]int32) {
+	type job struct{ ca, cb int32 }
+	var jobs []job
+	for _, p := range pending {
+		ca := pr.c.nodes[p[0]].center
+		cb := pr.c.nodes[p[1]].center
+		if ca == cb {
+			continue
+		}
+		key := packPair(ca, cb)
+		if _, ok := pr.cache[key]; ok {
+			continue
+		}
+		// Reserve both directions so duplicates in pending dedupe; the
+		// placeholder is overwritten with the resolved value below.
+		pr.cache[key] = math.NaN()
+		pr.cache[packPair(cb, ca)] = math.NaN()
+		jobs = append(jobs, job{ca: ca, cb: cb})
+	}
+	if len(jobs) == 0 {
+		return
+	}
+	out := make([]float64, len(jobs))
+	parfor(pr.workers, len(jobs), func(i int) {
+		out[i] = pr.resolve(jobs[i].ca, jobs[i].cb)
+	})
+	for i, j := range jobs {
+		pr.cache[packPair(j.ca, j.cb)] = out[i]
+		pr.cache[packPair(j.cb, j.ca)] = out[i]
+	}
+}
+
 func (pr *pairResolver) resolve(ca, cb int32) float64 {
+	// Canonicalize the direction: dg(ca, cb) and dg(cb, ca) agree only up
+	// to floating-point noise in the SSAD engine, and which orientation is
+	// requested first depends on traversal order — which prefetching
+	// changes. Always resolving the ordered pair keeps every worker count
+	// bit-identical.
+	if ca > cb {
+		ca, cb = cb, ca
+	}
 	// Walk both original paths bottom-up while centers persist.
 	na := pr.t.leaf[ca]
 	nb := pr.t.leaf[cb]
@@ -104,8 +201,7 @@ func (pr *pairResolver) resolve(ca, cb int32) float64 {
 	// Lemma 4 guarantees the loop above finds an edge for every pair the
 	// generation procedure considers; fall back to a direct SSAD so the
 	// oracle stays correct even under numerical boundary effects.
-	pr.stats.ResolverFallbacks++
-	pr.stats.SSADCalls++
+	pr.ctr.resolverFallbacks.Add(1)
 	d := pr.eng.DistancesTo(pr.pois[ca], []terrain.SurfacePoint{pr.pois[cb]}, geodesic.Stop{CoverTargets: true})
 	return d[0]
 }
@@ -121,16 +217,26 @@ type nodePair struct {
 // starting from (root,root), non-well-separated pairs split their
 // larger-radius node (ties by smaller node id) until every pair is
 // well-separated. It returns the node pair set of SE.
-func generatePairs(c *ctree, res *pairResolver, eps float64, stats *BuildStats) ([]nodePair, error) {
+//
+// The control flow is strictly sequential (DFS pop order decides the output
+// order). In the naive construction — where each resolution is a full SSAD
+// — whenever the next pop would resolve a distance the cache does not hold,
+// the resolver batch-resolves every pending pair on the stack in parallel
+// first. Since each stacked pair is eventually popped, the batch does no
+// speculative work, and the emitted pair set is byte-identical to a
+// sequential run for every worker count.
+func generatePairs(c *ctree, res *pairResolver, eps float64, ctr *buildCounters) ([]nodePair, error) {
 	sep := 2/eps + 2
 	var out []nodePair
 	stack := [][2]int32{{c.root, c.root}}
 	for len(stack) > 0 {
 		top := stack[len(stack)-1]
+		if res.prefetching && !res.cached(top[0], top[1]) {
+			res.prefetch(stack)
+		}
 		stack = stack[:len(stack)-1]
 		a, b := top[0], top[1]
-		stats.PairsConsidered++
-		if stats.PairsConsidered > 200_000_000 {
+		if ctr.pairsConsidered.Add(1) > 200_000_000 {
 			return nil, fmt.Errorf("core: node-pair generation exploded (eps=%g too small?)", eps)
 		}
 		d := res.distance(a, b)

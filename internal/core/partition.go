@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"seoracle/internal/btree"
 	"seoracle/internal/geodesic"
@@ -251,8 +252,15 @@ type cellEntry struct {
 
 type cellHeap []cellEntry
 
-func (h cellHeap) Len() int            { return len(h) }
-func (h cellHeap) Less(i, j int) bool  { return h[i].size > h[j].size }
+func (h cellHeap) Len() int { return len(h) }
+func (h cellHeap) Less(i, j int) bool {
+	// Tie-break equal sizes by cell id so the densest-cell choice is a
+	// deterministic function of the seed, not of heap-insertion order.
+	if h[i].size != h[j].size {
+		return h[i].size > h[j].size
+	}
+	return h[i].cell < h[j].cell
+}
 func (h cellHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *cellHeap) Push(x interface{}) { *h = append(*h, x.(cellEntry)) }
 func (h *cellHeap) Pop() interface{} {
@@ -288,8 +296,16 @@ func newSelectionGrid(pois []terrain.SurfacePoint, cellW float64, rng *rand.Rand
 		}
 		tr.Insert(int64(i))
 	}
-	for cell, tr := range g.cells {
-		heap.Push(&g.heap, cellEntry{cell: cell, size: tr.Len()})
+	// Initialize the heap in sorted cell order: map iteration order is
+	// randomized per process, and seeding the heap from it would make the
+	// greedy strategy nondeterministic even for a fixed Options.Seed.
+	cells := make([]int, 0, len(g.cells))
+	for cell := range g.cells {
+		cells = append(cells, cell)
+	}
+	sort.Ints(cells)
+	for _, cell := range cells {
+		heap.Push(&g.heap, cellEntry{cell: cell, size: g.cells[cell].Len()})
 	}
 	return g
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sync/atomic"
 	"testing"
 
 	"seoracle/internal/gen"
@@ -24,7 +25,7 @@ func buildTreeForTest(t *testing.T, sel Selection, seed int64) (*ptree, []terrai
 	}
 	pois = gen.Dedup(pois, 1e-9)
 	eng := geodesic.NewExact(m)
-	var calls int
+	var calls atomic.Int64
 	tr, err := buildPartitionTree(&countingEngine{Engine: eng, calls: &calls}, pois, sel, seed)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers is the worker count used when Options.Workers is zero.
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// parfor runs fn(i) for every i in [0, n) using at most workers goroutines.
+// workers <= 1 (or n == 1) degenerates to a plain loop on the calling
+// goroutine, so a Workers: 1 build never spawns a goroutine.
+//
+// parfor is the determinism backbone of the parallel construction phases:
+// callers write results into index-addressed slices and merge them on the
+// calling goroutine after parfor returns, in the same order the sequential
+// code would have produced them. Work is handed out through an atomic
+// counter, so the only nondeterminism is *which goroutine* computes an
+// index, never what value lands at it.
+func parfor(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// buildCounters aggregates the construction counters that parallel phases
+// update concurrently. Build snapshots them into the plain-int BuildStats
+// once construction is done, so the public stats stay a simple value type.
+type buildCounters struct {
+	ssadCalls         atomic.Int64
+	resolverFallbacks atomic.Int64
+	pairsConsidered   atomic.Int64
+}

@@ -22,6 +22,9 @@ func (o *Oracle) pathOf(p int32) []int32 {
 // using the efficient O(h) method of §3.4: one same-layer scan plus the
 // first-higher-layer and first-lower-layer passes justified by Lemma 3 /
 // Observation 1.
+//
+// Query only reads the oracle (its per-call scratch lives on the stack), so
+// any number of goroutines may query one Oracle concurrently.
 func (o *Oracle) Query(s, t int32) (float64, error) {
 	if err := o.checkIDs(s, t); err != nil {
 		return 0, err

@@ -19,6 +19,7 @@ type Config struct {
 	Scale   Scale
 	Queries int   // queries per configuration (paper: 100)
 	Seed    int64 // base seed for builds
+	Workers int   // construction worker goroutines (0 = all CPUs)
 	Out     io.Writer
 	// EpsOverride replaces the default ε sweep when non-empty (used by
 	// tests to bound runtime).
@@ -88,7 +89,7 @@ func runEpsSweep(cfg Config, ds *Dataset, methods []string, title string) ([]Mea
 	var out []Measurement
 	for _, eps := range cfg.epsSweep() {
 		for _, name := range methods {
-			m, err := methodByName(name, eps, cfg.Seed)
+			m, err := methodByName(name, eps, cfg.Seed, cfg.Workers)
 			if err != nil {
 				return nil, err
 			}
@@ -135,7 +136,7 @@ func RunFig9(cfg Config) ([]Measurement, error) {
 			methods = []string{MethodSERandom, MethodSPOracle, MethodKAlgo}
 		}
 		for _, name := range methods {
-			m, err := methodByName(name, eps, cfg.Seed)
+			m, err := methodByName(name, eps, cfg.Seed, cfg.Workers)
 			if err != nil {
 				return nil, err
 			}
@@ -172,7 +173,7 @@ func RunFig10(cfg Config) ([]Measurement, error) {
 		}
 		qs := newQuerySet(ds, cfg.queries(), cfg.Seed+300+int64(side))
 		for _, name := range []string{MethodSERandom, MethodKAlgo} {
-			m, err := methodByName(name, eps, cfg.Seed)
+			m, err := methodByName(name, eps, cfg.Seed, cfg.Workers)
 			if err != nil {
 				return nil, err
 			}
@@ -211,7 +212,7 @@ func RunFig11(cfg Config) ([]Measurement, error) {
 			methods = []string{MethodSERandom, MethodSPOracle, MethodKAlgo}
 		}
 		for _, name := range methods {
-			m, err := methodByName(name, eps, cfg.Seed)
+			m, err := methodByName(name, eps, cfg.Seed, cfg.Workers)
 			if err != nil {
 				return nil, err
 			}
@@ -265,7 +266,7 @@ func RunFig12(cfg Config) ([]Measurement, error) {
 	}
 	methods := []a2aMethod{
 		{name: MethodSERandom, build: func(eps float64) (func(s, t terrain.SurfacePoint) (float64, error), int64, error) {
-			so, err := core.BuildSiteOracle(eng, ds.Mesh, core.SiteOptions{Options: core.Options{Epsilon: eps, Seed: cfg.Seed}})
+			so, err := core.BuildSiteOracle(eng, ds.Mesh, core.SiteOptions{Options: core.Options{Epsilon: eps, Seed: cfg.Seed, Workers: cfg.Workers}})
 			if err != nil {
 				return nil, 0, err
 			}
@@ -279,7 +280,7 @@ func RunFig12(cfg Config) ([]Measurement, error) {
 			return so.Query, so.MemoryBytes(), nil
 		}},
 		{name: MethodKAlgo, build: func(eps float64) (func(s, t terrain.SurfacePoint) (float64, error), int64, error) {
-			k, err := methodByName(MethodKAlgo, eps, cfg.Seed)
+			k, err := methodByName(MethodKAlgo, eps, cfg.Seed, cfg.Workers)
 			if err != nil {
 				return nil, 0, err
 			}

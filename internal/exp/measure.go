@@ -81,14 +81,14 @@ type p2pMethod interface {
 }
 
 // methodByName constructs the standard methods used across figures.
-func methodByName(name string, eps float64, seed int64) (p2pMethod, error) {
+func methodByName(name string, eps float64, seed int64, workers int) (p2pMethod, error) {
 	switch name {
 	case MethodSEGreedy:
-		return &seMethod{label: name, opt: core.Options{Epsilon: eps, Selection: core.SelectGreedy, Seed: seed}}, nil
+		return &seMethod{label: name, opt: core.Options{Epsilon: eps, Selection: core.SelectGreedy, Seed: seed, Workers: workers}}, nil
 	case MethodSERandom:
-		return &seMethod{label: name, opt: core.Options{Epsilon: eps, Selection: core.SelectRandom, Seed: seed}}, nil
+		return &seMethod{label: name, opt: core.Options{Epsilon: eps, Selection: core.SelectRandom, Seed: seed, Workers: workers}}, nil
 	case MethodSENaive:
-		return &seMethod{label: name, opt: core.Options{Epsilon: eps, Seed: seed, NaivePairDistances: true}, naiveQuery: true}, nil
+		return &seMethod{label: name, opt: core.Options{Epsilon: eps, Seed: seed, NaivePairDistances: true, Workers: workers}, naiveQuery: true}, nil
 	case MethodSPOracle:
 		return &spMethod{eps: eps, seed: seed}, nil
 	case MethodKAlgo:

@@ -28,7 +28,7 @@ func RunTable1(cfg Config) error {
 		return err
 	}
 	eps := 0.25
-	m, err := methodByName(MethodSERandom, eps, cfg.Seed)
+	m, err := methodByName(MethodSERandom, eps, cfg.Seed, cfg.Workers)
 	if err != nil {
 		return err
 	}

@@ -34,6 +34,15 @@ var Unbounded = Stop{}
 // DistancesTo runs a single-source expansion from src and returns one
 // geodesic distance per target, in order. Targets that were not reached
 // before the stop condition fired are reported as +Inf.
+//
+// Concurrency contract: the oracle's parallel construction (core.Options
+// with Workers > 1) issues DistancesTo calls from multiple goroutines at
+// once, so implementations handed to it must be safe for concurrent use —
+// in practice, all per-expansion state must live in the call, with the
+// shared struct treated as read-only after construction. Exact and
+// steiner.Engine both satisfy this. Determinism matters equally:
+// DistancesTo must be a pure function of (src, targets, stop), because the
+// construction's bit-identical-across-worker-counts guarantee inherits it.
 type Engine interface {
 	DistancesTo(src terrain.SurfacePoint, targets []terrain.SurfacePoint, stop Stop) []float64
 }

@@ -21,6 +21,11 @@
 //	oracle, _ := seoracle.Build(mesh, pois, seoracle.Options{Epsilon: 0.1})
 //	d, _ := oracle.Query(3, 17) // ε-approximate geodesic distance
 //
+// Construction parallelizes its SSAD fan-out across Options.Workers
+// goroutines (default: all CPUs) and is bit-identical for every worker
+// count; a built Oracle is immutable and may be queried concurrently from
+// any number of goroutines.
+//
 // For arbitrary (non-POI) query points, build an A2A oracle with
 // BuildA2A. For exact one-off distances, use ExactDistance.
 package seoracle
@@ -104,7 +109,9 @@ func SampleUniformPOIs(t *Terrain, n int, seed int64) ([]SurfacePoint, error) {
 func VertexPOIs(t *Terrain) []SurfacePoint { return gen.VertexPOIs(t) }
 
 // Build constructs an SE oracle over the POIs using the exact geodesic
-// engine.
+// engine. Construction runs its geodesic fan-out on opt.Workers goroutines
+// (0 means one per CPU); the resulting oracle is identical for every
+// worker count and safe for concurrent Query use.
 func Build(t *Terrain, pois []SurfacePoint, opt Options) (*Oracle, error) {
 	return core.Build(geodesic.NewExact(t), pois, opt)
 }
