@@ -3,7 +3,12 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke lint fmt fmt-check fuzz-smoke ci
+# bench-json knobs: a short benchtime keeps CI cheap; raise it locally for
+# publication-quality ns/op numbers (B/op and allocs/op are stable either way).
+BENCHTIME ?= 0.3s
+BENCH_LABEL ?= local
+
+.PHONY: all build test race bench bench-smoke bench-json lint fmt fmt-check fuzz-smoke ci
 
 all: build
 
@@ -24,6 +29,13 @@ bench:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
+# Run the suite with -benchmem and append a labeled run to BENCH_perf.json —
+# the measured perf trajectory every perf PR records itself into and diffs
+# against. CI uploads the file as an artifact on pushes to main.
+bench-json:
+	$(GO) test -bench=. -benchmem -run='^$$' -benchtime=$(BENCHTIME) . \
+		| $(GO) run ./cmd/benchjson -label "$(BENCH_LABEL)" -o BENCH_perf.json
+
 lint:
 	$(GO) vet ./...
 
@@ -33,8 +45,10 @@ fmt:
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# Exercise the decoder fuzz target briefly (CI runs this non-blocking).
+# Exercise the decoder and hash-lookup fuzz targets briefly (CI runs this
+# non-blocking).
 fuzz-smoke:
 	$(GO) test -fuzz=Fuzz -fuzztime=10s -run='^$$' ./internal/core
+	$(GO) test -fuzz=FuzzLookup -fuzztime=10s -run='^$$' ./internal/perfecthash
 
 ci: fmt-check lint build test race

@@ -7,6 +7,7 @@ package seoracle
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"seoracle/internal/baseline"
@@ -23,19 +24,40 @@ type benchWorld struct {
 	eng *geodesic.Exact
 }
 
-var benchCache = map[string]*benchWorld{}
+// benchKey identifies a cached world by dataset name AND scale: the same
+// dataset function produces entirely different worlds per scale, so a
+// name-only key would silently hand a Quick mesh to a Full benchmark.
+type benchKey struct {
+	name  string
+	scale exp.Scale
+}
 
-func world(b *testing.B, name string, make func(exp.Scale) (*exp.Dataset, error)) *benchWorld {
+// benchCacheMu serializes cache access. Top-level benchmarks run serially,
+// but sub-benchmarks of a future b.RunParallel (and the race detector) need
+// the map to be locked rather than documented as "don't".
+var (
+	benchCacheMu sync.Mutex
+	benchCache   = map[benchKey]*benchWorld{}
+)
+
+func world(b *testing.B, name string, mk func(exp.Scale) (*exp.Dataset, error)) *benchWorld {
+	return worldAt(b, name, exp.Quick, mk)
+}
+
+func worldAt(b *testing.B, name string, scale exp.Scale, mk func(exp.Scale) (*exp.Dataset, error)) *benchWorld {
 	b.Helper()
-	if w, ok := benchCache[name]; ok {
+	key := benchKey{name: name, scale: scale}
+	benchCacheMu.Lock()
+	defer benchCacheMu.Unlock()
+	if w, ok := benchCache[key]; ok {
 		return w
 	}
-	ds, err := make(exp.Quick)
+	ds, err := mk(scale)
 	if err != nil {
 		b.Fatal(err)
 	}
 	w := &benchWorld{ds: ds, eng: geodesic.NewExact(ds.Mesh)}
-	benchCache[name] = w
+	benchCache[key] = w
 	return w
 }
 
@@ -138,6 +160,28 @@ func BenchmarkFig8_QuerySE(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkFig8_QueryBatch drives the bulk-query surface: one QueryBatch
+// call per iteration over a fixed pair set with a preallocated destination,
+// the shape a high-throughput server would use. Expect 0 allocs/op.
+func BenchmarkFig8_QueryBatch(b *testing.B) {
+	w := world(b, "sf-small", exp.SFSmall)
+	o := buildSE(b, w, 0.1, core.SelectRandom)
+	rng := rand.New(rand.NewSource(8))
+	n := int32(len(w.ds.POIs))
+	pairs := make([][2]int32, 1024)
+	for i := range pairs {
+		pairs[i] = [2]int32{rng.Int31n(n), rng.Int31n(n)}
+	}
+	dst := make([]float64, len(pairs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.QueryBatch(pairs, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(pairs)), "queries/op")
 }
 
 func BenchmarkFig8_QueryKAlgo(b *testing.B) {

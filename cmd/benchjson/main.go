@@ -1,0 +1,184 @@
+// Command benchjson converts `go test -bench -benchmem` output (stdin) into
+// a machine-readable perf-trajectory file. Each invocation appends one
+// labeled run to the output JSON, so the file accumulates the project's
+// measured history: every perf PR appends its numbers and diffs against the
+// runs already recorded (see the "Performance" section of the README for the
+// file format).
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -run='^$' . | benchjson -label pr2 -o BENCH_perf.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one benchmark line: the standard ns/op, B/op and allocs/op
+// columns plus any custom ReportMetric columns (keyed by unit).
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Iters       int64              `json:"iters"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"b_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Run is one labeled invocation of the benchmark suite.
+type Run struct {
+	Label      string      `json:"label"`
+	Date       string      `json:"date"`
+	Commit     string      `json:"commit,omitempty"`
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Package    string      `json:"pkg,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// File is the on-disk trajectory: runs in append order, oldest first.
+type File struct {
+	Schema string `json:"schema"`
+	Runs   []Run  `json:"runs"`
+}
+
+const schema = "seoracle-bench/v1"
+
+func main() {
+	var (
+		label = flag.String("label", "local", "label for this run (e.g. the PR name)")
+		out   = flag.String("o", "BENCH_perf.json", "trajectory file to append to")
+	)
+	flag.Parse()
+
+	run := Run{
+		Label:  *label,
+		Date:   time.Now().UTC().Format(time.RFC3339),
+		Commit: gitCommit(),
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	sawFail := false
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // stay tee-able: pass the raw output through
+		// `make` pipes without pipefail, so go test's exit code is lost:
+		// detect failure from the output instead and refuse to record a
+		// partial (or failing) run as a trajectory point.
+		if strings.HasPrefix(line, "FAIL") || strings.HasPrefix(line, "--- FAIL") {
+			sawFail = true
+		}
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			run.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			run.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			run.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			run.Package = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBenchLine(line); ok {
+				run.Benchmarks = append(run.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal("reading stdin: %v", err)
+	}
+	if sawFail {
+		fatal("benchmark run FAILed; not recording it in the trajectory")
+	}
+	if len(run.Benchmarks) == 0 {
+		fatal("no benchmark lines found on stdin (pipe `go test -bench` output in)")
+	}
+
+	var file File
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &file); err != nil {
+			fatal("existing %s is not a trajectory file: %v", *out, err)
+		}
+	} else if !os.IsNotExist(err) {
+		fatal("reading %s: %v", *out, err)
+	}
+	file.Schema = schema
+	file.Runs = append(file.Runs, run)
+
+	data, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		fatal("encoding: %v", err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal("writing %s: %v", *out, err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: appended run %q (%d benchmarks) to %s (%d runs total)\n",
+		run.Label, len(run.Benchmarks), *out, len(file.Runs))
+}
+
+// parseBenchLine parses one result line, e.g.
+//
+//	BenchmarkFig8_QuerySE-8   2224640   159.0 ns/op   235.0 ssads   64 B/op   2 allocs/op
+//
+// The "-8" GOMAXPROCS suffix is stripped from the name so runs on different
+// machines stay comparable by name.
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Iters: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = val
+		case "B/op":
+			b.BytesPerOp = val
+		case "allocs/op":
+			b.AllocsPerOp = val
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = val
+		}
+	}
+	return b, true
+}
+
+// gitCommit best-effort resolves the working tree's HEAD; empty when git (or
+// a repository) is unavailable.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"seoracle/internal/exp"
@@ -30,8 +32,40 @@ func main() {
 		// must be opted into explicitly. Oracle contents (and thus error
 		// and size columns) are identical for any worker count.
 		workers = flag.Int("workers", 1, "oracle-construction worker goroutines (1 = sequential, paper-comparable build times; 0 = all CPUs)")
+		// Profiling hooks for perf work: the experiment sweeps exercise the
+		// same build and query paths production does, so a profile of a
+		// figure run is a profile of the system.
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal("cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal("memprofile: %v", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal("memprofile: %v", err)
+			}
+		}()
+	}
 
 	cfg := exp.Config{Scale: exp.Quick, Queries: *queries, Seed: *seed, Workers: *workers, Out: os.Stdout}
 	if *full {

@@ -1,17 +1,20 @@
 // Command sequery loads a serialized SE oracle and answers POI-to-POI
-// distance queries, either from the command line or as a batch from stdin
-// ("s t" id pairs, one per line).
+// distance queries: from the command line, as a batch from stdin ("s t" id
+// pairs, one per line), or as an in-process throughput benchmark over random
+// pairs.
 //
 // Usage:
 //
 //	sequery -oracle oracle.se -s 3 -t 17
 //	sequery -oracle oracle.se -batch < pairs.txt
+//	sequery -oracle oracle.se -bench 100000
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"time"
 
@@ -25,6 +28,8 @@ func main() {
 		t          = flag.Int("t", -1, "target POI id")
 		batch      = flag.Bool("batch", false, "read 's t' pairs from stdin")
 		naive      = flag.Bool("naive", false, "use the O(h^2) naive query")
+		benchN     = flag.Int("bench", 0, "benchmark: time QueryBatch over this many random pairs")
+		benchSeed  = flag.Int64("bench-seed", 1, "random seed for -bench pair generation")
 	)
 	flag.Parse()
 
@@ -42,6 +47,10 @@ func main() {
 		query = oracle.QueryNaive
 	}
 
+	if *benchN > 0 {
+		bench(oracle, *benchN, *benchSeed, *naive)
+		return
+	}
 	if *batch {
 		sc := bufio.NewScanner(os.Stdin)
 		w := bufio.NewWriter(os.Stdout)
@@ -73,6 +82,60 @@ func main() {
 		fatal("query: %v", err)
 	}
 	fmt.Printf("d(%d,%d) = %g (eps=%g, h=%d)\n", *s, *t, d, oracle.Epsilon(), oracle.Height())
+}
+
+// bench times the query path over n random POI pairs: the zero-allocation
+// QueryBatch serving shape by default, or a QueryNaive loop under -naive. It
+// runs whole passes over one pair set with a preallocated destination until
+// at least a second has elapsed, then reports per-query latency and
+// throughput.
+func bench(oracle *core.Oracle, n int, seed int64, naive bool) {
+	rng := rand.New(rand.NewSource(seed))
+	npoi := int32(oracle.NumPOIs())
+	pairs := make([][2]int32, n)
+	for i := range pairs {
+		pairs[i] = [2]int32{rng.Int31n(npoi), rng.Int31n(npoi)}
+	}
+	dst := make([]float64, len(pairs))
+	onePass := func() error {
+		if naive {
+			for _, p := range pairs {
+				d, err := oracle.QueryNaive(p[0], p[1])
+				if err != nil {
+					return err
+				}
+				dst[0] = d // keep the call observable
+			}
+			return nil
+		}
+		_, err := oracle.QueryBatch(pairs, dst)
+		return err
+	}
+	// Untimed warmup pass: page in the oracle and validate every pair.
+	if err := onePass(); err != nil {
+		fatal("bench: %v", err)
+	}
+	var (
+		queries int
+		passes  int
+		start   = time.Now()
+	)
+	for time.Since(start) < time.Second {
+		if err := onePass(); err != nil {
+			fatal("bench: %v", err)
+		}
+		queries += len(pairs)
+		passes++
+	}
+	el := time.Since(start)
+	perQuery := float64(el.Nanoseconds()) / float64(queries)
+	mode := "batch"
+	if naive {
+		mode = "naive"
+	}
+	fmt.Printf("mode=%s pairs=%d passes=%d elapsed=%v\n", mode, len(pairs), passes, el.Round(time.Millisecond))
+	fmt.Printf("%.1f ns/query, %.0f queries/sec (eps=%g, h=%d, pois=%d)\n",
+		perQuery, 1e9/perQuery, oracle.Epsilon(), oracle.Height(), oracle.NumPOIs())
 }
 
 func fatal(format string, args ...interface{}) {

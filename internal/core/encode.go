@@ -105,6 +105,13 @@ func Decode(r io.Reader) (*Oracle, error) {
 	if npoi <= 0 || nNodes <= 0 || nPairs < 0 || npoi > 1<<40 || nNodes > 1<<40 || nPairs > 1<<40 {
 		return nil, fmt.Errorf("core: implausible sizes npoi=%d nodes=%d pairs=%d", npoi, nNodes, nPairs)
 	}
+	// Bound the height before anything derives layerN from it: Build caps
+	// trees at maxLayers, so a larger header value is corruption — and the
+	// O(npoi·height) path slab would otherwise turn it into a giant
+	// allocation (or an int-overflow panic) right here in Decode.
+	if height < 0 || height >= maxLayers {
+		return nil, fmt.Errorf("core: implausible tree height %d (max %d)", height, maxLayers-1)
+	}
 	ct := &ctree{height: int32(height), root: int32(root), r0: r0}
 	// Grow incrementally with a bounded initial capacity: a corrupt header
 	// claiming a huge count then fails at EOF instead of attempting one
@@ -118,10 +125,19 @@ func Decode(r io.Reader) (*Oracle, error) {
 		if n.parent >= int32(nNodes) || n.center < 0 || n.center >= int32(npoi) {
 			return nil, fmt.Errorf("core: node %d references out of range", i)
 		}
+		if n.layer < 0 || n.layer > int32(height) {
+			return nil, fmt.Errorf("core: node %d layer %d outside [0,%d]", i, n.layer, height)
+		}
 		ct.nodes = append(ct.nodes, n)
 	}
 	for i := range ct.nodes {
 		if p := ct.nodes[i].parent; p >= 0 {
+			// Layers must strictly decrease towards the root; this also rules
+			// out parent cycles, which the leaf-to-root walks below (and the
+			// path-slab build) would otherwise never escape.
+			if ct.nodes[p].layer >= ct.nodes[i].layer {
+				return nil, fmt.Errorf("core: node %d (layer %d) has parent %d at layer >= it", i, ct.nodes[i].layer, p)
+			}
 			ct.nodes[p].children = append(ct.nodes[p].children, int32(i))
 		}
 	}
@@ -152,7 +168,7 @@ func Decode(r io.Reader) (*Oracle, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: rebuilding hash: %w", err)
 	}
-	return &Oracle{
+	o := &Oracle{
 		eps:    eps,
 		tree:   ct,
 		hash:   hash,
@@ -160,5 +176,9 @@ func Decode(r io.Reader) (*Oracle, error) {
 		dist:   dist,
 		npoi:   int(npoi),
 		layerN: int(height) + 1,
-	}, nil
+	}
+	// The path slab is derived state: recompute it rather than trusting (or
+	// paying for) a serialized copy.
+	o.buildPathSlab()
+	return o, nil
 }

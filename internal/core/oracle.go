@@ -67,7 +67,8 @@ type Oracle struct {
 	dist   []float64
 	npoi   int
 	stats  BuildStats
-	layerN int // h+1, the number of layers
+	layerN int     // h+1, the number of layers
+	paths  []int32 // flat path slab: POI p's A_s row at [p*layerN, (p+1)*layerN)
 }
 
 // Build constructs an SE oracle over the POIs of a terrain using eng as the
@@ -138,7 +139,7 @@ func Build(eng geodesic.Engine, pois []terrain.SurfacePoint, opt Options) (*Orac
 	}
 	stats.HashTime = time.Since(t3)
 
-	return &Oracle{
+	o := &Oracle{
 		eps:    opt.Epsilon,
 		tree:   ct,
 		hash:   hash,
@@ -147,7 +148,9 @@ func Build(eng geodesic.Engine, pois []terrain.SurfacePoint, opt Options) (*Orac
 		npoi:   len(pois),
 		stats:  stats,
 		layerN: int(ct.height) + 1,
-	}, nil
+	}
+	o.buildPathSlab()
+	return o, nil
 }
 
 // countingEngine counts SSAD invocations for BuildStats. The counter is
@@ -190,15 +193,18 @@ func (o *Oracle) MemoryBytes() int64 {
 	b += int64(len(o.tree.leaf)) * 4
 	b += int64(len(o.keys)) * 8
 	b += int64(len(o.dist)) * 8
+	b += int64(len(o.paths)) * 4
 	b += o.hash.MemoryBytes()
 	return b
 }
 
 // lookup returns the distance associated with the node pair (a, b), if it is
-// in the node pair set.
+// in the node pair set. It fuses the hash probe with the distance fetch
+// through the single-return perfecthash.Index, so the hot path is two table
+// loads plus one distance load with no tuple-return shuffling.
 func (o *Oracle) lookup(a, b int32) (float64, bool) {
-	idx, ok := o.hash.Lookup(packPair(a, b))
-	if !ok {
+	idx := o.hash.Index(packPair(a, b))
+	if idx < 0 {
 		return 0, false
 	}
 	return o.dist[idx], true

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math"
 	"testing"
 
@@ -287,6 +288,17 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 	data[0] ^= 0xff
 	if _, err := Decode(bytes.NewReader(data)); err == nil {
 		t.Error("corrupt magic decoded")
+	}
+	data[0] ^= 0xff // restore
+	// Corrupt the header height (offset 24: magic+version+eps precede it):
+	// the O(npoi·height) path slab makes Decode itself pay for the height,
+	// so an implausible value must be rejected, not allocated.
+	for _, h := range []uint64{1 << 60, 1 << 33, ^uint64(0)} {
+		bad := append([]byte(nil), data...)
+		binary.LittleEndian.PutUint64(bad[24:], h)
+		if _, err := Decode(bytes.NewReader(bad)); err == nil {
+			t.Errorf("height %#x decoded", h)
+		}
 	}
 }
 

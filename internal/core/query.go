@@ -2,20 +2,30 @@ package core
 
 import "fmt"
 
-// pathOf returns the layer-indexed array A_s of §3.4: entry i is the
-// compressed node at layer i on the path from POI p's leaf to the root, or
-// -1 when the path skips that layer.
+// buildPathSlab precomputes the layer-indexed path array A_s of §3.4 for
+// every POI into one flat int32 slab: row p (o.layerN entries) holds, per
+// layer, the compressed node on the path from POI p's leaf to the root, or -1
+// when the path skips that layer. Query and QueryNaive index the slab instead
+// of walking parent pointers, which makes the query path allocation-free. The
+// slab is O(n·h) int32s, is rebuilt by Decode (it is derived state, never
+// serialized), and is charged to MemoryBytes.
+func (o *Oracle) buildPathSlab() {
+	o.paths = make([]int32, o.npoi*o.layerN)
+	for i := range o.paths {
+		o.paths[i] = -1
+	}
+	for p := 0; p < o.npoi; p++ {
+		row := o.paths[p*o.layerN : (p+1)*o.layerN]
+		for n := o.tree.leaf[p]; n >= 0; n = o.tree.nodes[n].parent {
+			row[o.tree.nodes[n].layer] = n
+		}
+	}
+}
+
+// pathOf returns POI p's row of the path slab. The returned slice aliases
+// oracle-owned memory and must be treated as read-only.
 func (o *Oracle) pathOf(p int32) []int32 {
-	path := make([]int32, o.layerN)
-	for i := range path {
-		path[i] = -1
-	}
-	n := o.tree.leaf[p]
-	for n >= 0 {
-		path[o.tree.nodes[n].layer] = n
-		n = o.tree.nodes[n].parent
-	}
-	return path
+	return o.paths[int(p)*o.layerN : (int(p)+1)*o.layerN]
 }
 
 // Query returns the ε-approximate geodesic distance between POIs s and t
@@ -24,10 +34,17 @@ func (o *Oracle) pathOf(p int32) []int32 {
 // Observation 1.
 //
 // Query only reads the oracle (its per-call scratch lives on the stack), so
-// any number of goroutines may query one Oracle concurrently.
+// any number of goroutines may query one Oracle concurrently. A successful
+// query performs no heap allocations.
 func (o *Oracle) Query(s, t int32) (float64, error) {
 	if err := o.checkIDs(s, t); err != nil {
 		return 0, err
+	}
+	if s == t {
+		// A same-leaf self pair is not guaranteed to be in the
+		// well-separated pair set, and scanning for one would burn the full
+		// O(h) passes to state the obvious.
+		return 0, nil
 	}
 	as := o.pathOf(s)
 	at := o.pathOf(t)
@@ -83,6 +100,9 @@ func (o *Oracle) QueryNaive(s, t int32) (float64, error) {
 	if err := o.checkIDs(s, t); err != nil {
 		return 0, err
 	}
+	if s == t {
+		return 0, nil
+	}
 	as := o.pathOf(s)
 	at := o.pathOf(t)
 	for _, a := range as {
@@ -99,6 +119,27 @@ func (o *Oracle) QueryNaive(s, t int32) (float64, error) {
 		}
 	}
 	return 0, fmt.Errorf("core: no node pair contains POIs (%d,%d); oracle corrupt", s, t)
+}
+
+// QueryBatch answers pairs[i] = (s, t) into dst[i] and returns dst. When
+// cap(dst) >= len(pairs) the call performs no heap allocations (pass dst ==
+// nil to let the call allocate). On the first invalid pair the filled prefix
+// and the error are returned. This is the throughput surface for serving
+// bulk workloads: one bounds-checked call, no per-query interface or slice
+// churn.
+func (o *Oracle) QueryBatch(pairs [][2]int32, dst []float64) ([]float64, error) {
+	if cap(dst) < len(pairs) {
+		dst = make([]float64, len(pairs))
+	}
+	dst = dst[:len(pairs)]
+	for i, p := range pairs {
+		d, err := o.Query(p[0], p[1])
+		if err != nil {
+			return dst[:i], fmt.Errorf("core: batch pair %d: %w", i, err)
+		}
+		dst[i] = d
+	}
+	return dst, nil
 }
 
 func (o *Oracle) parentLayer(n int32) int {

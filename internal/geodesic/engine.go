@@ -38,11 +38,14 @@ var Unbounded = Stop{}
 // Concurrency contract: the oracle's parallel construction (core.Options
 // with Workers > 1) issues DistancesTo calls from multiple goroutines at
 // once, so implementations handed to it must be safe for concurrent use —
-// in practice, all per-expansion state must live in the call, with the
+// per-expansion state must be private to the call (owned outright, or
+// checked out of a pool the way Exact recycles its run scratch), with the
 // shared struct treated as read-only after construction. Exact and
 // steiner.Engine both satisfy this. Determinism matters equally:
-// DistancesTo must be a pure function of (src, targets, stop), because the
-// construction's bit-identical-across-worker-counts guarantee inherits it.
+// DistancesTo must be a pure function of (src, targets, stop) — recycled
+// scratch must be reset so thoroughly that results never depend on what the
+// scratch last computed — because the construction's
+// bit-identical-across-worker-counts guarantee inherits it.
 type Engine interface {
 	DistancesTo(src terrain.SurfacePoint, targets []terrain.SurfacePoint, stop Stop) []float64
 }

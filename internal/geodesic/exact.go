@@ -1,15 +1,20 @@
 package geodesic
 
 import (
-	"container/heap"
 	"math"
+	"sync"
 
 	"seoracle/internal/geom"
 	"seoracle/internal/terrain"
 )
 
 // Exact is the window-propagation SSAD engine. It is safe for concurrent use
-// by multiple goroutines: each DistancesTo call builds its own run state.
+// by multiple goroutines: each DistancesTo call checks a private run state
+// out of a pool (or builds a fresh one), so concurrent expansions never
+// share mutable memory. Recycling the run state — window lists, the event
+// queue, vertex labels, window storage — is what keeps the build-dominating
+// SSAD fan-out out of the allocator; results remain a pure function of
+// (src, targets, stop) because begin() resets every recycled field.
 type Exact struct {
 	mesh *terrain.Mesh
 	// apex[h] is the planar position of the third vertex of h's face when
@@ -19,6 +24,9 @@ type Exact struct {
 	// spawn[v] reports whether geodesics may bend around vertex v: saddle
 	// vertices (total incident angle > 2*pi) and boundary vertices.
 	spawn []bool
+	// runs recycles per-expansion scratch across DistancesTo calls; one run
+	// is checked out per in-flight expansion (per-goroutine in practice).
+	runs sync.Pool
 }
 
 // NewExact prepares an exact SSAD engine for m.
@@ -50,9 +58,13 @@ func (e *Exact) Mesh() *terrain.Mesh { return e.mesh }
 
 // DistancesTo implements Engine.
 func (e *Exact) DistancesTo(src terrain.SurfacePoint, targets []terrain.SurfacePoint, stop Stop) []float64 {
-	r := e.newRun(src, targets, stop)
+	r := e.getRun()
+	r.begin(src, targets, stop)
 	r.propagate()
-	return r.results()
+	out := make([]float64, len(targets))
+	r.results(out)
+	e.putRun(r)
+	return out
 }
 
 // VertexDistances runs a full (or radius-bounded) expansion from src and
@@ -60,7 +72,8 @@ func (e *Exact) DistancesTo(src terrain.SurfacePoint, targets []terrain.SurfaceP
 // radius are +Inf.
 func (e *Exact) VertexDistances(src terrain.SurfacePoint, stop Stop) []float64 {
 	stop.CoverTargets = false
-	r := e.newRun(src, nil, stop)
+	r := e.getRun()
+	r.begin(src, nil, stop)
 	r.propagate()
 	out := make([]float64, len(r.label))
 	copy(out, r.label)
@@ -71,10 +84,14 @@ func (e *Exact) VertexDistances(src terrain.SurfacePoint, stop Stop) []float64 {
 			}
 		}
 	}
+	e.putRun(r)
 	return out
 }
 
-// run holds the state of one SSAD expansion.
+// run holds the state of one SSAD expansion. Runs are recycled through
+// Exact.runs: begin() must reset every field a previous expansion may have
+// dirtied, because any leak across runs would break the engine's
+// pure-function (and hence build-determinism) contract.
 type run struct {
 	e    *Exact
 	m    *terrain.Mesh
@@ -83,6 +100,7 @@ type run struct {
 	lists [][]*window // live windows per half-edge
 	label []float64   // per-vertex distance upper bounds (exact at settle)
 	queue qheap
+	arena winArena
 
 	targets     []terrain.SurfacePoint
 	est         []float64
@@ -93,35 +111,73 @@ type run struct {
 	settledN    int
 	settled     []bool
 
+	// insert/clip scratch (see trim.go); safe because insert never re-enters.
+	ivA, ivB []iv
+	snap     []*window
+
 	maxKey float64
 }
 
-func (e *Exact) newRun(src terrain.SurfacePoint, targets []terrain.SurfacePoint, stop Stop) *run {
+// getRun checks a run out of the pool, or builds one sized for the mesh.
+func (e *Exact) getRun() *run {
+	if v := e.runs.Get(); v != nil {
+		return v.(*run)
+	}
 	m := e.mesh
-	r := &run{
-		e:     e,
-		m:     m,
-		stop:  stop,
-		lists: make([][]*window, m.NumHalfedges()),
-		label: make([]float64, m.NumVerts()),
+	return &run{
+		e:           e,
+		m:           m,
+		lists:       make([][]*window, m.NumHalfedges()),
+		label:       make([]float64, m.NumVerts()),
+		faceTargets: make(map[int32][]int),
+		vertTargets: make(map[int32][]int),
+	}
+}
+
+// putRun returns a run to the pool. The caller's target slice is dropped so
+// the pool does not pin caller memory between expansions.
+func (e *Exact) putRun(r *run) {
+	r.targets = nil
+	e.runs.Put(r)
+}
+
+// begin resets the run for a new expansion and seeds it from src.
+func (r *run) begin(src terrain.SurfacePoint, targets []terrain.SurfacePoint, stop Stop) {
+	r.stop = stop
+	for i := range r.lists {
+		r.lists[i] = r.lists[i][:0]
 	}
 	for i := range r.label {
 		r.label[i] = inf()
 	}
+	r.queue = r.queue[:0]
+	r.theap = r.theap[:0]
+	r.arena.reset()
+	r.settledN = 0
+	r.maxKey = 0
 	r.initTargets(targets)
 	r.initSource(src)
-	return r
+}
+
+// grow returns s resized to n entries, reusing its backing array when it is
+// large enough. Contents are unspecified; callers must overwrite.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }
 
 func (r *run) initTargets(targets []terrain.SurfacePoint) {
 	r.targets = targets
-	r.est = make([]float64, len(targets))
-	r.settled = make([]bool, len(targets))
-	r.tcoords = make([][3]geom.Vec2, len(targets))
-	r.faceTargets = make(map[int32][]int)
-	r.vertTargets = make(map[int32][]int)
+	r.est = grow(r.est, len(targets))
+	r.settled = grow(r.settled, len(targets))
+	r.tcoords = grow(r.tcoords, len(targets))
+	clear(r.faceTargets)
+	clear(r.vertTargets)
 	for i, t := range targets {
 		r.est[i] = inf()
+		r.settled[i] = false
 		if t.Vert >= 0 {
 			r.vertTargets[t.Vert] = append(r.vertTargets[t.Vert], i)
 			// A vertex target also benefits from window evaluations on any
@@ -193,8 +249,8 @@ func (r *run) initSource(src terrain.SurfacePoint) {
 
 // propagate drains the queue until the stop condition fires.
 func (r *run) propagate() {
-	for r.queue.Len() > 0 {
-		it := heap.Pop(&r.queue).(qitem)
+	for len(r.queue) > 0 {
+		it := r.queue.pop()
 		if r.stop.Radius > 0 && it.key > r.stop.Radius {
 			return
 		}
@@ -225,8 +281,8 @@ func (r *run) propagate() {
 
 // settleTargets marks targets whose estimate can no longer improve.
 func (r *run) settleTargets(key float64) {
-	for r.theap.Len() > 0 && r.theap[0].est <= key {
-		it := heap.Pop(&r.theap).(estItem)
+	for len(r.theap) > 0 && r.theap[0].est <= key {
+		it := r.theap.pop()
 		if !r.settled[it.idx] && r.est[it.idx] <= key {
 			r.settled[it.idx] = true
 			r.settledN++
@@ -234,8 +290,8 @@ func (r *run) settleTargets(key float64) {
 	}
 }
 
-func (r *run) results() []float64 {
-	out := make([]float64, len(r.targets))
+// results writes one distance per target into out (len(out) == len(targets)).
+func (r *run) results(out []float64) {
 	for i := range r.targets {
 		d := r.est[i]
 		if r.stop.Radius > 0 && d > r.stop.Radius {
@@ -243,14 +299,13 @@ func (r *run) results() []float64 {
 		}
 		out[i] = d
 	}
-	return out
 }
 
 // updateEstimate lowers a target's distance estimate.
 func (r *run) updateEstimate(ti int, d float64) {
 	if d < r.est[ti] {
 		r.est[ti] = d
-		heap.Push(&r.theap, estItem{est: d, idx: ti})
+		r.theap.push(estItem{est: d, idx: ti})
 	}
 }
 

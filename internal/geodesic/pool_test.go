@@ -1,0 +1,132 @@
+package geodesic
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"seoracle/internal/terrain"
+)
+
+// noisyGrid builds a bumpy test terrain so expansions cross folds and spawn
+// saddle pseudo-sources — the paths that dirty the most run state.
+func noisyGrid(t *testing.T, nx, ny int, seed int64) *terrain.Mesh {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	h := make([]float64, nx*ny)
+	for i := range h {
+		h[i] = rng.Float64() * 3
+	}
+	m, err := terrain.NewGrid(nx, ny, 1, 1, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// DistancesTo recycles run scratch through a sync.Pool; results must remain
+// a pure function of (src, targets, stop) regardless of what the recycled
+// scratch last computed. Interleave different expansions and compare each
+// against a fresh engine that has never reused anything.
+func TestPooledRunsMatchFreshEngine(t *testing.T) {
+	m := noisyGrid(t, 11, 11, 211)
+	reused := NewExact(m)
+	var sources, targets []terrain.SurfacePoint
+	for v := 0; v < m.NumVerts(); v += 7 {
+		sources = append(sources, m.VertexPoint(int32(v)))
+	}
+	for v := 3; v < m.NumVerts(); v += 5 {
+		targets = append(targets, m.VertexPoint(int32(v)))
+	}
+	stops := []Stop{{CoverTargets: true}, {}, {Radius: 6}, {Radius: 3, CoverTargets: true}}
+	// Three passes over (source, stop) pairs: the first warms the pool, the
+	// later ones run entirely on recycled scratch.
+	var first [][]float64
+	for pass := 0; pass < 3; pass++ {
+		i := 0
+		for _, src := range sources {
+			for _, stop := range stops {
+				got := reused.DistancesTo(src, targets, stop)
+				if pass == 0 {
+					// A fresh engine per call: no reuse whatsoever.
+					want := NewExact(m).DistancesTo(src, targets, stop)
+					for k := range got {
+						if got[k] != want[k] {
+							t.Fatalf("src %d stop %+v target %d: pooled %v, fresh %v",
+								i, stop, k, got[k], want[k])
+						}
+					}
+					first = append(first, got)
+				} else {
+					want := first[i]
+					for k := range got {
+						if got[k] != want[k] {
+							t.Fatalf("pass %d src-stop %d target %d: %v, first pass %v",
+								pass, i, k, got[k], want[k])
+						}
+					}
+				}
+				i++
+			}
+		}
+	}
+}
+
+// VertexDistances shares the pooled scratch with DistancesTo; interleaving
+// the two must not let state leak either way.
+func TestPooledVertexDistancesInterleaved(t *testing.T) {
+	m := noisyGrid(t, 9, 9, 223)
+	e := NewExact(m)
+	src := m.VertexPoint(0)
+	tgt := []terrain.SurfacePoint{m.VertexPoint(int32(m.NumVerts() - 1))}
+	wantV := NewExact(m).VertexDistances(src, Unbounded)
+	wantD := NewExact(m).DistancesTo(src, tgt, Stop{CoverTargets: true})
+	for i := 0; i < 4; i++ {
+		gotV := e.VertexDistances(src, Unbounded)
+		for v := range wantV {
+			if gotV[v] != wantV[v] {
+				t.Fatalf("round %d vertex %d: %v, want %v", i, v, gotV[v], wantV[v])
+			}
+		}
+		gotD := e.DistancesTo(src, tgt, Stop{CoverTargets: true})
+		if gotD[0] != wantD[0] {
+			t.Fatalf("round %d: target dist %v, want %v", i, gotD[0], wantD[0])
+		}
+		// Dirty the pool with an unrelated radius-bounded expansion.
+		e.DistancesTo(m.VertexPoint(int32(i+5)), tgt, Stop{Radius: 2})
+	}
+}
+
+// Concurrent expansions each check out their own run; under -race this
+// proves the pool hand-off is clean, and the results must equal a serial
+// replay.
+func TestPooledRunsConcurrent(t *testing.T) {
+	m := noisyGrid(t, 11, 11, 227)
+	e := NewExact(m)
+	var targets []terrain.SurfacePoint
+	for v := 1; v < m.NumVerts(); v += 9 {
+		targets = append(targets, m.VertexPoint(int32(v)))
+	}
+	const n = 24
+	want := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		want[i] = e.DistancesTo(m.VertexPoint(int32(i)), targets, Stop{CoverTargets: true})
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				got := e.DistancesTo(m.VertexPoint(int32(i)), targets, Stop{CoverTargets: true})
+				for k := range got {
+					if got[k] != want[i][k] {
+						t.Errorf("goroutine %d src %d target %d: %v, want %v", g, i, k, got[k], want[i][k])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

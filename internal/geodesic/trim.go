@@ -6,11 +6,19 @@ import (
 	"seoracle/internal/geom"
 )
 
+// iv is a bare interval; insert's clipping scratch.
+type iv struct{ a, b float64 }
+
 // insert adds a candidate window (interval [b0,b1] on half-edge he with
 // pseudo-source (px,py) and source offset sigma) to the edge's window list,
 // resolving overlaps with existing windows so that the per-edge windows stay
 // (numerically) disjoint. Surviving pieces are queued for propagation and
 // drive vertex-label and target-estimate updates.
+//
+// The piece lists and the edge-list snapshot live in run-owned scratch
+// (r.ivA/r.ivB/r.snap): insert is the innermost hot call of the expansion and
+// never re-enters itself, so reusing one set of buffers is safe and keeps the
+// clipping loop allocation-free.
 func (r *run) insert(he int32, b0, b1, px, py, sigma float64) {
 	L := r.m.Halfedge(he).Len
 	epsLen := 1e-11 * L
@@ -24,18 +32,23 @@ func (r *run) insert(he int32, b0, b1, px, py, sigma float64) {
 		return
 	}
 
-	type iv struct{ a, b float64 }
-	pieces := []iv{{b0, b1}}
+	pieces := append(r.ivA[:0], iv{b0, b1})
+	spare := r.ivB[:0]
 	cand := window{he: he, px: px, py: py, sigma: sigma}
 	distC := func(t float64) float64 { return cand.distAt(t) }
 
-	snapshot := make([]*window, len(r.lists[he]))
-	copy(snapshot, r.lists[he])
+	// Snapshot the edge list: clipWindow appends remainder pieces to it
+	// while we iterate.
+	snapshot := append(r.snap[:0], r.lists[he]...)
+	defer func() {
+		r.ivA, r.ivB = pieces[:0], spare[:0]
+		r.snap = snapshot[:0]
+	}()
 	for _, wE := range snapshot {
 		if !wE.alive {
 			continue
 		}
-		var next []iv
+		next := spare[:0]
 		for _, p := range pieces {
 			lo := math.Max(p.a, wE.b0)
 			hi := math.Min(p.b, wE.b1)
@@ -85,14 +98,14 @@ func (r *run) insert(he int32, b0, b1, px, py, sigma float64) {
 				}
 			}
 		}
-		pieces = next
+		pieces, spare = next, pieces
 		if len(pieces) == 0 {
 			return
 		}
 	}
 
 	for _, p := range pieces {
-		w := &window{he: he, b0: p.a, b1: p.b, px: px, py: py, sigma: sigma, alive: true}
+		w := r.arena.get(he, p.a, p.b, px, py, sigma, false)
 		r.lists[he] = append(r.lists[he], w)
 		pushWindow(&r.queue, w)
 		r.afterInsert(w, L, epsLen)
@@ -100,7 +113,9 @@ func (r *run) insert(he int32, b0, b1, px, py, sigma float64) {
 	r.compact(he)
 }
 
-// compact drops dead windows from an edge list once they dominate it.
+// compact drops dead windows from an edge list once they dominate it. The
+// filter runs in place: writes trail reads, and the truncated tail keeps its
+// capacity for the edge's next append.
 func (r *run) compact(he int32) {
 	list := r.lists[he]
 	if len(list) <= 32 {
@@ -115,7 +130,7 @@ func (r *run) compact(he int32) {
 	if 2*dead <= len(list) {
 		return
 	}
-	live := make([]*window, 0, len(list)-dead)
+	live := list[:0]
 	for _, w := range list {
 		if w.alive {
 			live = append(live, w)
@@ -131,16 +146,14 @@ func (r *run) compact(he int32) {
 func (r *run) clipWindow(he int32, w *window, lo, hi, epsLen float64) {
 	w.alive = false
 	if lo-w.b0 > epsLen {
-		left := &window{he: he, b0: w.b0, b1: lo, px: w.px, py: w.py, sigma: w.sigma,
-			alive: true, propagated: w.propagated}
+		left := r.arena.get(he, w.b0, lo, w.px, w.py, w.sigma, w.propagated)
 		r.lists[he] = append(r.lists[he], left)
 		if !left.propagated {
 			pushWindow(&r.queue, left)
 		}
 	}
 	if w.b1-hi > epsLen {
-		right := &window{he: he, b0: hi, b1: w.b1, px: w.px, py: w.py, sigma: w.sigma,
-			alive: true, propagated: w.propagated}
+		right := r.arena.get(he, hi, w.b1, w.px, w.py, w.sigma, w.propagated)
 		r.lists[he] = append(r.lists[he], right)
 		if !right.propagated {
 			pushWindow(&r.queue, right)

@@ -1,9 +1,6 @@
 package geodesic
 
-import (
-	"container/heap"
-	"math"
-)
+import "math"
 
 // window is an interval [b0,b1] on a directed half-edge together with an
 // unfolded pseudo-source. The half-edge's local frame puts its origin vertex
@@ -42,6 +39,37 @@ func (w *window) minDist() float64 {
 	}
 }
 
+// winArena hands out windows from recycled fixed-size blocks. Windows only
+// live for one SSAD expansion, so reset() makes every block reusable at once;
+// after the first few runs an expansion performs no window allocations at
+// all. Blocks are append-only and pointers into them stay valid for the whole
+// run, which is what the per-edge lists and the queue rely on.
+type winArena struct {
+	blocks [][]window
+	cur    int // index of the block currently being carved
+	next   int // next free slot in that block
+}
+
+const winArenaBlock = 512
+
+// get returns a fully initialized live window.
+func (a *winArena) get(he int32, b0, b1, px, py, sigma float64, propagated bool) *window {
+	if a.cur == len(a.blocks) {
+		a.blocks = append(a.blocks, make([]window, winArenaBlock))
+	}
+	w := &a.blocks[a.cur][a.next]
+	if a.next++; a.next == winArenaBlock {
+		a.cur++
+		a.next = 0
+	}
+	*w = window{he: he, b0: b0, b1: b1, px: px, py: py, sigma: sigma,
+		alive: true, propagated: propagated}
+	return w
+}
+
+// reset recycles every block for the next run.
+func (a *winArena) reset() { a.cur, a.next = 0, 0 }
+
 // qitem is an entry of the propagation queue: either a window event or a
 // vertex (pseudo-source) event.
 type qitem struct {
@@ -50,22 +78,7 @@ type qitem struct {
 	vert int32   // valid when win == nil
 }
 
-type qheap []qitem
-
-func (q qheap) Len() int            { return len(q) }
-func (q qheap) Less(i, j int) bool  { return q[i].key < q[j].key }
-func (q qheap) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *qheap) Push(x interface{}) { *q = append(*q, x.(qitem)) }
-func (q *qheap) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
-}
-
-func pushWindow(q *qheap, w *window)             { heap.Push(q, qitem{key: w.minDist(), win: w}) }
-func pushVertex(q *qheap, v int32, dist float64) { heap.Push(q, qitem{key: dist, vert: v}) }
+func (a qitem) lessThan(b qitem) bool { return a.key < b.key }
 
 // estItem tracks a target's current best distance estimate for the lazy
 // settledness check.
@@ -74,16 +87,71 @@ type estItem struct {
 	idx int
 }
 
+func (a estItem) lessThan(b estItem) bool { return a.est < b.est }
+
+// qheap and estHeap are hand-rolled 4-ary min-heaps. container/heap would
+// box every pushed element into an interface{} — one heap allocation per
+// event, millions per construction — and pay an indirect call per
+// comparison. The 4-ary layout also halves the tree depth, trading cheap
+// sibling scans for expensive cache misses. Pop order (ties included) is
+// deterministic, which the engine's pure-function contract requires; both
+// heaps share the one generic sift implementation below so the
+// tie-break-bearing logic cannot diverge.
+type qheap []qitem
 type estHeap []estItem
 
-func (q estHeap) Len() int            { return len(q) }
-func (q estHeap) Less(i, j int) bool  { return q[i].est < q[j].est }
-func (q estHeap) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *estHeap) Push(x interface{}) { *q = append(*q, x.(estItem)) }
-func (q *estHeap) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
+func (q *qheap) push(it qitem)     { heapPush4((*[]qitem)(q), it) }
+func (q *qheap) pop() qitem        { return heapPop4((*[]qitem)(q)) }
+func (q *estHeap) push(it estItem) { heapPush4((*[]estItem)(q), it) }
+func (q *estHeap) pop() estItem    { return heapPop4((*[]estItem)(q)) }
+
+func heapPush4[T interface{ lessThan(T) bool }](q *[]T, it T) {
+	h := append(*q, it)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !h[i].lessThan(h[p]) {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	*q = h
 }
+
+func heapPop4[T interface{ lessThan(T) bool }](q *[]T) T {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	var zero T
+	h[n] = zero // drop stale pointers (e.g. a qitem's window)
+	h = h[:n]
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if h[j].lessThan(h[m]) {
+				m = j
+			}
+		}
+		if !h[m].lessThan(h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	*q = h
+	return top
+}
+
+func pushWindow(q *qheap, w *window)             { q.push(qitem{key: w.minDist(), win: w}) }
+func pushVertex(q *qheap, v int32, dist float64) { q.push(qitem{key: dist, vert: v}) }

@@ -40,8 +40,16 @@ func hash(key, mult uint64, mod int) int {
 
 type bucket struct {
 	mult  uint64
-	start int32 // offset into the slot arrays
+	start int32 // offset into the slot array
 	size  int32 // number of slots (count^2)
+}
+
+// slot is one second-level entry. Key and value live side by side so a probe
+// touches a single cache line: the old split slotKey/slotVal arrays cost two
+// dependent loads from different allocations per lookup.
+type slot struct {
+	key uint64
+	val int32 // dense index of the key, or -1 for an empty slot
 }
 
 // Table is an immutable perfect-hash table mapping uint64 keys to the dense
@@ -49,8 +57,7 @@ type bucket struct {
 type Table struct {
 	topMult uint64
 	buckets []bucket
-	slotKey []uint64
-	slotVal []int32 // index of the key, or -1 for an empty slot
+	slots   []slot
 	n       int
 }
 
@@ -98,10 +105,9 @@ func Build(keys []uint64, seed int64) (*Table, error) {
 			continue
 		}
 		size := cnt * cnt
-		start := len(t.slotKey)
+		start := len(t.slots)
 		for i := 0; i < size; i++ {
-			t.slotKey = append(t.slotKey, 0)
-			t.slotVal = append(t.slotVal, -1)
+			t.slots = append(t.slots, slot{val: -1})
 		}
 		for try := 0; ; try++ {
 			if try > 1024 {
@@ -110,16 +116,15 @@ func Build(keys []uint64, seed int64) (*Table, error) {
 			mult := rng.Uint64()
 			ok := true
 			for i := start; i < start+size; i++ {
-				t.slotVal[i] = -1
+				t.slots[i] = slot{val: -1}
 			}
 			for _, id := range ids {
 				s := start + hash(keys[id], mult, size)
-				if t.slotVal[s] >= 0 {
+				if t.slots[s].val >= 0 {
 					ok = false
 					break
 				}
-				t.slotKey[s] = keys[id]
-				t.slotVal[s] = id
+				t.slots[s] = slot{key: keys[id], val: id}
 			}
 			if ok {
 				t.buckets[b] = bucket{mult: mult, start: int32(start), size: int32(size)}
@@ -137,21 +142,30 @@ func Build(keys []uint64, seed int64) (*Table, error) {
 	return t, nil
 }
 
+// Index returns the dense index of key, or -1 when the key is not in the
+// table. This is the hot probe: one bucket-header load, one slot load. Empty
+// slots carry val == -1 and key == 0, so a key-0 probe that lands on an empty
+// slot still reports a miss through the stored -1.
+func (t *Table) Index(key uint64) int32 {
+	b := t.buckets[hash(key, t.topMult, len(t.buckets))]
+	if b.size == 0 {
+		return -1
+	}
+	s := t.slots[b.start+int32(hash(key, b.mult, int(b.size)))]
+	if s.key != key {
+		return -1
+	}
+	return s.val
+}
+
 // Lookup returns the dense index of key, or ok == false when the key is not
 // in the table.
 func (t *Table) Lookup(key uint64) (int32, bool) {
-	if t.n == 0 {
+	idx := t.Index(key)
+	if idx < 0 {
 		return 0, false
 	}
-	b := t.buckets[hash(key, t.topMult, len(t.buckets))]
-	if b.size == 0 {
-		return 0, false
-	}
-	s := b.start + int32(hash(key, b.mult, int(b.size)))
-	if t.slotVal[s] >= 0 && t.slotKey[s] == key {
-		return t.slotVal[s], true
-	}
-	return 0, false
+	return idx, true
 }
 
 // Len returns the number of keys in the table.
@@ -160,9 +174,9 @@ func (t *Table) Len() int { return t.n }
 // MemoryBytes estimates the table's resident size; it is the space term the
 // oracle-size accounting charges for the hash index.
 func (t *Table) MemoryBytes() int64 {
-	return int64(len(t.buckets))*16 + int64(len(t.slotKey))*8 + int64(len(t.slotVal))*4 + 16
+	return int64(len(t.buckets))*16 + int64(len(t.slots))*16 + 16
 }
 
 // Slots returns the number of second-level slots (linear in Len by the FKS
 // guarantee); exposed for the space-bound property tests.
-func (t *Table) Slots() int { return len(t.slotKey) }
+func (t *Table) Slots() int { return len(t.slots) }
