@@ -8,7 +8,7 @@ GO ?= go
 BENCHTIME ?= 0.3s
 BENCH_LABEL ?= local
 
-.PHONY: all build test race bench bench-smoke bench-json lint fmt fmt-check fuzz-smoke ci
+.PHONY: all build test race bench bench-smoke bench-json lint fmt fmt-check fuzz-smoke serve-smoke ci
 
 all: build
 
@@ -50,5 +50,11 @@ fmt-check:
 fuzz-smoke:
 	$(GO) test -fuzz=Fuzz -fuzztime=10s -run='^$$' ./internal/core
 	$(GO) test -fuzz=FuzzLookup -fuzztime=10s -run='^$$' ./internal/perfecthash
+
+# End-to-end build/store/serve pipeline: generate a terrain, build se and
+# a2a index containers, serve them with seserve, and assert curl'd answers
+# match sequery's (see scripts/serve_smoke.sh). Wired into CI.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 ci: fmt-check lint build test race

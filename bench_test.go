@@ -84,7 +84,7 @@ func BenchmarkBuildParallel(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				b.ReportMetric(float64(o.Stats().SSADCalls), "ssads")
+				b.ReportMetric(float64(o.BuildStats().SSADCalls), "ssads")
 			}
 		})
 	}
@@ -96,7 +96,7 @@ func BenchmarkTable1_SEBuild(b *testing.B) {
 	w := world(b, "sf-small", exp.SFSmall)
 	for i := 0; i < b.N; i++ {
 		o := buildSE(b, w, 0.25, core.SelectRandom)
-		b.ReportMetric(float64(o.Stats().SSADCalls), "ssads")
+		b.ReportMetric(float64(o.BuildStats().SSADCalls), "ssads")
 		b.ReportMetric(float64(o.NumPairs()), "pairs")
 	}
 }
@@ -282,7 +282,7 @@ func BenchmarkFig12_A2AQuery(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := so.Query(pt(), pt()); err != nil {
+		if _, err := so.QueryPoints(pt(), pt()); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,10 +1,16 @@
-// Command sebuild constructs an SE distance oracle from a terrain (OFF) and
-// a POI file, serializes it, and prints the construction statistics.
+// Command sebuild constructs a distance index from a terrain (OFF) — an SE
+// POI oracle, an arbitrary-point A2A oracle, or a dynamic oracle — and
+// serializes it as a self-describing container that sequery and seserve
+// load.
 //
 // Usage:
 //
-//	sebuild -terrain terrain.off -pois pois.txt -out oracle.se
-//	        [-eps 0.1] [-greedy] [-naive] [-seed 1] [-check] [-workers 0]
+//	sebuild -terrain terrain.off -pois pois.txt -out index.sedx
+//	        [-kind se|a2a|dynamic] [-eps 0.1] [-greedy] [-naive]
+//	        [-seed 1] [-check] [-workers 0] [-sites-per-edge 0]
+//
+// -kind=a2a indexes the terrain itself (every vertex plus per-edge Steiner
+// sites), so -pois is not required; se and dynamic index the POI file.
 package main
 
 import (
@@ -22,15 +28,17 @@ import (
 
 func main() {
 	var (
-		terrainPath = flag.String("terrain", "terrain.off", "input OFF mesh")
-		poisPath    = flag.String("pois", "pois.txt", "input POI file")
-		out         = flag.String("out", "oracle.se", "output oracle path")
-		eps         = flag.Float64("eps", 0.1, "error parameter epsilon")
-		greedy      = flag.Bool("greedy", false, "use the greedy point-selection strategy")
-		naive       = flag.Bool("naive", false, "use the naive construction (SE-Naive)")
-		seed        = flag.Int64("seed", 1, "random seed")
-		check       = flag.Bool("check", false, "verify oracle invariants after construction")
-		workers     = flag.Int("workers", 0, "construction worker goroutines (0 = all CPUs; output is identical for any value)")
+		terrainPath  = flag.String("terrain", "terrain.off", "input OFF mesh")
+		poisPath     = flag.String("pois", "pois.txt", "input POI file (se and dynamic kinds)")
+		out          = flag.String("out", "oracle.se", "output index container path")
+		kind         = flag.String("kind", "se", "index kind: se (POI oracle), a2a (arbitrary points), dynamic (insert/delete)")
+		eps          = flag.Float64("eps", 0.1, "error parameter epsilon")
+		greedy       = flag.Bool("greedy", false, "use the greedy point-selection strategy")
+		naive        = flag.Bool("naive", false, "use the naive construction (SE-Naive)")
+		seed         = flag.Int64("seed", 1, "random seed")
+		check        = flag.Bool("check", false, "verify oracle invariants after construction (se kind)")
+		workers      = flag.Int("workers", 0, "construction worker goroutines (0 = all CPUs; output is identical for any value)")
+		sitesPerEdge = flag.Int("sites-per-edge", 0, "a2a: Steiner sites per mesh edge (0 = derive from eps)")
 	)
 	flag.Parse()
 
@@ -43,55 +51,87 @@ func main() {
 	if err != nil {
 		fatal("reading terrain: %v", err)
 	}
-	fp, err := os.Open(*poisPath)
-	if err != nil {
-		fatal("%v", err)
-	}
-	pois, err := terrain.ReadPOIs(fp, m)
-	fp.Close()
-	if err != nil {
-		fatal("reading POIs: %v", err)
-	}
-	pois = gen.Dedup(pois, 1e-9)
 
 	opt := core.Options{Epsilon: *eps, Seed: *seed, NaivePairDistances: *naive, Workers: *workers}
 	if *greedy {
 		opt.Selection = core.SelectGreedy
 	}
+
+	readPOIs := func() []terrain.SurfacePoint {
+		fp, err := os.Open(*poisPath)
+		if err != nil {
+			fatal("%v", err)
+		}
+		pois, err := terrain.ReadPOIs(fp, m)
+		fp.Close()
+		if err != nil {
+			fatal("reading POIs: %v", err)
+		}
+		return gen.Dedup(pois, 1e-9)
+	}
+
 	start := time.Now()
-	oracle, err := core.Build(geodesic.NewExact(m), pois, opt)
-	if err != nil {
-		fatal("building oracle: %v", err)
+	var idx core.DistanceIndex
+	switch *kind {
+	case "se":
+		oracle, err := core.Build(geodesic.NewExact(m), readPOIs(), opt)
+		if err != nil {
+			fatal("building oracle: %v", err)
+		}
+		if *check {
+			if err := oracle.CheckInvariants(); err != nil {
+				fatal("invariant check failed: %v", err)
+			}
+			fmt.Println("invariants: ok")
+		}
+		idx = oracle
+	case "a2a":
+		so, err := core.BuildSiteOracle(geodesic.NewExact(m), m, core.SiteOptions{
+			Options:      opt,
+			SitesPerEdge: *sitesPerEdge,
+		})
+		if err != nil {
+			fatal("building a2a oracle: %v", err)
+		}
+		idx = so
+	case "dynamic":
+		d, err := core.NewDynamicOracle(geodesic.NewExact(m), m, readPOIs(), opt)
+		if err != nil {
+			fatal("building dynamic oracle: %v", err)
+		}
+		idx = d
+	default:
+		fatal("unknown -kind %q (want se, a2a or dynamic)", *kind)
 	}
 	elapsed := time.Since(start)
-
-	if *check {
-		if err := oracle.CheckInvariants(); err != nil {
-			fatal("invariant check failed: %v", err)
-		}
-		fmt.Println("invariants: ok")
-	}
 
 	fo, err := os.Create(*out)
 	if err != nil {
 		fatal("%v", err)
 	}
-	if err := oracle.Encode(fo); err != nil {
-		fatal("writing oracle: %v", err)
+	if err := idx.EncodeTo(fo); err != nil {
+		fatal("writing index: %v", err)
 	}
-	fo.Close()
+	if err := fo.Close(); err != nil {
+		fatal("writing index: %v", err)
+	}
 
-	st := oracle.Stats()
-	fmt.Printf("oracle: %d POIs, eps=%g, h=%d -> %s\n", oracle.NumPOIs(), *eps, oracle.Height(), *out)
+	st := idx.Stats()
+	fmt.Printf("index: kind=%s, %d points, eps=%g, h=%d -> %s\n", st.Kind, st.Points, st.Epsilon, st.Height, *out)
+	if st.Sites > 0 {
+		fmt.Printf("sites: %d (%d per edge, spacing %.3g, local threshold %.3g)\n",
+			st.Sites, st.SitesPerEdge, st.SiteSpacing, st.LocalThreshold)
+	}
 	nw := *workers
 	if nw <= 0 {
 		nw = runtime.GOMAXPROCS(0)
 	}
+	b := st.Build
 	fmt.Printf("build: %v total (tree %v, edges %v, pairs %v, hash %v), %d SSADs, %d workers\n",
-		elapsed.Round(time.Millisecond), st.TreeTime.Round(time.Millisecond),
-		st.EdgeTime.Round(time.Millisecond), st.PairTime.Round(time.Millisecond),
-		st.HashTime.Round(time.Millisecond), st.SSADCalls, nw)
-	fmt.Printf("size: %d node pairs, %.3f MB\n", oracle.NumPairs(), float64(oracle.MemoryBytes())/(1<<20))
+		elapsed.Round(time.Millisecond), b.TreeTime.Round(time.Millisecond),
+		b.EdgeTime.Round(time.Millisecond), b.PairTime.Round(time.Millisecond),
+		b.HashTime.Round(time.Millisecond), b.SSADCalls, nw)
+	fmt.Printf("size: %d node pairs, %.3f MB\n", st.Pairs, float64(st.MemoryBytes)/(1<<20))
 }
 
 func fatal(format string, args ...interface{}) {

@@ -1,13 +1,15 @@
-// Command sequery loads a serialized SE oracle and answers POI-to-POI
-// distance queries: from the command line, as a batch from stdin ("s t" id
-// pairs, one per line), or as an in-process throughput benchmark over random
-// pairs.
+// Command sequery loads a serialized index container of any kind (se, a2a,
+// dynamic — or a legacy bare oracle stream) and answers distance queries:
+// from the command line by endpoint id or planar coordinates, as a batch
+// from stdin ("s t" id pairs, one per line), or as an in-process throughput
+// benchmark over random pairs.
 //
 // Usage:
 //
-//	sequery -oracle oracle.se -s 3 -t 17
-//	sequery -oracle oracle.se -batch < pairs.txt
-//	sequery -oracle oracle.se -bench 100000
+//	sequery -oracle index.sedx -s 3 -t 17
+//	sequery -oracle index.sedx -sx 10 -sy 20 -tx 400 -ty 380   (a2a kinds)
+//	sequery -oracle index.sedx -batch < pairs.txt
+//	sequery -oracle index.sedx -bench 100000
 package main
 
 import (
@@ -23,32 +25,49 @@ import (
 
 func main() {
 	var (
-		oraclePath = flag.String("oracle", "oracle.se", "serialized oracle")
-		s          = flag.Int("s", -1, "source POI id")
-		t          = flag.Int("t", -1, "target POI id")
-		batch      = flag.Bool("batch", false, "read 's t' pairs from stdin")
-		naive      = flag.Bool("naive", false, "use the O(h^2) naive query")
+		oraclePath = flag.String("oracle", "oracle.se", "serialized index container")
+		s          = flag.Int("s", -1, "source endpoint id")
+		t          = flag.Int("t", -1, "target endpoint id")
+		sx         = flag.Float64("sx", 0, "source x (with -sy; a2a kinds)")
+		sy         = flag.Float64("sy", 0, "source y")
+		tx         = flag.Float64("tx", 0, "target x (with -ty; a2a kinds)")
+		ty         = flag.Float64("ty", 0, "target y")
+		xy         = flag.Bool("xy", false, "query by planar coordinates (-sx -sy -tx -ty)")
+		batch      = flag.Bool("batch", false, "read 's t' id pairs from stdin")
+		naive      = flag.Bool("naive", false, "use the O(h^2) naive query (se kind)")
 		benchN     = flag.Int("bench", 0, "benchmark: time QueryBatch over this many random pairs")
 		benchSeed  = flag.Int64("bench-seed", 1, "random seed for -bench pair generation")
 	)
 	flag.Parse()
 
-	f, err := os.Open(*oraclePath)
+	idx, err := core.LoadFile(*oraclePath)
 	if err != nil {
-		fatal("%v", err)
+		fatal("loading index: %v", err)
 	}
-	oracle, err := core.Decode(f)
-	f.Close()
-	if err != nil {
-		fatal("loading oracle: %v", err)
-	}
-	query := oracle.Query
+	st := idx.Stats()
+	query := idx.Query
 	if *naive {
+		oracle, ok := idx.(*core.Oracle)
+		if !ok {
+			fatal("-naive needs an se-kind index, this file holds %s", st.Kind)
+		}
 		query = oracle.QueryNaive
 	}
 
 	if *benchN > 0 {
-		bench(oracle, *benchN, *benchSeed, *naive)
+		bench(idx, *benchN, *benchSeed, *naive)
+		return
+	}
+	if *xy {
+		pt, ok := idx.(core.PointIndex)
+		if !ok {
+			fatal("coordinate queries need an a2a-kind index, this file holds %s", st.Kind)
+		}
+		d, err := pt.QueryXY(*sx, *sy, *tx, *ty)
+		if err != nil {
+			fatal("query: %v", err)
+		}
+		fmt.Printf("d((%g,%g),(%g,%g)) = %g (kind=%s, eps=%g)\n", *sx, *sy, *tx, *ty, d, st.Kind, st.Epsilon)
 		return
 	}
 	if *batch {
@@ -75,28 +94,46 @@ func main() {
 		return
 	}
 	if *s < 0 || *t < 0 {
-		fatal("need -s and -t (or -batch)")
+		fatal("need -s and -t (or -batch, -xy, -bench)")
 	}
 	d, err := query(int32(*s), int32(*t))
 	if err != nil {
 		fatal("query: %v", err)
 	}
-	fmt.Printf("d(%d,%d) = %g (eps=%g, h=%d)\n", *s, *t, d, oracle.Epsilon(), oracle.Height())
+	fmt.Printf("d(%d,%d) = %g (kind=%s, eps=%g, h=%d)\n", *s, *t, d, st.Kind, st.Epsilon, st.Height)
 }
 
-// bench times the query path over n random POI pairs: the zero-allocation
-// QueryBatch serving shape by default, or a QueryNaive loop under -naive. It
-// runs whole passes over one pair set with a preallocated destination until
-// at least a second has elapsed, then reports per-query latency and
-// throughput.
-func bench(oracle *core.Oracle, n int, seed int64, naive bool) {
+// bench times the query path over n random endpoint pairs: the
+// zero-allocation QueryBatch serving shape by default, or a QueryNaive loop
+// under -naive. It runs whole passes over one pair set with a preallocated
+// destination until at least a second has elapsed, then reports per-query
+// latency and throughput.
+func bench(idx core.DistanceIndex, n int, seed int64, naive bool) {
+	st := idx.Stats()
 	rng := rand.New(rand.NewSource(seed))
-	npoi := int32(oracle.NumPOIs())
+	// The valid id space is [0, Points) for dense kinds; a dynamic index
+	// with churn history has tombstoned holes, so draw from its live ids.
+	var ids []int32
+	if d, ok := idx.(*core.DynamicOracle); ok {
+		ids = d.LiveIDs()
+	} else {
+		ids = make([]int32, 0, st.Points)
+		for i := 0; i < st.Points; i++ {
+			ids = append(ids, int32(i))
+		}
+	}
+	if len(ids) == 0 {
+		fatal("bench: index reports no endpoints")
+	}
 	pairs := make([][2]int32, n)
 	for i := range pairs {
-		pairs[i] = [2]int32{rng.Int31n(npoi), rng.Int31n(npoi)}
+		pairs[i] = [2]int32{ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))]}
 	}
 	dst := make([]float64, len(pairs))
+	var oracle *core.Oracle
+	if naive {
+		oracle = idx.(*core.Oracle) // checked by the caller
+	}
 	onePass := func() error {
 		if naive {
 			for _, p := range pairs {
@@ -108,7 +145,7 @@ func bench(oracle *core.Oracle, n int, seed int64, naive bool) {
 			}
 			return nil
 		}
-		_, err := oracle.QueryBatch(pairs, dst)
+		_, err := idx.QueryBatch(pairs, dst)
 		return err
 	}
 	// Untimed warmup pass: page in the oracle and validate every pair.
@@ -134,8 +171,8 @@ func bench(oracle *core.Oracle, n int, seed int64, naive bool) {
 		mode = "naive"
 	}
 	fmt.Printf("mode=%s pairs=%d passes=%d elapsed=%v\n", mode, len(pairs), passes, el.Round(time.Millisecond))
-	fmt.Printf("%.1f ns/query, %.0f queries/sec (eps=%g, h=%d, pois=%d)\n",
-		perQuery, 1e9/perQuery, oracle.Epsilon(), oracle.Height(), oracle.NumPOIs())
+	fmt.Printf("%.1f ns/query, %.0f queries/sec (kind=%s, eps=%g, h=%d, points=%d)\n",
+		perQuery, 1e9/perQuery, st.Kind, st.Epsilon, st.Height, st.Points)
 }
 
 func fatal(format string, args ...interface{}) {

@@ -1,0 +1,83 @@
+// Command seserve loads a serialized index container of any kind (se, a2a,
+// dynamic) and serves distance queries over an HTTP JSON API. The index is
+// immutable once loaded, so queries run concurrently with no locking — and
+// because the container carries everything the engine needs (including the
+// terrain, for a2a and dynamic kinds), startup performs no geodesic
+// computation at all.
+//
+// Usage:
+//
+//	seserve -index index.sedx [-addr :8080] [-mmap]
+//
+// Endpoints (see internal/server):
+//
+//	curl 'localhost:8080/v1/query?s=3&t=17'
+//	curl 'localhost:8080/v1/query?sx=10&sy=20&tx=400&ty=380'   (a2a kinds)
+//	curl -d '{"pairs":[[0,1],[2,3]]}' localhost:8080/v1/batch
+//	curl 'localhost:8080/v1/nearest?x=120&y=340'
+//	curl localhost:8080/healthz
+//	curl localhost:8080/statsz
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"seoracle/internal/server"
+)
+
+func main() {
+	var (
+		indexPath = flag.String("index", "oracle.se", "serialized index container")
+		addr      = flag.String("addr", ":8080", "listen address")
+		useMmap   = flag.Bool("mmap", false, "memory-map the container instead of streaming it")
+	)
+	flag.Parse()
+
+	t0 := time.Now()
+	idx, err := server.LoadIndexFile(*indexPath, *useMmap)
+	if err != nil {
+		fatal("loading index: %v", err)
+	}
+	st := idx.Stats()
+	fmt.Printf("seserve: loaded %s index from %s in %v (%d points, eps=%g, %.3f MB)\n",
+		st.Kind, *indexPath, time.Since(t0).Round(time.Millisecond),
+		st.Points, st.Epsilon, float64(st.MemoryBytes)/(1<<20))
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(idx).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("seserve: listening on %s\n", *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal("%v", err)
+		}
+	case s := <-sig:
+		fmt.Printf("seserve: %v, draining\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fatal("shutdown: %v", err)
+		}
+	}
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "seserve: "+format+"\n", args...)
+	os.Exit(1)
+}

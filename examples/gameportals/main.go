@@ -69,7 +69,7 @@ func main() {
 	player := mesh.FacePoint(int32(mesh.NumFaces()/2), 0.4, 0.3, 0.3)
 	bestPortal, bestD := -1, 0.0
 	for i := range portals {
-		d, err := a2a.Query(player, portals[i])
+		d, err := a2a.QueryPoints(player, portals[i])
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -14,6 +14,7 @@ package baseline
 
 import (
 	"fmt"
+	"io"
 	"math"
 
 	"seoracle/internal/core"
@@ -61,7 +62,9 @@ func NewSPOracle(eng geodesic.Engine, m *terrain.Mesh, eps float64, seed int64) 
 
 // Query answers an ε-approximate distance query between two arbitrary
 // surface points via the |Xs|·|Xt| neighborhood combination.
-func (o *SPOracle) Query(s, t terrain.SurfacePoint) (float64, error) { return o.site.Query(s, t) }
+func (o *SPOracle) Query(s, t terrain.SurfacePoint) (float64, error) {
+	return o.site.QueryPoints(s, t)
+}
 
 // MemoryBytes reports the oracle size (scales with N, not with the POIs).
 func (o *SPOracle) MemoryBytes() int64 { return o.site.MemoryBytes() }
@@ -70,7 +73,7 @@ func (o *SPOracle) MemoryBytes() int64 { return o.site.MemoryBytes() }
 func (o *SPOracle) NumSites() int { return o.site.NumSites() }
 
 // Stats exposes the inner construction statistics.
-func (o *SPOracle) Stats() core.BuildStats { return o.site.Inner().Stats() }
+func (o *SPOracle) Stats() core.BuildStats { return o.site.Inner().BuildStats() }
 
 // KAlgo is the on-the-fly baseline of §4.2.2 ([19]): every query runs a
 // bounded Dijkstra over the Steiner graph Gε. The graph is built once (and
@@ -148,5 +151,31 @@ func (f *FullMaterialization) Query(s, t int32) (float64, error) {
 	return f.d[int(s)*f.n+int(t)], nil
 }
 
+// QueryBatch answers pairs[i] into dst[i]. Part of the core.DistanceIndex
+// interface.
+func (f *FullMaterialization) QueryBatch(pairs [][2]int32, dst []float64) ([]float64, error) {
+	return core.BatchViaQuery(f.Query, pairs, dst)
+}
+
 // MemoryBytes reports the quadratic matrix size.
 func (f *FullMaterialization) MemoryBytes() int64 { return int64(len(f.d)) * 8 }
+
+// Stats reports the shared core.DistanceIndex observability surface. The
+// strawman is exact, so its epsilon is zero; Pairs is the materialized
+// matrix cell count.
+func (f *FullMaterialization) Stats() core.IndexStats {
+	return core.IndexStats{
+		Points:      f.n,
+		Pairs:       len(f.d),
+		MemoryBytes: f.MemoryBytes(),
+	}
+}
+
+// EncodeTo implements core.DistanceIndex. The full materialization exists
+// to be ruled out (§2); it has no container serialization.
+func (f *FullMaterialization) EncodeTo(io.Writer) error { return core.ErrNotEncodable }
+
+// The naive baseline serves through the same interface as the real
+// engines — the evaluation harness and the serving layer treat it
+// uniformly.
+var _ core.DistanceIndex = (*FullMaterialization)(nil)

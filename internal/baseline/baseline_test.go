@@ -1,6 +1,8 @@
 package baseline
 
 import (
+	"errors"
+	"io"
 	"math"
 	"math/rand"
 	"testing"
@@ -177,6 +179,24 @@ func TestFullMaterialization(t *testing.T) {
 	wantBytes := int64(len(w.pois)*len(w.pois)) * 8
 	if f.MemoryBytes() != wantBytes {
 		t.Errorf("MemoryBytes = %d, want %d", f.MemoryBytes(), wantBytes)
+	}
+
+	// The strawman serves through the shared DistanceIndex surface like
+	// every real engine — but it has no container serialization, and says
+	// so with the sentinel error rather than writing garbage.
+	var idx core.DistanceIndex = f
+	dst, err := idx.QueryBatch([][2]int32{{0, 1}, {2, 3}}, nil)
+	if err != nil || len(dst) != 2 {
+		t.Fatalf("QueryBatch: %v (%d results)", err, len(dst))
+	}
+	if got, _ := f.Query(0, 1); dst[0] != got {
+		t.Errorf("QueryBatch[0] = %g, Query = %g", dst[0], got)
+	}
+	if st := idx.Stats(); st.Points != len(w.pois) || st.MemoryBytes != wantBytes {
+		t.Errorf("Stats = %+v", st)
+	}
+	if err := idx.EncodeTo(io.Discard); !errors.Is(err, core.ErrNotEncodable) {
+		t.Errorf("EncodeTo = %v, want ErrNotEncodable", err)
 	}
 }
 

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"bytes"
+	"encoding/binary"
 	"fmt"
+	"io"
 	"math"
 	"sync/atomic"
 
@@ -17,8 +20,13 @@ import (
 //
 // Because the sites depend only on the terrain, the same oracle also serves
 // the n > N case (Appendix D) and is the index our SP-Oracle baseline uses.
+//
+// As a DistanceIndex, its endpoints are site ids (Query answers
+// site-to-site distances through the inner SE oracle); the PointIndex
+// surface (QueryPoints, Project) serves arbitrary surface points.
 type SiteOracle struct {
 	oracle    *Oracle
+	mesh      *terrain.Mesh
 	sites     []terrain.SurfacePoint
 	faceSites [][]int32 // per face: site ids on its corners and edges
 	locator   *terrain.Locator
@@ -30,6 +38,11 @@ type SiteOracle struct {
 	// handling of [12], whose query bound O(1/(sinθ·ε)·log(1/ε)) likewise
 	// pays a local 1/ε term.
 	localThreshold float64
+	// spacing is the on-edge distance between adjacent Steiner sites (the
+	// additive error driver); sitesPerEdge the density that produced it.
+	// Both are reported through Stats and serialized with the oracle.
+	spacing      float64
+	sitesPerEdge int
 	// localQueries counts queries that used the local regime. It is the
 	// only mutable field a query touches, and it is atomic, so a built
 	// SiteOracle is safe for concurrent use (the inner Oracle, the site
@@ -65,10 +78,10 @@ func BuildSiteOracle(eng geodesic.Engine, m *terrain.Mesh, opt SiteOptions) (*Si
 	if per <= 0 {
 		per = SitesPerEdgeForEps(opt.Epsilon)
 	}
-	so := &SiteOracle{locator: terrain.NewLocator(m), eng: eng}
+	so := &SiteOracle{mesh: m, locator: terrain.NewLocator(m), eng: eng, sitesPerEdge: per}
+	so.spacing = m.ComputeStats().MaxEdgeLen / float64(per+1)
 	if opt.Epsilon > 0 {
-		spacing := m.ComputeStats().MaxEdgeLen / float64(per+1)
-		so.localThreshold = 2 * spacing / opt.Epsilon
+		so.localThreshold = 2 * so.spacing / opt.Epsilon
 	}
 
 	// Vertex sites first, then edge sites, recording per-face site lists.
@@ -109,14 +122,17 @@ func BuildSiteOracle(eng geodesic.Engine, m *terrain.Mesh, opt SiteOptions) (*Si
 		return nil, fmt.Errorf("core: building site oracle: %w", err)
 	}
 	so.oracle = o
+	// The inner oracle's point table is the site list; alias it so only one
+	// copy stays resident (decode restores the same aliasing).
+	so.sites = o.pts
 	return so, nil
 }
 
-// Query returns the ε-approximate geodesic distance between two arbitrary
-// surface points: min over site pairs (p,q) near s and t of
+// QueryPoints returns the ε-approximate geodesic distance between two
+// arbitrary surface points: min over site pairs (p,q) near s and t of
 // |s-p| + oracle(p,q) + |q-t|, where the local segments are exact because
 // they stay inside one face.
-func (so *SiteOracle) Query(s, t terrain.SurfacePoint) (float64, error) {
+func (so *SiteOracle) QueryPoints(s, t terrain.SurfacePoint) (float64, error) {
 	ns := so.neighborhood(s)
 	nt := so.neighborhood(t)
 	if len(ns) == 0 || len(nt) == 0 {
@@ -153,8 +169,19 @@ func (so *SiteOracle) Query(s, t terrain.SurfacePoint) (float64, error) {
 	return best, nil
 }
 
+// Query returns the ε-approximate geodesic distance between two indexed
+// sites. Part of the DistanceIndex interface; arbitrary surface points go
+// through QueryPoints.
+func (so *SiteOracle) Query(s, t int32) (float64, error) { return so.oracle.Query(s, t) }
+
+// QueryBatch answers site-id pairs in bulk. Part of the DistanceIndex
+// interface; with a preallocated dst it performs no allocations.
+func (so *SiteOracle) QueryBatch(pairs [][2]int32, dst []float64) ([]float64, error) {
+	return so.oracle.QueryBatch(pairs, dst)
+}
+
 // LocalQueries reports how many queries fell into the short-range exact
-// regime since construction.
+// regime since construction (or since load).
 func (so *SiteOracle) LocalQueries() int { return int(so.localQueries.Load()) }
 
 // QueryXY projects the planar coordinates onto the surface and answers the
@@ -168,7 +195,19 @@ func (so *SiteOracle) QueryXY(sx, sy, tx, ty float64) (float64, error) {
 	if !ok {
 		return 0, fmt.Errorf("core: target (%g,%g) is outside the terrain", tx, ty)
 	}
-	return so.Query(s, t)
+	return so.QueryPoints(s, t)
+}
+
+// Project lifts planar coordinates onto the terrain surface. Part of the
+// PointIndex interface.
+func (so *SiteOracle) Project(x, y float64) (terrain.SurfacePoint, bool) {
+	return so.locator.Project(x, y)
+}
+
+// Nearest returns the indexed site whose x-y projection is closest to
+// (x, y).
+func (so *SiteOracle) Nearest(x, y float64) (int32, terrain.SurfacePoint, float64, error) {
+	return nearestScan(so.sites, nil, x, y)
 }
 
 // neighborhood returns the site ids used to anchor a query point: the sites
@@ -176,6 +215,9 @@ func (so *SiteOracle) QueryXY(sx, sy, tx, ty float64) (float64, error) {
 func (so *SiteOracle) neighborhood(p terrain.SurfacePoint) []int32 {
 	if p.Vert >= 0 {
 		// The vertex itself is a site.
+		if int(p.Vert) >= len(so.sites) {
+			return nil
+		}
 		return []int32{p.Vert}
 	}
 	if p.Face < 0 || int(p.Face) >= len(so.faceSites) {
@@ -198,13 +240,152 @@ func (so *SiteOracle) NeighborhoodSize() int {
 // Inner exposes the underlying SE oracle (for stats and size accounting).
 func (so *SiteOracle) Inner() *Oracle { return so.oracle }
 
-// MemoryBytes reports the oracle size: the inner SE oracle plus the site
-// table and per-face lists.
+// MemoryBytes reports the oracle size: the inner SE oracle plus the
+// per-face site lists. The site table itself is the inner oracle's point
+// table (one copy, counted there).
 func (so *SiteOracle) MemoryBytes() int64 {
 	b := so.oracle.MemoryBytes()
-	b += int64(len(so.sites)) * 32
 	for _, fs := range so.faceSites {
 		b += 24 + int64(len(fs))*4
 	}
 	return b
+}
+
+// Stats reports the shared DistanceIndex observability surface, including
+// the site-regime counters: site count, spacing, and how many queries fell
+// into the short-range exact regime.
+func (so *SiteOracle) Stats() IndexStats {
+	st := so.oracle.Stats()
+	st.Kind = KindA2A
+	st.MemoryBytes = so.MemoryBytes()
+	st.Sites = len(so.sites)
+	st.SitesPerEdge = so.sitesPerEdge
+	st.SiteSpacing = so.spacing
+	st.LocalThreshold = so.localThreshold
+	st.LocalQueries = so.localQueries.Load()
+	return st
+}
+
+// EncodeTo writes the site oracle as a tagged container (kind "a2a"): the
+// inner oracle body, the terrain mesh, the site table, the per-face site
+// lists, and the regime thresholds. The locator and geodesic engine are
+// derived state, rebuilt on load — so loading never re-runs an SSAD.
+func (so *SiteOracle) EncodeTo(w io.Writer) error {
+	faceLen := uint64(8)
+	for _, fs := range so.faceSites {
+		faceLen += 8 + uint64(len(fs))*4
+	}
+	faceSec := section{id: secFaceSites, length: faceLen, write: func(w io.Writer) error {
+		if err := binary.Write(w, binary.LittleEndian, int64(len(so.faceSites))); err != nil {
+			return err
+		}
+		for _, fs := range so.faceSites {
+			if err := encodeInt32s(w, fs); err != nil {
+				return err
+			}
+		}
+		return nil
+	}}
+	var meta bytes.Buffer
+	if err := binary.Write(&meta, binary.LittleEndian, []float64{so.localThreshold, so.spacing}); err != nil {
+		return err
+	}
+	if err := binary.Write(&meta, binary.LittleEndian, int64(so.sitesPerEdge)); err != nil {
+		return err
+	}
+	return writeContainer(w, KindA2A, []section{
+		so.oracle.bodySection(),
+		meshSection(secMesh, so.mesh),
+		pointsSection(secSites, so.sites),
+		faceSec,
+		bytesSection(secSiteMeta, meta.Bytes()),
+	})
+}
+
+// decodeA2AContainer rebuilds a *SiteOracle from an a2a-kind section map:
+// the mesh is revalidated, the locator and exact geodesic engine are
+// rebuilt, and every site/face reference is bounds-checked before the query
+// path may trust it.
+func decodeA2AContainer(secs map[uint32][]byte) (DistanceIndex, error) {
+	if err := requireSections(secs, secOracle, secMesh, secSites, secFaceSites, secSiteMeta); err != nil {
+		return nil, err
+	}
+	obr := bytes.NewReader(secs[secOracle])
+	inner, err := decodeBody(obr)
+	if err != nil {
+		return nil, err
+	}
+	if err := expectDrained(obr, "oracle section"); err != nil {
+		return nil, err
+	}
+	mesh, err := decodeMesh(secs[secMesh])
+	if err != nil {
+		return nil, fmt.Errorf("mesh section: %w", err)
+	}
+	sites, err := decodePoints(secs[secSites])
+	if err != nil {
+		return nil, fmt.Errorf("site section: %w", err)
+	}
+	if len(sites) != inner.npoi {
+		return nil, fmt.Errorf("site table holds %d sites for an oracle over %d", len(sites), inner.npoi)
+	}
+	fr := bytes.NewReader(secs[secFaceSites])
+	var nfaces int64
+	if err := binary.Read(fr, binary.LittleEndian, &nfaces); err != nil {
+		return nil, fmt.Errorf("face-site section: %w", err)
+	}
+	if nfaces != int64(mesh.NumFaces()) {
+		return nil, fmt.Errorf("face-site table covers %d faces, mesh has %d", nfaces, mesh.NumFaces())
+	}
+	faceSites := make([][]int32, 0, capHint(nfaces))
+	for f := int64(0); f < nfaces; f++ {
+		fs, err := decodeInt32s(fr)
+		if err != nil {
+			return nil, fmt.Errorf("face-site list %d: %w", f, err)
+		}
+		for _, id := range fs {
+			if id < 0 || int(id) >= len(sites) {
+				return nil, fmt.Errorf("face %d references site %d (of %d)", f, id, len(sites))
+			}
+		}
+		faceSites = append(faceSites, fs)
+	}
+	if err := expectDrained(fr, "face-site section"); err != nil {
+		return nil, err
+	}
+	mr := bytes.NewReader(secs[secSiteMeta])
+	var thresholds [2]float64
+	var per int64
+	if err := binary.Read(mr, binary.LittleEndian, &thresholds); err != nil {
+		return nil, fmt.Errorf("site-meta section: %w", err)
+	}
+	if err := binary.Read(mr, binary.LittleEndian, &per); err != nil {
+		return nil, fmt.Errorf("site-meta section: %w", err)
+	}
+	if !finite(thresholds[0]) || thresholds[0] < 0 || !finite(thresholds[1]) || thresholds[1] < 0 || per < 0 || per > 1<<20 {
+		return nil, fmt.Errorf("implausible site meta (threshold %g, spacing %g, per-edge %d)", thresholds[0], thresholds[1], per)
+	}
+	if err := expectDrained(mr, "site-meta section"); err != nil {
+		return nil, err
+	}
+	for i, s := range sites {
+		if err := checkMeshPoint(s, mesh); err != nil {
+			return nil, fmt.Errorf("site %d: %w", i, err)
+		}
+	}
+	// The sites are the inner oracle's POIs; share the table so Nearest and
+	// memory accounting behave identically to a freshly built oracle.
+	inner.pts = sites
+	so := &SiteOracle{
+		oracle:         inner,
+		mesh:           mesh,
+		sites:          sites,
+		faceSites:      faceSites,
+		locator:        terrain.NewLocator(mesh),
+		eng:            geodesic.NewExact(mesh),
+		localThreshold: thresholds[0],
+		spacing:        thresholds[1],
+		sitesPerEdge:   int(per),
+	}
+	return so, nil
 }

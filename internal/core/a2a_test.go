@@ -70,7 +70,7 @@ func TestSiteOracleErrorBound(t *testing.T) {
 			continue
 		}
 		want := eng.DistancesTo(s, []terrain.SurfacePoint{tt}, geodesic.Stop{CoverTargets: true})[0]
-		got, err := so.Query(s, tt)
+		got, err := so.QueryPoints(s, tt)
 		if err != nil {
 			t.Fatalf("query %d: %v", i, err)
 		}
@@ -96,7 +96,7 @@ func TestSiteOracleVertexQueries(t *testing.T) {
 		}
 		sa, sb := m.VertexPoint(a), m.VertexPoint(b)
 		want := eng.DistancesTo(sa, []terrain.SurfacePoint{sb}, geodesic.Stop{CoverTargets: true})[0]
-		got, err := so.Query(sa, sb)
+		got, err := so.QueryPoints(sa, sb)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -126,7 +126,7 @@ func TestSiteOracleQueryXY(t *testing.T) {
 func TestSiteOracleSelfQuery(t *testing.T) {
 	so, m, _ := buildSite(t, 7, 0.25, 37)
 	p := m.FacePoint(3, 0.5, 0.25, 0.25)
-	d, err := so.Query(p, p)
+	d, err := so.QueryPoints(p, p)
 	if err != nil {
 		t.Fatal(err)
 	}

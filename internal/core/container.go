@@ -1,0 +1,491 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"seoracle/internal/geom"
+	"seoracle/internal/terrain"
+)
+
+// Container format: the one on-disk envelope every index kind serializes
+// into, so a file is self-describing and Load can return the right concrete
+// type. Layout (all integers little-endian):
+//
+//	magic   [4]byte  "SEDX"
+//	version uint16   (currently 1)
+//	kind    uint16   (Kind tag: se / a2a / dynamic)
+//	nsect   uint32   (number of sections that follow)
+//	nsect × { id uint32, length uint64, payload [length]byte }
+//	crc32   uint32   (IEEE, over every byte from magic through the last payload)
+//
+// Sections are length-framed so unknown ids can be skipped by future
+// readers, and the CRC footer rejects truncated or bit-flipped files before
+// any kind-specific decoding trusts the payloads.
+const (
+	containerMagic   = "SEDX"
+	containerVersion = 1
+
+	// maxContainerSections bounds the section count a header may declare;
+	// every kind today writes at most six.
+	maxContainerSections = 64
+)
+
+// Section ids. The id space is shared across kinds; each kind's decoder
+// demands the sections it needs and ignores the rest.
+const (
+	secOracle    uint32 = 1 // SE oracle body (tree + pairs), the legacy stream sans magic
+	secPoints    uint32 = 2 // indexed POI surface points (for /v1/nearest)
+	secMesh      uint32 = 3 // terrain mesh: vertices + faces
+	secSites     uint32 = 4 // site surface points (KindA2A)
+	secFaceSites uint32 = 5 // per-face site id lists (KindA2A)
+	secSiteMeta  uint32 = 6 // local-regime threshold / spacing / density (KindA2A)
+	secDynState  uint32 = 7 // dynamic oracle state: POIs, tombstones, overflow
+)
+
+// kindDecoder turns a validated section map back into a concrete index.
+type kindDecoder func(secs map[uint32][]byte) (DistanceIndex, error)
+
+// kindRegistry maps the container kind tag to its decoder. Decoders for the
+// built-in kinds are registered below; RegisterKind admits future kinds.
+var kindRegistry = map[Kind]kindDecoder{}
+
+// RegisterKind installs a decoder for a container kind tag. It panics on a
+// duplicate registration — kind tags are format identity, not preferences.
+func RegisterKind(k Kind, dec kindDecoder) {
+	if _, dup := kindRegistry[k]; dup {
+		panic(fmt.Sprintf("core: duplicate container kind %d", uint16(k)))
+	}
+	kindRegistry[k] = dec
+}
+
+func init() {
+	RegisterKind(KindSE, decodeSEContainer)
+	RegisterKind(KindA2A, decodeA2AContainer)
+	RegisterKind(KindDynamic, decodeDynamicContainer)
+}
+
+// section is one length-framed payload queued for writing. Payloads are
+// streamed: length is declared up front (every section layout is a fixed
+// function of the index's logical sizes) and write produces exactly that
+// many bytes into the container, so serializing never materializes a
+// section in memory. bytesSection adapts small precomputed payloads.
+type section struct {
+	id     uint32
+	length uint64
+	write  func(w io.Writer) error
+}
+
+func bytesSection(id uint32, payload []byte) section {
+	return section{id: id, length: uint64(len(payload)), write: func(w io.Writer) error {
+		_, err := w.Write(payload)
+		return err
+	}}
+}
+
+// countingWriter tracks how many bytes a section writer produced, so a
+// declared-length mismatch is an immediate error instead of a corrupt file.
+type countingWriter struct {
+	w io.Writer
+	n uint64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += uint64(n)
+	return n, err
+}
+
+// writeContainer writes the envelope around the given sections.
+func writeContainer(w io.Writer, kind Kind, secs []section) error {
+	bw := bufio.NewWriter(w)
+	crc := crc32.NewIEEE()
+	mw := io.MultiWriter(bw, crc)
+	if _, err := mw.Write([]byte(containerMagic)); err != nil {
+		return err
+	}
+	if err := binary.Write(mw, binary.LittleEndian, []uint16{containerVersion, uint16(kind)}); err != nil {
+		return err
+	}
+	if err := binary.Write(mw, binary.LittleEndian, uint32(len(secs))); err != nil {
+		return err
+	}
+	for _, s := range secs {
+		if err := binary.Write(mw, binary.LittleEndian, s.id); err != nil {
+			return err
+		}
+		if err := binary.Write(mw, binary.LittleEndian, s.length); err != nil {
+			return err
+		}
+		cw := &countingWriter{w: mw}
+		if err := s.write(cw); err != nil {
+			return err
+		}
+		if cw.n != s.length {
+			return fmt.Errorf("core: section %d wrote %d bytes, declared %d", s.id, cw.n, s.length)
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, crc.Sum32()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// crcReader updates a running CRC32 with every byte read through it.
+type crcReader struct {
+	r   io.Reader
+	crc uint32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+// readBounded reads exactly n bytes in bounded chunks, so a corrupt header
+// declaring a huge length commits memory proportional to the bytes actually
+// present, not to the declared size. Chunks are read directly into the
+// (amortized-doubling) result buffer — no per-chunk scratch copies.
+func readBounded(r io.Reader, n uint64) ([]byte, error) {
+	const chunk = 1 << 20
+	var buf []byte
+	for uint64(len(buf)) < n {
+		c := int(min(n-uint64(len(buf)), chunk))
+		start := len(buf)
+		if cap(buf)-start < c {
+			grown := make([]byte, start, min(uint64(2*(start+c)), n))
+			copy(grown, buf)
+			buf = grown
+		}
+		buf = buf[:start+c]
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// readContainer parses the envelope, verifies the CRC footer, and returns
+// the kind tag with the section map.
+func readContainer(br *bufio.Reader) (Kind, map[uint32][]byte, error) {
+	cr := &crcReader{r: br}
+	var magic [4]byte
+	if _, err := io.ReadFull(cr, magic[:]); err != nil {
+		return 0, nil, fmt.Errorf("core: reading container magic: %w", err)
+	}
+	if string(magic[:]) != containerMagic {
+		return 0, nil, fmt.Errorf("core: bad container magic %q", magic[:])
+	}
+	var version, kind uint16
+	var nsect uint32
+	if err := binary.Read(cr, binary.LittleEndian, &version); err != nil {
+		return 0, nil, fmt.Errorf("core: reading container header: %w", err)
+	}
+	if version != containerVersion {
+		return 0, nil, fmt.Errorf("core: unsupported container version %d (this build reads %d)", version, containerVersion)
+	}
+	if err := binary.Read(cr, binary.LittleEndian, &kind); err != nil {
+		return 0, nil, fmt.Errorf("core: reading container header: %w", err)
+	}
+	if err := binary.Read(cr, binary.LittleEndian, &nsect); err != nil {
+		return 0, nil, fmt.Errorf("core: reading container header: %w", err)
+	}
+	if nsect > maxContainerSections {
+		return 0, nil, fmt.Errorf("core: container declares %d sections (max %d)", nsect, maxContainerSections)
+	}
+	secs := make(map[uint32][]byte, nsect)
+	for i := uint32(0); i < nsect; i++ {
+		var id uint32
+		var length uint64
+		if err := binary.Read(cr, binary.LittleEndian, &id); err != nil {
+			return 0, nil, fmt.Errorf("core: reading section %d header: %w", i, err)
+		}
+		if err := binary.Read(cr, binary.LittleEndian, &length); err != nil {
+			return 0, nil, fmt.Errorf("core: reading section %d header: %w", i, err)
+		}
+		if _, dup := secs[id]; dup {
+			return 0, nil, fmt.Errorf("core: duplicate container section %d", id)
+		}
+		payload, err := readBounded(cr, length)
+		if err != nil {
+			return 0, nil, fmt.Errorf("core: reading section %d (%d bytes declared): %w", id, length, err)
+		}
+		secs[id] = payload
+	}
+	var stored uint32
+	if err := binary.Read(br, binary.LittleEndian, &stored); err != nil {
+		return 0, nil, fmt.Errorf("core: reading container CRC footer: %w", err)
+	}
+	if stored != cr.crc {
+		return 0, nil, fmt.Errorf("core: container CRC mismatch (stored %#x, computed %#x): file truncated or corrupt", stored, cr.crc)
+	}
+	return Kind(kind), secs, nil
+}
+
+// Load reads any serialized index container and returns the concrete type
+// behind the DistanceIndex. It also accepts the legacy bare-oracle stream
+// ("SEO1") that Oracle.Encode wrote before the container format existed, so
+// previously saved SE files keep loading.
+func Load(r io.Reader) (DistanceIndex, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(4)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading index header: %w", err)
+	}
+	if isLegacyMagic(head) {
+		o, err := decodeLegacy(br)
+		if err != nil {
+			return nil, fmt.Errorf("core: legacy (pre-container) oracle stream: %w", err)
+		}
+		return o, nil
+	}
+	if string(head) != containerMagic {
+		return nil, fmt.Errorf("core: bad index magic %q: not an index container (and not a legacy %q oracle stream)", head, "SEO1")
+	}
+	kind, secs, err := readContainer(br)
+	if err != nil {
+		return nil, err
+	}
+	dec, ok := kindRegistry[kind]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown index kind tag %d (known: se=1, a2a=2, dynamic=3)", uint16(kind))
+	}
+	idx, err := dec(secs)
+	if err != nil {
+		return nil, fmt.Errorf("core: decoding %s container: %w", kind, err)
+	}
+	return idx, nil
+}
+
+// LoadFile opens path and Loads the index it contains.
+func LoadFile(path string) (DistanceIndex, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// expectDrained enforces that a section decoder consumed its whole payload:
+// trailing bytes would make the stream non-canonical (decode → re-encode
+// would not be byte-identical), so they are corruption, not slack.
+func expectDrained(r *bytes.Reader, what string) error {
+	if r.Len() != 0 {
+		return fmt.Errorf("%s has %d trailing bytes", what, r.Len())
+	}
+	return nil
+}
+
+// requireSections verifies the decoder's section manifest is present.
+func requireSections(secs map[uint32][]byte, ids ...uint32) error {
+	for _, id := range ids {
+		if _, ok := secs[id]; !ok {
+			return fmt.Errorf("missing required section %d (kind confusion or truncated writer?)", id)
+		}
+	}
+	return nil
+}
+
+// --- surface-point section codec -------------------------------------------
+
+// Point table layout: count int64, then per point (Face int32, Vert int32,
+// X, Y, Z float64) — 32 bytes each. Encoding and decoding pack the fixed
+// layout by hand (no per-element reflection): container load time is the
+// cost this whole format exists to amortize.
+
+const pointRecordSize = 32
+
+func pointsSectionLen(pts []terrain.SurfacePoint) uint64 {
+	return 8 + uint64(len(pts))*pointRecordSize
+}
+
+// pointsSection streams a point table as a container section.
+func pointsSection(id uint32, pts []terrain.SurfacePoint) section {
+	return section{id: id, length: pointsSectionLen(pts), write: func(w io.Writer) error {
+		var rec [pointRecordSize]byte
+		if err := binary.Write(w, binary.LittleEndian, int64(len(pts))); err != nil {
+			return err
+		}
+		for _, p := range pts {
+			putPoint(rec[:], p)
+			if _, err := w.Write(rec[:]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}}
+}
+
+func putPoint(rec []byte, p terrain.SurfacePoint) {
+	binary.LittleEndian.PutUint32(rec[0:], uint32(p.Face))
+	binary.LittleEndian.PutUint32(rec[4:], uint32(p.Vert))
+	binary.LittleEndian.PutUint64(rec[8:], math.Float64bits(p.P.X))
+	binary.LittleEndian.PutUint64(rec[16:], math.Float64bits(p.P.Y))
+	binary.LittleEndian.PutUint64(rec[24:], math.Float64bits(p.P.Z))
+}
+
+func decodePoints(payload []byte) ([]terrain.SurfacePoint, error) {
+	if len(payload) < 8 {
+		return nil, fmt.Errorf("point table header truncated (%d bytes)", len(payload))
+	}
+	n := int64(binary.LittleEndian.Uint64(payload))
+	if n < 0 || n > 1<<40 || int64(len(payload)-8) != n*pointRecordSize {
+		return nil, fmt.Errorf("point table declares %d points, has %d payload bytes", n, len(payload)-8)
+	}
+	pts := make([]terrain.SurfacePoint, n)
+	for i := range pts {
+		rec := payload[8+i*pointRecordSize:]
+		x := math.Float64frombits(binary.LittleEndian.Uint64(rec[8:]))
+		y := math.Float64frombits(binary.LittleEndian.Uint64(rec[16:]))
+		z := math.Float64frombits(binary.LittleEndian.Uint64(rec[24:]))
+		if !finite(x) || !finite(y) || !finite(z) {
+			return nil, fmt.Errorf("point %d has non-finite coordinate", i)
+		}
+		pts[i] = terrain.SurfacePoint{
+			Face: int32(binary.LittleEndian.Uint32(rec[0:])),
+			Vert: int32(binary.LittleEndian.Uint32(rec[4:])),
+			P:    geom.Vec3{X: x, Y: y, Z: z},
+		}
+	}
+	return pts, nil
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// checkMeshPoint validates a decoded surface point against its mesh: the
+// geodesic engine indexes arrays by Vert (when >= 0) or Face, so both
+// bounds — including the lower ones — must hold before the point may be
+// handed to an SSAD.
+func checkMeshPoint(p terrain.SurfacePoint, m *terrain.Mesh) error {
+	if p.Vert < -1 || p.Vert >= int32(m.NumVerts()) {
+		return fmt.Errorf("vertex %d outside the mesh (%d verts)", p.Vert, m.NumVerts())
+	}
+	if p.Face < -1 || p.Face >= int32(m.NumFaces()) {
+		return fmt.Errorf("face %d outside the mesh (%d faces)", p.Face, m.NumFaces())
+	}
+	if p.Vert < 0 && p.Face < 0 {
+		return fmt.Errorf("point anchored to neither a face nor a vertex")
+	}
+	return nil
+}
+
+// --- mesh section codec -----------------------------------------------------
+
+// Mesh layout: nverts int64, nfaces int64, verts (3 × float64 each), faces
+// (3 × int32 each). The mesh adjacency, locator and geodesic engine are all
+// rebuilt on load — they are derived state.
+
+func meshSectionLen(m *terrain.Mesh) uint64 {
+	return 16 + uint64(len(m.Verts))*24 + uint64(len(m.Faces))*12
+}
+
+// meshSection streams the terrain a site or dynamic oracle depends on.
+func meshSection(id uint32, m *terrain.Mesh) section {
+	return section{id: id, length: meshSectionLen(m), write: func(w io.Writer) error {
+		if err := binary.Write(w, binary.LittleEndian, []int64{int64(len(m.Verts)), int64(len(m.Faces))}); err != nil {
+			return err
+		}
+		var rec [24]byte
+		for _, v := range m.Verts {
+			binary.LittleEndian.PutUint64(rec[0:], math.Float64bits(v.X))
+			binary.LittleEndian.PutUint64(rec[8:], math.Float64bits(v.Y))
+			binary.LittleEndian.PutUint64(rec[16:], math.Float64bits(v.Z))
+			if _, err := w.Write(rec[:]); err != nil {
+				return err
+			}
+		}
+		for _, f := range m.Faces {
+			binary.LittleEndian.PutUint32(rec[0:], uint32(f[0]))
+			binary.LittleEndian.PutUint32(rec[4:], uint32(f[1]))
+			binary.LittleEndian.PutUint32(rec[8:], uint32(f[2]))
+			if _, err := w.Write(rec[:12]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}}
+}
+
+func decodeMesh(payload []byte) (*terrain.Mesh, error) {
+	if len(payload) < 16 {
+		return nil, fmt.Errorf("mesh header truncated (%d bytes)", len(payload))
+	}
+	nv := int64(binary.LittleEndian.Uint64(payload))
+	nf := int64(binary.LittleEndian.Uint64(payload[8:]))
+	if nv <= 0 || nf <= 0 || nv > 1<<32 || nf > 1<<32 {
+		return nil, fmt.Errorf("implausible mesh sizes %d verts, %d faces", nv, nf)
+	}
+	if int64(len(payload)-16) != nv*24+nf*12 {
+		return nil, fmt.Errorf("mesh declares %d verts + %d faces, has %d payload bytes", nv, nf, len(payload)-16)
+	}
+	verts := make([]geom.Vec3, nv)
+	for i := range verts {
+		rec := payload[16+i*24:]
+		x := math.Float64frombits(binary.LittleEndian.Uint64(rec[0:]))
+		y := math.Float64frombits(binary.LittleEndian.Uint64(rec[8:]))
+		z := math.Float64frombits(binary.LittleEndian.Uint64(rec[16:]))
+		if !finite(x) || !finite(y) || !finite(z) {
+			return nil, fmt.Errorf("mesh vertex %d has non-finite coordinate", i)
+		}
+		verts[i] = geom.Vec3{X: x, Y: y, Z: z}
+	}
+	facesOff := 16 + int(nv)*24
+	faces := make([][3]int32, nf)
+	for i := range faces {
+		rec := payload[facesOff+i*12:]
+		for k := 0; k < 3; k++ {
+			v := int32(binary.LittleEndian.Uint32(rec[k*4:]))
+			if v < 0 || int64(v) >= nv {
+				return nil, fmt.Errorf("mesh face %d references vertex %d (of %d)", i, v, nv)
+			}
+			faces[i][k] = v
+		}
+	}
+	m, err := terrain.New(verts, faces)
+	if err != nil {
+		return nil, fmt.Errorf("rebuilding mesh: %w", err)
+	}
+	return m, nil
+}
+
+// --- small helpers ----------------------------------------------------------
+
+// encodeInt32s serializes a length-prefixed int32 slice.
+func encodeInt32s(w io.Writer, vs []int32) error {
+	if err := binary.Write(w, binary.LittleEndian, int64(len(vs))); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, vs)
+}
+
+func decodeInt32s(r io.Reader) ([]int32, error) {
+	var n int64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n < 0 || n > 1<<40 {
+		return nil, fmt.Errorf("implausible slice length %d", n)
+	}
+	return decodeSlice[int32](r, n)
+}
+
+// sortedOverflowIDs returns a dynamic oracle's overflow ids in ascending
+// order, so encoding is a deterministic function of logical content and a
+// decode → re-encode round trip is byte-identical.
+func sortedOverflowIDs(overflow map[int32][]float64) []int32 {
+	ids := make([]int32, 0, len(overflow))
+	for id := range overflow {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

@@ -13,7 +13,7 @@ import (
 func newDynamicWorld(t *testing.T) (*DynamicOracle, *testWorld) {
 	t.Helper()
 	w := newTestWorld(t, 11, 20, 101)
-	d, err := NewDynamicOracle(w.eng, w.pois, Options{Epsilon: 0.2, Seed: 5})
+	d, err := NewDynamicOracle(w.eng, w.mesh, w.pois, Options{Epsilon: 0.2, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}

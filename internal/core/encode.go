@@ -2,6 +2,7 @@ package core
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -10,12 +11,15 @@ import (
 	"seoracle/internal/perfecthash"
 )
 
-// Binary serialization of an SE oracle. The format is versioned and
+// Binary serialization of the SE oracle body. The body is versionless and
 // self-contained: the perfect hash is rebuilt deterministically from the
-// stored keys on load, so only the logical content is written.
+// stored keys on load, so only the logical content is written. Two
+// envelopes carry it: the legacy bare stream (magic "SEO1" + version +
+// body) that PR-2-era files use, and the tagged container of container.go
+// (where the body is the secOracle section).
 const (
-	encodeMagic   = 0x53454f31 // "SEO1"
-	encodeVersion = 1
+	legacyMagic   = 0x53454f31 // "SEO1" (written little-endian)
+	legacyVersion = 1
 	hashSeed      = 0x5e0ac1e
 )
 
@@ -49,18 +53,25 @@ func decodeSlice[T any](r io.Reader, n int64) ([]T, error) {
 	return out, nil
 }
 
-// Encode writes the oracle to w.
-func (o *Oracle) Encode(w io.Writer) error {
-	bw := bufio.NewWriter(w)
+// isLegacyMagic reports whether the first four stream bytes are the
+// little-endian encoding of the legacy "SEO1" magic.
+func isLegacyMagic(head []byte) bool {
+	return len(head) >= 4 &&
+		binary.LittleEndian.Uint32(head) == legacyMagic
+}
+
+// encodeBody writes the oracle's logical content (everything but an
+// envelope): eps, sizes, tree nodes, leaf map and the node-pair set.
+func (o *Oracle) encodeBody(w io.Writer) error {
 	put := func(vs ...interface{}) error {
 		for _, v := range vs {
-			if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			if err := binary.Write(w, binary.LittleEndian, v); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	if err := put(uint32(encodeMagic), uint32(encodeVersion), o.eps,
+	if err := put(o.eps,
 		int64(o.npoi), int64(o.tree.height), int64(o.tree.root), o.tree.r0,
 		int64(len(o.tree.nodes)), int64(len(o.keys))); err != nil {
 		return err
@@ -73,15 +84,12 @@ func (o *Oracle) Encode(w io.Writer) error {
 	if err := put(o.tree.leaf); err != nil {
 		return err
 	}
-	if err := put(o.keys, o.dist); err != nil {
-		return err
-	}
-	return bw.Flush()
+	return put(o.keys, o.dist)
 }
 
-// Decode reads an oracle previously written by Encode.
-func Decode(r io.Reader) (*Oracle, error) {
-	br := bufio.NewReader(r)
+// decodeBody reads an oracle body written by encodeBody, validating every
+// structural property the query path later trusts.
+func decodeBody(br io.Reader) (*Oracle, error) {
 	get := func(vs ...interface{}) error {
 		for _, v := range vs {
 			if err := binary.Read(br, binary.LittleEndian, v); err != nil {
@@ -90,17 +98,10 @@ func Decode(r io.Reader) (*Oracle, error) {
 		}
 		return nil
 	}
-	var magic, version uint32
 	var eps, r0 float64
 	var npoi, height, root, nNodes, nPairs int64
-	if err := get(&magic, &version, &eps, &npoi, &height, &root, &r0, &nNodes, &nPairs); err != nil {
+	if err := get(&eps, &npoi, &height, &root, &r0, &nNodes, &nPairs); err != nil {
 		return nil, fmt.Errorf("core: decoding header: %w", err)
-	}
-	if magic != encodeMagic {
-		return nil, fmt.Errorf("core: bad magic %#x", magic)
-	}
-	if version != encodeVersion {
-		return nil, fmt.Errorf("core: unsupported version %d", version)
 	}
 	if npoi <= 0 || nNodes <= 0 || nPairs < 0 || npoi > 1<<40 || nNodes > 1<<40 || nPairs > 1<<40 {
 		return nil, fmt.Errorf("core: implausible sizes npoi=%d nodes=%d pairs=%d", npoi, nNodes, nPairs)
@@ -108,9 +109,12 @@ func Decode(r io.Reader) (*Oracle, error) {
 	// Bound the height before anything derives layerN from it: Build caps
 	// trees at maxLayers, so a larger header value is corruption — and the
 	// O(npoi·height) path slab would otherwise turn it into a giant
-	// allocation (or an int-overflow panic) right here in Decode.
+	// allocation (or an int-overflow panic) right here in the decoder.
 	if height < 0 || height >= maxLayers {
 		return nil, fmt.Errorf("core: implausible tree height %d (max %d)", height, maxLayers-1)
+	}
+	if root < 0 || root >= nNodes {
+		return nil, fmt.Errorf("core: root %d out of range", root)
 	}
 	ct := &ctree{height: int32(height), root: int32(root), r0: r0}
 	// Grow incrementally with a bounded initial capacity: a corrupt header
@@ -180,5 +184,110 @@ func Decode(r io.Reader) (*Oracle, error) {
 	// The path slab is derived state: recompute it rather than trusting (or
 	// paying for) a serialized copy.
 	o.buildPathSlab()
+	return o, nil
+}
+
+// Encode writes the oracle as the legacy bare stream.
+//
+// Deprecated: use EncodeTo, which writes the self-describing container
+// format that Load (and the serving layer) understand for every index
+// kind. Encode remains so existing tools can still produce streams that
+// old readers accept; Load reads both.
+func (o *Oracle) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := binary.Write(bw, binary.LittleEndian, []uint32{legacyMagic, legacyVersion}); err != nil {
+		return err
+	}
+	if err := o.encodeBody(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// decodeLegacy reads the legacy bare-oracle stream (magic + version + body).
+func decodeLegacy(br io.Reader) (*Oracle, error) {
+	var magic, version uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("core: decoding header: %w", err)
+	}
+	if magic != legacyMagic {
+		return nil, fmt.Errorf("core: bad magic %#x", magic)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("core: decoding header: %w", err)
+	}
+	if version != legacyVersion {
+		return nil, fmt.Errorf("core: unsupported version %d", version)
+	}
+	return decodeBody(br)
+}
+
+// Decode reads a serialized SE oracle: either a legacy bare stream or an
+// SE-kind container.
+//
+// Deprecated: use Load, which handles every index kind and returns the
+// concrete type behind the DistanceIndex interface.
+func Decode(r io.Reader) (*Oracle, error) {
+	idx, err := Load(r)
+	if err != nil {
+		return nil, err
+	}
+	o, ok := idx.(*Oracle)
+	if !ok {
+		return nil, fmt.Errorf("core: stream holds a %s index, not an SE oracle; use Load", idx.Stats().Kind)
+	}
+	return o, nil
+}
+
+// bodyLen returns the exact encodeBody output size — the section length the
+// container frame declares, so serialization streams instead of buffering
+// the body.
+func (o *Oracle) bodyLen() uint64 {
+	return 56 + // eps, npoi, height, root, r0, nNodes, nPairs
+		uint64(len(o.tree.nodes))*20 + // center, layer, parent int32 + radius float64
+		uint64(len(o.tree.leaf))*4 +
+		uint64(len(o.keys))*8 +
+		uint64(len(o.dist))*8
+}
+
+// bodySection frames the oracle body as a streamed container section.
+func (o *Oracle) bodySection() section {
+	return section{id: secOracle, length: o.bodyLen(), write: o.encodeBody}
+}
+
+// EncodeTo writes the oracle as a tagged container (kind "se"): the oracle
+// body plus the POI point table that backs Nearest. Part of the
+// DistanceIndex interface.
+func (o *Oracle) EncodeTo(w io.Writer) error {
+	secs := []section{o.bodySection()}
+	if o.pts != nil {
+		secs = append(secs, pointsSection(secPoints, o.pts))
+	}
+	return writeContainer(w, KindSE, secs)
+}
+
+// decodeSEContainer rebuilds an *Oracle from an SE-kind section map.
+func decodeSEContainer(secs map[uint32][]byte) (DistanceIndex, error) {
+	if err := requireSections(secs, secOracle); err != nil {
+		return nil, err
+	}
+	br := bytes.NewReader(secs[secOracle])
+	o, err := decodeBody(br)
+	if err != nil {
+		return nil, err
+	}
+	if err := expectDrained(br, "oracle section"); err != nil {
+		return nil, err
+	}
+	if payload, ok := secs[secPoints]; ok {
+		pts, err := decodePoints(payload)
+		if err != nil {
+			return nil, fmt.Errorf("point table: %w", err)
+		}
+		if len(pts) != o.npoi {
+			return nil, fmt.Errorf("point table holds %d points for %d POIs", len(pts), o.npoi)
+		}
+		o.pts = pts
+	}
 	return o, nil
 }

@@ -37,8 +37,8 @@ func TestOracleInvariantsAcrossSeeds(t *testing.T) {
 		if err := o.CheckInvariants(); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
-		if o.Stats().ResolverFallbacks != 0 {
-			t.Errorf("seed %d: %d fallbacks", seed, o.Stats().ResolverFallbacks)
+		if o.BuildStats().ResolverFallbacks != 0 {
+			t.Errorf("seed %d: %d fallbacks", seed, o.BuildStats().ResolverFallbacks)
 		}
 		step := len(pois)/7 + 1
 		for s := 0; s < len(pois); s += step {
@@ -53,10 +53,13 @@ func TestOracleInvariantsAcrossSeeds(t *testing.T) {
 	}
 }
 
-// FuzzDecode feeds arbitrary bytes to the oracle deserializer: it must
-// reject or accept without panicking or over-allocating, and any stream it
-// accepts must survive an encode/decode round trip (the serialization is
-// canonical: logical content in, deterministic bytes out).
+// FuzzDecode feeds arbitrary bytes to the index deserializer: every
+// envelope (legacy bare stream and tagged container of every kind) must be
+// rejected or accepted without panicking or over-allocating — kind
+// confusion, truncated sections, bad CRCs and oversized section headers
+// are all errors — and any stream Load accepts must survive an
+// encode/load round trip (the serialization is canonical: logical content
+// in, deterministic bytes out).
 func FuzzDecode(f *testing.F) {
 	m, err := gen.Fractal(gen.FractalSpec{NX: 7, NY: 7, CellDX: 10, Amp: 12, Seed: 601})
 	if err != nil {
@@ -66,33 +69,67 @@ func FuzzDecode(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
-	o, err := Build(geodesic.NewExact(m), gen.Dedup(pois, 1e-9), Options{Epsilon: 0.3, Seed: 603})
+	pois = gen.Dedup(pois, 1e-9)
+	eng := geodesic.NewExact(m)
+	o, err := Build(eng, pois, Options{Epsilon: 0.3, Seed: 603})
 	if err != nil {
 		f.Fatal(err)
 	}
-	var seed bytes.Buffer
-	if err := o.Encode(&seed); err != nil {
+	var legacy bytes.Buffer
+	if err := o.Encode(&legacy); err != nil {
 		f.Fatal(err)
 	}
-	f.Add(seed.Bytes())
+	var seCont bytes.Buffer
+	if err := o.EncodeTo(&seCont); err != nil {
+		f.Fatal(err)
+	}
+	so, err := BuildSiteOracle(eng, m, SiteOptions{Options: Options{Epsilon: 0.4, Seed: 604}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var a2aCont bytes.Buffer
+	if err := so.EncodeTo(&a2aCont); err != nil {
+		f.Fatal(err)
+	}
+	dyn, err := NewDynamicOracle(eng, m, pois, Options{Epsilon: 0.3, Seed: 605})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if _, err := dyn.Insert(m.FacePoint(0, 0.5, 0.3, 0.2)); err != nil {
+		f.Fatal(err)
+	}
+	var dynCont bytes.Buffer
+	if err := dyn.EncodeTo(&dynCont); err != nil {
+		f.Fatal(err)
+	}
+	for _, seed := range [][]byte{legacy.Bytes(), seCont.Bytes(), a2aCont.Bytes(), dynCont.Bytes()} {
+		f.Add(seed)
+		f.Add(seed[:len(seed)/2])
+		// Kind-tag flip without CRC repair: must die at the footer check.
+		flipped := append([]byte(nil), seed...)
+		if len(flipped) > 6 {
+			flipped[6] ^= 0x3
+		}
+		f.Add(flipped)
+	}
 	f.Add([]byte{})
-	f.Add(seed.Bytes()[:seed.Len()/2])
 	f.Fuzz(func(t *testing.T, data []byte) {
-		o, err := Decode(bytes.NewReader(data))
+		idx, err := Load(bytes.NewReader(data))
 		if err != nil {
 			return
 		}
+		st := idx.Stats()
 		var out bytes.Buffer
-		if err := o.Encode(&out); err != nil {
-			t.Fatalf("re-encoding a decoded oracle: %v", err)
+		if err := idx.EncodeTo(&out); err != nil {
+			t.Fatalf("re-encoding a loaded %s index: %v", st.Kind, err)
 		}
-		o2, err := Decode(bytes.NewReader(out.Bytes()))
+		idx2, err := Load(bytes.NewReader(out.Bytes()))
 		if err != nil {
-			t.Fatalf("re-decoding a re-encoded oracle: %v", err)
+			t.Fatalf("re-loading a re-encoded %s index: %v", st.Kind, err)
 		}
-		if o2.NumPOIs() != o.NumPOIs() || o2.NumPairs() != o.NumPairs() {
-			t.Fatalf("round trip changed sizes: %d/%d -> %d/%d",
-				o.NumPOIs(), o.NumPairs(), o2.NumPOIs(), o2.NumPairs())
+		st2 := idx2.Stats()
+		if st2.Kind != st.Kind || st2.Points != st.Points || st2.Pairs != st.Pairs || st2.Sites != st.Sites {
+			t.Fatalf("round trip changed shape: %+v -> %+v", st, st2)
 		}
 	})
 }
@@ -117,7 +154,7 @@ func TestSiteOracleHandlesMorePOIsThanVertices(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		s := pois[i]
 		q := pois[len(pois)-1-i]
-		got, err := so.Query(s, q)
+		got, err := so.QueryPoints(s, q)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"seoracle/internal/terrain"
+)
+
+// Kind tags the concrete query-engine type behind a DistanceIndex. It is
+// written into every serialized container so Load can return the right
+// concrete type without the caller knowing what was built.
+type Kind uint16
+
+const (
+	// KindSE is the POI-to-POI SE oracle of §3 (*Oracle).
+	KindSE Kind = 1
+	// KindA2A is the arbitrary-point site oracle of Appendix C/D
+	// (*SiteOracle).
+	KindA2A Kind = 2
+	// KindDynamic is the insert/delete-capable oracle (*DynamicOracle).
+	KindDynamic Kind = 3
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindSE:
+		return "se"
+	case KindA2A:
+		return "a2a"
+	case KindDynamic:
+		return "dynamic"
+	}
+	return fmt.Sprintf("kind(%d)", uint16(k))
+}
+
+// MarshalJSON renders the kind as its human-readable name, the form the
+// serving layer's /healthz and /statsz endpoints expose.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + k.String() + `"`), nil
+}
+
+// ErrNotEncodable is returned by EncodeTo on indexes that have no container
+// serialization (e.g. the full-materialization baseline).
+var ErrNotEncodable = errors.New("core: index kind has no container serialization")
+
+// IndexStats is the shared observability surface of every DistanceIndex:
+// one flat struct the serving layer can marshal as /statsz, covering the
+// common size/shape numbers plus the kind-specific counters (site regime
+// split, dynamic churn). Fields that do not apply to a kind are zero.
+type IndexStats struct {
+	Kind        Kind    `json:"kind"`
+	Epsilon     float64 `json:"epsilon"`
+	Points      int     `json:"points"` // indexed endpoints: POIs, sites, or live POIs
+	Height      int     `json:"height"`
+	Pairs       int     `json:"pairs"`
+	MemoryBytes int64   `json:"memory_bytes"`
+
+	// Build carries the construction-phase statistics; zero for indexes
+	// loaded from a container (construction happened in another process).
+	Build BuildStats `json:"build"`
+
+	// A2A (KindA2A) regime counters.
+	Sites          int     `json:"sites,omitempty"`
+	SitesPerEdge   int     `json:"sites_per_edge,omitempty"`
+	SiteSpacing    float64 `json:"site_spacing,omitempty"`
+	LocalThreshold float64 `json:"local_threshold,omitempty"`
+	LocalQueries   int64   `json:"local_queries,omitempty"`
+
+	// Dynamic (KindDynamic) churn counters.
+	Live       int `json:"live,omitempty"`
+	Overflow   int `json:"overflow,omitempty"`
+	Tombstones int `json:"tombstones,omitempty"`
+	Rebuilds   int `json:"rebuilds,omitempty"`
+}
+
+// DistanceIndex is the one abstraction over every query engine the repo
+// implements: the SE Oracle, the A2A SiteOracle (queried between its site
+// ids here; see PointIndex for arbitrary points), the DynamicOracle, and
+// the full-materialization baseline. The serving layer, the CLI tools and
+// the container loader all speak this interface.
+//
+// Query and QueryBatch address endpoints by index id — POI ids for SE and
+// dynamic oracles, site ids for the A2A oracle. Implementations must be
+// safe for concurrent Query/QueryBatch/Stats/MemoryBytes use once built or
+// loaded (DynamicOracle only while no Insert/Delete runs concurrently).
+type DistanceIndex interface {
+	// Query returns the ε-approximate geodesic distance between two
+	// indexed endpoints.
+	Query(s, t int32) (float64, error)
+	// QueryBatch answers pairs[i] into dst[i] and returns dst; when
+	// cap(dst) >= len(pairs) it performs no allocations.
+	QueryBatch(pairs [][2]int32, dst []float64) ([]float64, error)
+	// MemoryBytes estimates the index's resident size.
+	MemoryBytes() int64
+	// Stats reports the shared observability surface.
+	Stats() IndexStats
+	// EncodeTo writes the index as a self-describing container (magic,
+	// version, kind tag, sections, CRC32). Load reads it back. Indexes
+	// without a serialization return ErrNotEncodable.
+	EncodeTo(w io.Writer) error
+}
+
+// PointIndex is a DistanceIndex that also answers queries between
+// arbitrary surface points (the A2A capability of Appendix C) and can
+// project planar coordinates onto the surface.
+type PointIndex interface {
+	DistanceIndex
+	// QueryPoints returns the ε-approximate geodesic distance between two
+	// arbitrary surface points.
+	QueryPoints(s, t terrain.SurfacePoint) (float64, error)
+	// Project lifts planar coordinates onto the terrain surface; ok is
+	// false when (x, y) lies outside the terrain.
+	Project(x, y float64) (terrain.SurfacePoint, bool)
+	// QueryXY projects both planar coordinate pairs and answers the
+	// surface-point query — the serving layer's coordinate form.
+	QueryXY(sx, sy, tx, ty float64) (float64, error)
+}
+
+// NearestFinder is implemented by indexes that can report the indexed
+// endpoint nearest to a planar position (the serving layer's /v1/nearest).
+type NearestFinder interface {
+	// Nearest returns the id and surface point of the indexed endpoint
+	// whose x-y projection is closest to (x, y), together with that planar
+	// distance. Ties break toward the lower id.
+	Nearest(x, y float64) (id int32, at terrain.SurfacePoint, planar float64, err error)
+}
+
+// Compile-time checks: every engine implements the shared interface, and
+// the site oracle additionally serves arbitrary points.
+var (
+	_ DistanceIndex = (*Oracle)(nil)
+	_ DistanceIndex = (*SiteOracle)(nil)
+	_ DistanceIndex = (*DynamicOracle)(nil)
+	_ PointIndex    = (*SiteOracle)(nil)
+	_ NearestFinder = (*Oracle)(nil)
+	_ NearestFinder = (*SiteOracle)(nil)
+	_ NearestFinder = (*DynamicOracle)(nil)
+)
+
+// BatchViaQuery is the shared QueryBatch implementation for indexes whose
+// batch surface is a loop over Query. It enforces the common contract:
+// cap(dst) >= len(pairs) reuses dst, and the first invalid pair returns the
+// filled prefix with the error. (Oracle keeps its own loop — binding a
+// method value here would cost an allocation its zero-alloc batch contract
+// forbids.)
+func BatchViaQuery(query func(s, t int32) (float64, error), pairs [][2]int32, dst []float64) ([]float64, error) {
+	if cap(dst) < len(pairs) {
+		dst = make([]float64, len(pairs))
+	}
+	dst = dst[:len(pairs)]
+	for i, p := range pairs {
+		d, err := query(p[0], p[1])
+		if err != nil {
+			return dst[:i], fmt.Errorf("core: batch pair %d: %w", i, err)
+		}
+		dst[i] = d
+	}
+	return dst, nil
+}
+
+// nearestScan is the shared linear-scan Nearest implementation over a point
+// table. It is deterministic: ties break toward the lower id.
+func nearestScan(pts []terrain.SurfacePoint, skip func(int32) bool, x, y float64) (int32, terrain.SurfacePoint, float64, error) {
+	if len(pts) == 0 {
+		return -1, terrain.SurfacePoint{}, 0, fmt.Errorf("core: index carries no point table")
+	}
+	best := int32(-1)
+	bestD2 := 0.0
+	for i, p := range pts {
+		if skip != nil && skip(int32(i)) {
+			continue
+		}
+		dx, dy := p.P.X-x, p.P.Y-y
+		d2 := dx*dx + dy*dy
+		if best < 0 || d2 < bestD2 {
+			best, bestD2 = int32(i), d2
+		}
+	}
+	if best < 0 {
+		return -1, terrain.SurfacePoint{}, 0, fmt.Errorf("core: no live indexed points")
+	}
+	return best, pts[best], math.Sqrt(bestD2), nil
+}

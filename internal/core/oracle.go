@@ -69,6 +69,10 @@ type Oracle struct {
 	stats  BuildStats
 	layerN int     // h+1, the number of layers
 	paths  []int32 // flat path slab: POI p's A_s row at [p*layerN, (p+1)*layerN)
+	// pts is the indexed POI point table. Build always records it (it backs
+	// Nearest and is serialized as the container's point section); oracles
+	// loaded from legacy streams carry none.
+	pts []terrain.SurfacePoint
 }
 
 // Build constructs an SE oracle over the POIs of a terrain using eng as the
@@ -148,6 +152,7 @@ func Build(eng geodesic.Engine, pois []terrain.SurfacePoint, opt Options) (*Orac
 		npoi:   len(pois),
 		stats:  stats,
 		layerN: int(ct.height) + 1,
+		pts:    append([]terrain.SurfacePoint(nil), pois...),
 	}
 	o.buildPathSlab()
 	return o, nil
@@ -178,8 +183,33 @@ func (o *Oracle) Height() int { return int(o.tree.height) }
 // NumPairs returns the size of the node pair set.
 func (o *Oracle) NumPairs() int { return len(o.dist) }
 
-// Stats returns the construction statistics.
-func (o *Oracle) Stats() BuildStats { return o.stats }
+// BuildStats returns the construction statistics. (Zero for oracles loaded
+// from a serialized stream: construction happened in another process.)
+func (o *Oracle) BuildStats() BuildStats { return o.stats }
+
+// Stats reports the shared DistanceIndex observability surface.
+func (o *Oracle) Stats() IndexStats {
+	return IndexStats{
+		Kind:        KindSE,
+		Epsilon:     o.eps,
+		Points:      o.npoi,
+		Height:      int(o.tree.height),
+		Pairs:       len(o.dist),
+		MemoryBytes: o.MemoryBytes(),
+		Build:       o.stats,
+	}
+}
+
+// Points returns the indexed POI point table, or nil when the oracle was
+// loaded from a legacy stream that carried none. The slice aliases
+// oracle-owned memory and must be treated as read-only.
+func (o *Oracle) Points() []terrain.SurfacePoint { return o.pts }
+
+// Nearest returns the indexed POI whose x-y projection is closest to
+// (x, y). It errors when the oracle carries no point table (legacy loads).
+func (o *Oracle) Nearest(x, y float64) (int32, terrain.SurfacePoint, float64, error) {
+	return nearestScan(o.pts, nil, x, y)
+}
 
 // MemoryBytes estimates the oracle's resident size: the compressed tree, the
 // node-pair keys and distances, and the perfect-hash index. This is the
@@ -194,6 +224,7 @@ func (o *Oracle) MemoryBytes() int64 {
 	b += int64(len(o.keys)) * 8
 	b += int64(len(o.dist)) * 8
 	b += int64(len(o.paths)) * 4
+	b += int64(len(o.pts)) * 32 // point table: Face, Vert int32 + 3 float64 coords
 	b += o.hash.MemoryBytes()
 	return b
 }

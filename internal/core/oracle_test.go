@@ -68,8 +68,8 @@ func TestOracleInvariants(t *testing.T) {
 		if o.Height() <= 0 || o.Height() >= 64 {
 			t.Errorf("%v: height %d implausible", sel, o.Height())
 		}
-		if o.Stats().ResolverFallbacks != 0 {
-			t.Errorf("%v: %d resolver fallbacks (Lemma 4 violated?)", sel, o.Stats().ResolverFallbacks)
+		if o.BuildStats().ResolverFallbacks != 0 {
+			t.Errorf("%v: %d resolver fallbacks (Lemma 4 violated?)", sel, o.BuildStats().ResolverFallbacks)
 		}
 	}
 }
@@ -151,8 +151,8 @@ func TestNaiveConstructionMatches(t *testing.T) {
 	// The efficient construction must not use more SSAD calls than pairs
 	// considered + tree nodes (it calls SSAD once per tree node, not per
 	// pair).
-	if fast.Stats().SSADCalls > naive.Stats().SSADCalls {
-		t.Errorf("efficient used %d SSADs, naive %d", fast.Stats().SSADCalls, naive.Stats().SSADCalls)
+	if fast.BuildStats().SSADCalls > naive.BuildStats().SSADCalls {
+		t.Errorf("efficient used %d SSADs, naive %d", fast.BuildStats().SSADCalls, naive.BuildStats().SSADCalls)
 	}
 }
 

@@ -35,7 +35,7 @@ func TestBuildDeterministicAcrossWorkers(t *testing.T) {
 				if err := o.Encode(&buf); err != nil {
 					t.Fatalf("workers=%d: Encode: %v", workers, err)
 				}
-				st := o.Stats()
+				st := o.BuildStats()
 				if workers == 1 {
 					want = buf.Bytes()
 					wantStats = st
@@ -147,7 +147,7 @@ func TestConcurrentSiteOracleQuery(t *testing.T) {
 	}
 	want := make([]float64, len(pois))
 	for i := range pois {
-		want[i], err = so.Query(pois[i], pois[len(pois)-1-i])
+		want[i], err = so.QueryPoints(pois[i], pois[len(pois)-1-i])
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -158,7 +158,7 @@ func TestConcurrentSiteOracleQuery(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := range pois {
-				got, err := so.Query(pois[i], pois[len(pois)-1-i])
+				got, err := so.QueryPoints(pois[i], pois[len(pois)-1-i])
 				if err != nil || got != want[i] {
 					t.Errorf("query %d: %v (%v), want %v", i, got, err, want[i])
 					return

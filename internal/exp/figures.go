@@ -270,7 +270,7 @@ func RunFig12(cfg Config) ([]Measurement, error) {
 			if err != nil {
 				return nil, 0, err
 			}
-			return so.Query, so.MemoryBytes(), nil
+			return so.QueryPoints, so.MemoryBytes(), nil
 		}},
 		{name: MethodSPOracle, build: func(eps float64) (func(s, t terrain.SurfacePoint) (float64, error), int64, error) {
 			so, err := baseline.NewSPOracle(eng, ds.Mesh, eps, cfg.Seed)

@@ -36,7 +36,7 @@ func RunTable1(cfg Config) error {
 		return err
 	}
 	se := m.(*seMethod)
-	st := se.oracle.Stats()
+	st := se.oracle.BuildStats()
 	fmt.Fprintf(cfg.Out, "measured on %s at eps=%g: h=%d, tree nodes=%d (compressed %d), pairs=%d (considered %d), SSADs=%d, enhanced edges=%d\n",
 		ds.Name, eps, st.Height, st.TreeNodes, st.CompressedNodes, st.Pairs, st.PairsConsidered, st.SSADCalls, st.EnhancedEdges)
 	return nil

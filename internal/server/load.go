@@ -1,0 +1,43 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+
+	"seoracle/internal/core"
+)
+
+// LoadIndexFile loads any index container from disk, either by streaming
+// through a buffered reader or — when useMmap is set on a platform that
+// supports it — by memory-mapping the file and decoding from the mapping,
+// which keeps the load from double-buffering large containers through the
+// page cache. Every decoder copies the payloads into its own structures, so
+// the mapping is released before returning; the decoded index owns all its
+// memory either way.
+func LoadIndexFile(path string, useMmap bool) (core.DistanceIndex, error) {
+	if useMmap {
+		data, closer, err := mmapFile(path)
+		if err == nil {
+			idx, derr := core.Load(bytes.NewReader(data))
+			if cerr := closer(); derr == nil && cerr != nil {
+				derr = fmt.Errorf("server: releasing mapping of %s: %w", path, cerr)
+			}
+			if derr != nil {
+				return nil, derr
+			}
+			return idx, nil
+		}
+		if err != errMmapUnsupported {
+			return nil, fmt.Errorf("server: mmap %s: %w", path, err)
+		}
+		// Fall through to the streaming path on platforms without mmap.
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.Load(bufio.NewReaderSize(f, 1<<20))
+}

@@ -1,0 +1,13 @@
+//go:build !unix
+
+package server
+
+import "errors"
+
+var errMmapUnsupported = errors.New("mmap unsupported")
+
+// mmapFile reports mmap as unavailable on this platform; LoadIndexFile
+// falls back to the streaming path.
+func mmapFile(string) ([]byte, func() error, error) {
+	return nil, nil, errMmapUnsupported
+}

@@ -1,0 +1,34 @@
+//go:build unix
+
+package server
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+var errMmapUnsupported = errors.New("mmap unsupported")
+
+// mmapFile maps path read-only and returns the mapping with its releaser.
+func mmapFile(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	if st.Size() == 0 {
+		// Zero-length mappings are invalid; hand back an empty slice and
+		// let the decoder report the truncation.
+		return nil, func() error { return nil }, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(st.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -1,0 +1,361 @@
+// Package server is the HTTP serving layer over a DistanceIndex: one
+// immutable index (any kind — se, a2a, dynamic), loaded once from a
+// container file, answering concurrent JSON queries with per-endpoint
+// latency and QPS counters.
+//
+// Endpoints:
+//
+//	GET/POST /v1/query    one distance: ids (s, t) or planar coords (sx, sy, tx, ty)
+//	POST     /v1/batch    bulk id pairs through QueryBatch
+//	GET/POST /v1/nearest  nearest indexed endpoint to planar coords (x, y)
+//	GET      /healthz     liveness + index kind
+//	GET      /statsz      IndexStats + per-endpoint request/error/latency counters
+//
+// The index is never mutated by a request, so the handlers share it without
+// locking; a DynamicOracle is served read-only.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"seoracle/internal/core"
+)
+
+// MaxBatchPairs bounds one /v1/batch request, so a single client cannot
+// commit unbounded memory on the server.
+const MaxBatchPairs = 1 << 20
+
+// Server serves one DistanceIndex over HTTP.
+type Server struct {
+	idx     core.DistanceIndex
+	pt      core.PointIndex    // non-nil when the index answers arbitrary points
+	nf      core.NearestFinder // non-nil when the index can scan for nearest endpoints
+	kindTag core.Kind          // cached at attach: Stats() can be O(index) per call
+	start   time.Time
+	mux     *http.ServeMux
+	metrics map[string]*endpointMetrics
+}
+
+// endpointMetrics is one endpoint's counter set. All fields are atomic: the
+// handlers update them concurrently and /statsz reads them without locks.
+type endpointMetrics struct {
+	requests  atomic.Int64
+	errors    atomic.Int64
+	latencyNs atomic.Int64
+	maxNs     atomic.Int64
+}
+
+func (m *endpointMetrics) observe(d time.Duration, failed bool) {
+	m.requests.Add(1)
+	if failed {
+		m.errors.Add(1)
+	}
+	ns := d.Nanoseconds()
+	m.latencyNs.Add(ns)
+	for {
+		cur := m.maxNs.Load()
+		if ns <= cur || m.maxNs.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// New builds a Server around idx. The optional point/nearest capabilities
+// are discovered by interface assertion, so every index kind — and any
+// future registered kind — serves through the same code path.
+func New(idx core.DistanceIndex) *Server {
+	s := &Server{
+		idx:     idx,
+		kindTag: idx.Stats().Kind,
+		start:   time.Now(),
+		mux:     http.NewServeMux(),
+		metrics: map[string]*endpointMetrics{},
+	}
+	if pt, ok := idx.(core.PointIndex); ok {
+		s.pt = pt
+	}
+	if nf, ok := idx.(core.NearestFinder); ok {
+		s.nf = nf
+	}
+	s.route("/v1/query", s.handleQuery, http.MethodGet, http.MethodPost)
+	s.route("/v1/batch", s.handleBatch, http.MethodPost)
+	s.route("/v1/nearest", s.handleNearest, http.MethodGet, http.MethodPost)
+	s.route("/healthz", s.handleHealthz, http.MethodGet)
+	s.route("/statsz", s.handleStatsz, http.MethodGet)
+	return s
+}
+
+// Handler returns the HTTP handler serving all endpoints.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// route registers an instrumented handler. Handlers return the status code
+// they wrote so the wrapper can count errors without re-parsing responses.
+func (s *Server) route(path string, h func(w http.ResponseWriter, r *http.Request) int, methods ...string) {
+	m := &endpointMetrics{}
+	s.metrics[path] = m
+	allowed := map[string]bool{}
+	for _, meth := range methods {
+		allowed[meth] = true
+	}
+	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		var status int
+		if !allowed[r.Method] {
+			status = writeError(w, http.StatusMethodNotAllowed, "method %s not allowed on %s", r.Method, path)
+		} else {
+			status = h(w, r)
+		}
+		m.observe(time.Since(t0), status >= 400)
+	})
+}
+
+// --- request/response shapes ------------------------------------------------
+
+// queryRequest is /v1/query's body (POST) or query-string (GET): either both
+// ids or all four planar coordinates.
+type queryRequest struct {
+	S  *int32   `json:"s,omitempty"`
+	T  *int32   `json:"t,omitempty"`
+	SX *float64 `json:"sx,omitempty"`
+	SY *float64 `json:"sy,omitempty"`
+	TX *float64 `json:"tx,omitempty"`
+	TY *float64 `json:"ty,omitempty"`
+}
+
+type queryResponse struct {
+	Distance float64   `json:"distance"`
+	Kind     core.Kind `json:"kind"`
+}
+
+type batchRequest struct {
+	Pairs [][2]int32 `json:"pairs"`
+}
+
+type batchResponse struct {
+	Distances []float64 `json:"distances"`
+	Count     int       `json:"count"`
+}
+
+type nearestResponse struct {
+	ID       int32   `json:"id"`
+	X        float64 `json:"x"`
+	Y        float64 `json:"y"`
+	Z        float64 `json:"z"`
+	Distance float64 `json:"distance"` // planar distance from the query point
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// --- handlers ---------------------------------------------------------------
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) int {
+	var req queryRequest
+	if r.Method == http.MethodGet {
+		q := r.URL.Query()
+		var err error
+		if req.S, err = formInt32(q.Get("s"), req.S); err != nil {
+			return writeError(w, http.StatusBadRequest, "bad s: %v", err)
+		}
+		if req.T, err = formInt32(q.Get("t"), req.T); err != nil {
+			return writeError(w, http.StatusBadRequest, "bad t: %v", err)
+		}
+		for _, f := range []struct {
+			name string
+			dst  **float64
+		}{{"sx", &req.SX}, {"sy", &req.SY}, {"tx", &req.TX}, {"ty", &req.TY}} {
+			if *f.dst, err = formFloat(q.Get(f.name), *f.dst); err != nil {
+				return writeError(w, http.StatusBadRequest, "bad %s: %v", f.name, err)
+			}
+		}
+	} else if status := readJSON(w, r, &req); status != 0 {
+		return status
+	}
+	if err := finiteCoords(req.SX, req.SY, req.TX, req.TY); err != nil {
+		return writeError(w, http.StatusBadRequest, "%v", err)
+	}
+
+	switch {
+	case req.S != nil && req.T != nil:
+		d, err := s.idx.Query(*req.S, *req.T)
+		if err != nil {
+			return writeError(w, http.StatusBadRequest, "query: %v", err)
+		}
+		return writeJSON(w, http.StatusOK, queryResponse{Distance: d, Kind: s.kind()})
+	case req.SX != nil && req.SY != nil && req.TX != nil && req.TY != nil:
+		if s.pt == nil {
+			return writeError(w, http.StatusBadRequest,
+				"index kind %s answers id queries only; coordinate queries need an a2a index", s.kind())
+		}
+		d, err := s.pt.QueryXY(*req.SX, *req.SY, *req.TX, *req.TY)
+		if err != nil {
+			return writeError(w, http.StatusBadRequest, "query: %v", err)
+		}
+		return writeJSON(w, http.StatusOK, queryResponse{Distance: d, Kind: s.kind()})
+	}
+	return writeError(w, http.StatusBadRequest,
+		"need endpoint ids (s, t) or planar coordinates (sx, sy, tx, ty)")
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) int {
+	var req batchRequest
+	if status := readJSON(w, r, &req); status != 0 {
+		return status
+	}
+	if len(req.Pairs) == 0 {
+		return writeError(w, http.StatusBadRequest, "empty pair list")
+	}
+	if len(req.Pairs) > MaxBatchPairs {
+		return writeError(w, http.StatusRequestEntityTooLarge,
+			"batch of %d pairs exceeds the %d limit", len(req.Pairs), MaxBatchPairs)
+	}
+	dst, err := s.idx.QueryBatch(req.Pairs, make([]float64, len(req.Pairs)))
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, "batch: %v", err)
+	}
+	return writeJSON(w, http.StatusOK, batchResponse{Distances: dst, Count: len(dst)})
+}
+
+func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) int {
+	var req struct {
+		X *float64 `json:"x"`
+		Y *float64 `json:"y"`
+	}
+	if r.Method == http.MethodGet {
+		q := r.URL.Query()
+		var err error
+		if req.X, err = formFloat(q.Get("x"), req.X); err != nil {
+			return writeError(w, http.StatusBadRequest, "bad x: %v", err)
+		}
+		if req.Y, err = formFloat(q.Get("y"), req.Y); err != nil {
+			return writeError(w, http.StatusBadRequest, "bad y: %v", err)
+		}
+	} else if status := readJSON(w, r, &req); status != 0 {
+		return status
+	}
+	if req.X == nil || req.Y == nil {
+		return writeError(w, http.StatusBadRequest, "need planar coordinates (x, y)")
+	}
+	if err := finiteCoords(req.X, req.Y); err != nil {
+		return writeError(w, http.StatusBadRequest, "%v", err)
+	}
+	if s.nf == nil {
+		return writeError(w, http.StatusNotImplemented, "index kind %s cannot answer nearest-endpoint queries", s.kind())
+	}
+	id, at, planar, err := s.nf.Nearest(*req.X, *req.Y)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, "nearest: %v", err)
+	}
+	if math.IsInf(planar, 0) || math.IsNaN(planar) {
+		// Finite-but-huge coordinates can overflow the squared distance;
+		// JSON cannot carry the result, so reject rather than emit a 200
+		// with an unencodable body.
+		return writeError(w, http.StatusBadRequest, "coordinates (%g,%g) out of range", *req.X, *req.Y)
+	}
+	return writeJSON(w, http.StatusOK, nearestResponse{
+		ID: id, X: at.P.X, Y: at.P.Y, Z: at.P.Z, Distance: planar,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) int {
+	return writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":         "ok",
+		"kind":           s.kind(),
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) int {
+	uptime := time.Since(s.start).Seconds()
+	eps := map[string]interface{}{}
+	for path, m := range s.metrics {
+		req := m.requests.Load()
+		avg := int64(0)
+		if req > 0 {
+			avg = m.latencyNs.Load() / req
+		}
+		eps[path] = map[string]interface{}{
+			"requests":   req,
+			"errors":     m.errors.Load(),
+			"avg_ns":     avg,
+			"max_ns":     m.maxNs.Load(),
+			"qps":        float64(req) / uptime,
+			"latency_ns": m.latencyNs.Load(),
+		}
+	}
+	return writeJSON(w, http.StatusOK, map[string]interface{}{
+		"index":          s.idx.Stats(),
+		"endpoints":      eps,
+		"uptime_seconds": uptime,
+	})
+}
+
+func (s *Server) kind() core.Kind { return s.kindTag }
+
+// --- helpers ----------------------------------------------------------------
+
+func formInt32(v string, cur *int32) (*int32, error) {
+	if v == "" {
+		return cur, nil
+	}
+	n, err := strconv.ParseInt(v, 10, 32)
+	if err != nil {
+		return nil, err
+	}
+	n32 := int32(n)
+	return &n32, nil
+}
+
+func formFloat(v string, cur *float64) (*float64, error) {
+	if v == "" {
+		return cur, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return nil, err
+	}
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return nil, fmt.Errorf("coordinate must be finite, got %g", f)
+	}
+	return &f, nil
+}
+
+// finiteCoords rejects NaN/Inf coordinates that arrived through the JSON
+// body (the GET path already rejects them in formFloat). Non-finite inputs
+// would otherwise propagate into distances that json.Encoder cannot emit.
+func finiteCoords(vals ...*float64) error {
+	for _, v := range vals {
+		if v != nil && (math.IsNaN(*v) || math.IsInf(*v, 0)) {
+			return fmt.Errorf("coordinate must be finite, got %g", *v)
+		}
+	}
+	return nil
+}
+
+// readJSON decodes a request body, returning 0 on success or the error
+// status it already wrote.
+func readJSON(w http.ResponseWriter, r *http.Request, dst interface{}) int {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err := dec.Decode(dst); err != nil {
+		return writeError(w, http.StatusBadRequest, "bad JSON body: %v", err)
+	}
+	return 0
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) int {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+	return status
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) int {
+	return writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}

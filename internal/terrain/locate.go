@@ -11,12 +11,20 @@ import (
 // point above it. It bins the face projections into a uniform grid, so
 // queries are O(1) expected for height-field terrains.
 type Locator struct {
-	mesh       *Mesh
-	minX, minY float64
-	cellW      float64
-	nx, ny     int
-	cells      [][]int32
+	mesh         *Mesh
+	minX, minY   float64
+	cellW, cellH float64
+	nx, ny       int
+	cells        [][]int32
 }
+
+// maxLocatorGridSide caps the grid resolution per axis. The grid targets
+// roughly one face per cell, so sane terrains stay far below the cap
+// (sqrt(F) cells per side); the cap keeps degenerate or adversarial
+// bounding boxes — e.g. a decoded mesh with an extreme aspect ratio — from
+// turning the acceleration grid into a giant allocation. Correctness never
+// depends on the resolution, only query speed does.
+const maxLocatorGridSide = 4096
 
 // NewLocator builds a locator for m. It costs O(F) time and memory.
 func NewLocator(m *Mesh) *Locator {
@@ -25,16 +33,18 @@ func NewLocator(m *Mesh) *Locator {
 	w := s.BBoxMax.X - s.BBoxMin.X
 	h := s.BBoxMax.Y - s.BBoxMin.Y
 	nf := m.NumFaces()
-	if nf == 0 || w <= 0 || h <= 0 {
-		loc.cellW = 1
+	if nf == 0 || !(w > 0) || !(h > 0) {
+		loc.cellW, loc.cellH = 1, 1
 		loc.nx, loc.ny = 1, 1
 		loc.cells = make([][]int32, 1)
 		return loc
 	}
-	// Aim for roughly one face per cell.
-	loc.cellW = math.Sqrt(w * h / float64(nf))
-	loc.nx = int(w/loc.cellW) + 1
-	loc.ny = int(h/loc.cellW) + 1
+	// Aim for roughly one face per cell, clamped per axis.
+	cell := math.Sqrt(w * h / float64(nf))
+	loc.nx = clampGrid(int(w/cell) + 1)
+	loc.ny = clampGrid(int(h/cell) + 1)
+	loc.cellW = w / float64(loc.nx)
+	loc.cellH = h / float64(loc.ny)
 	loc.cells = make([][]int32, loc.nx*loc.ny)
 	for f := range m.Faces {
 		fa := m.Faces[f]
@@ -56,9 +66,19 @@ func NewLocator(m *Mesh) *Locator {
 	return loc
 }
 
+func clampGrid(n int) int {
+	if n < 1 {
+		return 1
+	}
+	if n > maxLocatorGridSide {
+		return maxLocatorGridSide
+	}
+	return n
+}
+
 func (l *Locator) cellOf(x, y float64) (int, int) {
 	ci := int((x - l.minX) / l.cellW)
-	cj := int((y - l.minY) / l.cellW)
+	cj := int((y - l.minY) / l.cellH)
 	ci = max(0, min(l.nx-1, ci))
 	cj = max(0, min(l.ny-1, cj))
 	return ci, cj

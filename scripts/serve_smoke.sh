@@ -1,0 +1,94 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke test of the index build/store/serve
+# pipeline, run by `make serve-smoke` and CI:
+#
+#   1. generate a small terrain + POI set (terraingen)
+#   2. build and serialize an SE index (sebuild -kind=se) and an A2A index
+#      (sebuild -kind=a2a)
+#   3. answer a query offline with sequery
+#   4. start seserve on the same container, hit /healthz, /v1/query,
+#      /v1/nearest and /statsz with curl
+#   5. assert the served distance equals sequery's answer, for both kinds
+#
+# Requires: go, curl, awk. Exits non-zero on any mismatch.
+set -eu
+
+PORT="${SMOKE_PORT:-18080}"
+TMP="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+say() { echo "serve-smoke: $*"; }
+
+say "building binaries"
+go build -o "$TMP" ./cmd/terraingen ./cmd/sebuild ./cmd/sequery ./cmd/seserve
+
+say "generating terrain"
+"$TMP/terraingen" -out "$TMP/terrain.off" -pois "$TMP/pois.txt" \
+    -nx 13 -ny 13 -dx 10 -amp 30 -npoi 40 -seed 7
+
+wait_healthy() {
+    for _ in $(seq 1 50); do
+        if curl -fsS "http://127.0.0.1:$PORT/healthz" >"$TMP/health.json" 2>/dev/null; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    say "server did not become healthy"; exit 1
+}
+
+# curl_json URL -> stdout; fails loudly on HTTP errors.
+curl_json() { curl -fsS "$1"; }
+
+# field FILE KEY -> numeric value of "key": extracted without jq.
+field() { awk -v k="\"$2\":" 'BEGIN{RS=","} index($0,k){sub(/.*:/,""); gsub(/[^0-9.eE+-]/,""); print; exit}' "$1"; }
+
+# --- SE kind ----------------------------------------------------------------
+say "building se index"
+"$TMP/sebuild" -kind=se -terrain "$TMP/terrain.off" -pois "$TMP/pois.txt" \
+    -out "$TMP/se.sedx" -eps 0.2 -seed 7 -check
+
+WANT_SE="$("$TMP/sequery" -oracle "$TMP/se.sedx" -s 0 -t 5 | awk -F'= ' '{print $2}' | awk '{print $1}')"
+[ -n "$WANT_SE" ] || { say "sequery produced no SE answer"; exit 1; }
+say "sequery says d(0,5) = $WANT_SE"
+
+"$TMP/seserve" -index "$TMP/se.sedx" -addr "127.0.0.1:$PORT" &
+SERVER_PID=$!
+wait_healthy
+grep -q '"kind":"se"' "$TMP/health.json" || { say "healthz kind mismatch: $(cat "$TMP/health.json")"; exit 1; }
+
+curl_json "http://127.0.0.1:$PORT/v1/query?s=0&t=5" >"$TMP/q.json"
+GOT_SE="$(field "$TMP/q.json" distance)"
+say "seserve says d(0,5) = $GOT_SE"
+[ "$GOT_SE" = "$WANT_SE" ] || { say "SE distance mismatch: sequery=$WANT_SE server=$GOT_SE"; exit 1; }
+
+curl_json "http://127.0.0.1:$PORT/v1/nearest?x=40&y=40" >/dev/null
+curl_json "http://127.0.0.1:$PORT/statsz" >"$TMP/stats.json"
+grep -q '"/v1/query"' "$TMP/stats.json" || { say "statsz missing endpoint metrics"; exit 1; }
+
+kill "$SERVER_PID" && wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+# --- A2A kind ---------------------------------------------------------------
+say "building a2a index"
+"$TMP/sebuild" -kind=a2a -terrain "$TMP/terrain.off" -out "$TMP/a2a.sedx" -eps 0.3 -seed 7
+
+WANT_A2A="$("$TMP/sequery" -oracle "$TMP/a2a.sedx" -xy -sx 20 -sy 20 -tx 100 -ty 110 | awk -F'= ' '{print $2}' | awk '{print $1}')"
+[ -n "$WANT_A2A" ] || { say "sequery produced no A2A answer"; exit 1; }
+say "sequery says d((20,20),(100,110)) = $WANT_A2A"
+
+"$TMP/seserve" -index "$TMP/a2a.sedx" -addr "127.0.0.1:$PORT" -mmap &
+SERVER_PID=$!
+wait_healthy
+grep -q '"kind":"a2a"' "$TMP/health.json" || { say "healthz kind mismatch: $(cat "$TMP/health.json")"; exit 1; }
+
+curl_json "http://127.0.0.1:$PORT/v1/query?sx=20&sy=20&tx=100&ty=110" >"$TMP/q2.json"
+GOT_A2A="$(field "$TMP/q2.json" distance)"
+say "seserve says d((20,20),(100,110)) = $GOT_A2A"
+[ "$GOT_A2A" = "$WANT_A2A" ] || { say "A2A distance mismatch: sequery=$WANT_A2A server=$GOT_A2A"; exit 1; }
+
+say "OK (se + a2a served, answers match sequery)"

@@ -28,6 +28,11 @@
 //
 // For arbitrary (non-POI) query points, build an A2A oracle with
 // BuildA2A. For exact one-off distances, use ExactDistance.
+//
+// Every engine — the SE Oracle, the A2A oracle, the dynamic oracle —
+// implements the DistanceIndex interface, serializes itself with EncodeTo
+// into a self-describing container file, and is restored (as the right
+// concrete type) with Load. cmd/seserve serves any such file over HTTP.
 package seoracle
 
 import (
@@ -53,8 +58,32 @@ type Stats = terrain.Stats
 type Oracle = core.Oracle
 
 // A2AOracle answers distance queries between arbitrary surface points
-// (paper Appendix C), including the n > N regime (Appendix D).
+// (paper Appendix C), including the n > N regime (Appendix D). Arbitrary
+// points go through QueryPoints; Query answers site-id distances.
 type A2AOracle = core.SiteOracle
+
+// DistanceIndex is the shared interface over every query engine: Query /
+// QueryBatch by endpoint id, MemoryBytes, Stats, and container
+// serialization via EncodeTo.
+type DistanceIndex = core.DistanceIndex
+
+// PointIndex is a DistanceIndex that also answers arbitrary-surface-point
+// queries (implemented by A2AOracle).
+type PointIndex = core.PointIndex
+
+// IndexStats is the shared observability surface reported by
+// DistanceIndex.Stats.
+type IndexStats = core.IndexStats
+
+// Kind tags the concrete engine behind a serialized index container.
+type Kind = core.Kind
+
+// Container kind tags.
+const (
+	KindSE      = core.KindSE
+	KindA2A     = core.KindA2A
+	KindDynamic = core.KindDynamic
+)
 
 // Options configures oracle construction.
 type Options = core.Options
@@ -128,10 +157,24 @@ type DynamicOracle = core.DynamicOracle
 
 // BuildDynamic constructs a dynamic SE oracle over the initial POI set.
 func BuildDynamic(t *Terrain, pois []SurfacePoint, opt Options) (*DynamicOracle, error) {
-	return core.NewDynamicOracle(geodesic.NewExact(t), pois, opt)
+	return core.NewDynamicOracle(geodesic.NewExact(t), t, pois, opt)
 }
 
-// LoadOracle reads a serialized oracle written with Oracle.Encode.
+// Load reads any serialized index container (written with EncodeTo) and
+// returns the concrete engine behind the DistanceIndex interface — an
+// *Oracle, *A2AOracle or *DynamicOracle according to the container's kind
+// tag. It also accepts the legacy bare-oracle streams Oracle.Encode wrote
+// before the container format existed.
+func Load(r io.Reader) (DistanceIndex, error) { return core.Load(r) }
+
+// LoadFile opens path and Loads the index it contains.
+func LoadFile(path string) (DistanceIndex, error) { return core.LoadFile(path) }
+
+// LoadOracle reads a serialized SE oracle (legacy stream or SE-kind
+// container).
+//
+// Deprecated: use Load, which handles every index kind and returns the
+// right concrete type.
 func LoadOracle(r io.Reader) (*Oracle, error) { return core.Decode(r) }
 
 // ExactDistance computes the exact geodesic distance between two surface

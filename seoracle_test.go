@@ -58,6 +58,46 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 }
 
+// The public container surface: every engine kind serializes with EncodeTo
+// and comes back through Load as the right concrete type behind the
+// DistanceIndex interface.
+func TestPublicAPIContainerRoundTrip(t *testing.T) {
+	mesh := testTerrain(t, 91)
+	pois, err := SampleUniformPOIs(mesh, 12, 92)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, err := Build(mesh, pois, Options{Epsilon: 0.2, Seed: 93})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := BuildDynamic(mesh, pois, Options{Epsilon: 0.2, Seed: 94})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, idx := range []DistanceIndex{se, dyn} {
+		var buf bytes.Buffer
+		if err := idx.EncodeTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Load(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Stats().Kind != idx.Stats().Kind {
+			t.Fatalf("kind changed: %s -> %s", idx.Stats().Kind, back.Stats().Kind)
+		}
+		a, err1 := idx.Query(0, 1)
+		b, err2 := back.Query(0, 1)
+		if err1 != nil || err2 != nil || a != b {
+			t.Fatalf("%s: %v/%v vs %v/%v", idx.Stats().Kind, a, err1, b, err2)
+		}
+	}
+	if _, ok := interface{}(se).(DistanceIndex); !ok {
+		t.Fatal("Oracle does not satisfy DistanceIndex")
+	}
+}
+
 // V2V mode: every vertex is a POI (§5.2.2).
 func TestPublicAPIV2V(t *testing.T) {
 	mesh := testTerrain(t, 74)
@@ -87,7 +127,7 @@ func TestPublicAPIA2A(t *testing.T) {
 	}
 	s := mesh.FacePoint(3, 0.2, 0.5, 0.3)
 	d := mesh.FacePoint(int32(mesh.NumFaces()-4), 0.6, 0.2, 0.2)
-	got, err := a2a.Query(s, d)
+	got, err := a2a.QueryPoints(s, d)
 	if err != nil {
 		t.Fatal(err)
 	}
