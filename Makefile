@@ -8,7 +8,7 @@ GO ?= go
 BENCHTIME ?= 0.3s
 BENCH_LABEL ?= local
 
-.PHONY: all build test race bench bench-smoke bench-json lint fmt fmt-check fuzz-smoke serve-smoke ci
+.PHONY: all build test race bench bench-smoke bench-json bench-check lint fmt fmt-check fuzz-smoke serve-smoke ci
 
 all: build
 
@@ -18,9 +18,11 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-detect the packages with concurrent construction and query paths.
+# Race-detect the packages with concurrent construction, query and serving
+# paths (the server's cache/single-flight machinery is lock-based and must
+# stay race-clean).
 race:
-	$(GO) test -race ./internal/core/... ./internal/geodesic/...
+	$(GO) test -race ./internal/core/... ./internal/geodesic/... ./internal/server/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
@@ -35,6 +37,11 @@ bench-smoke:
 bench-json:
 	$(GO) test -bench=. -benchmem -run='^$$' -benchtime=$(BENCHTIME) . \
 		| $(GO) run ./cmd/benchjson -label "$(BENCH_LABEL)" -o BENCH_perf.json
+
+# Fail when the committed trajectory is missing, unparsable or empty — a
+# corrupt BENCH_perf.json must not pass CI silently.
+bench-check:
+	$(GO) run ./cmd/benchjson -check -o BENCH_perf.json
 
 lint:
 	$(GO) vet ./...
@@ -57,4 +64,4 @@ fuzz-smoke:
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
-ci: fmt-check lint build test race
+ci: fmt-check lint build test race bench-check

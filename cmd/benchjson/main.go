@@ -8,6 +8,7 @@
 // Usage:
 //
 //	go test -bench=. -benchmem -run='^$' . | benchjson -label pr2 -o BENCH_perf.json
+//	benchjson -check -o BENCH_perf.json   # CI gate: fail when missing/invalid
 package main
 
 import (
@@ -57,8 +58,14 @@ func main() {
 	var (
 		label = flag.String("label", "local", "label for this run (e.g. the PR name)")
 		out   = flag.String("o", "BENCH_perf.json", "trajectory file to append to")
+		check = flag.Bool("check", false, "validate the trajectory file and exit non-zero when it is missing, unparsable or empty")
 	)
 	flag.Parse()
+
+	if *check {
+		checkTrajectory(*out)
+		return
+	}
 
 	run := Run{
 		Label:  *label,
@@ -166,6 +173,39 @@ func parseBenchLine(line string) (Benchmark, bool) {
 		}
 	}
 	return b, true
+}
+
+// checkTrajectory is the CI gate for the committed perf trajectory: a
+// missing, unparsable, wrong-schema or empty file fails loudly — a corrupt
+// BENCH_perf.json must never pass silently.
+func checkTrajectory(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal("trajectory %s unreadable: %v", path, err)
+	}
+	var file File
+	if err := json.Unmarshal(data, &file); err != nil {
+		fatal("trajectory %s is not valid JSON: %v", path, err)
+	}
+	if file.Schema != schema {
+		fatal("trajectory %s has schema %q, want %q", path, file.Schema, schema)
+	}
+	if len(file.Runs) == 0 {
+		fatal("trajectory %s records no runs", path)
+	}
+	for i, run := range file.Runs {
+		if run.Label == "" {
+			fatal("trajectory %s: run %d has no label", path, i)
+		}
+		if len(run.Benchmarks) == 0 {
+			fatal("trajectory %s: run %q records no benchmarks", path, run.Label)
+		}
+	}
+	labels := make([]string, len(file.Runs))
+	for i, run := range file.Runs {
+		labels[i] = run.Label
+	}
+	fmt.Printf("benchjson: %s ok (%d runs: %s)\n", path, len(file.Runs), strings.Join(labels, ", "))
 }
 
 // gitCommit best-effort resolves the working tree's HEAD; empty when git (or

@@ -7,10 +7,16 @@
 //
 //	sebuild -terrain terrain.off -pois pois.txt -out index.sedx
 //	        [-kind se|a2a|dynamic] [-eps 0.1] [-greedy] [-naive]
-//	        [-seed 1] [-check] [-workers 0] [-sites-per-edge 0]
+//	        [-seed 1] [-check] [-workers 0] [-sites-per-edge 0] [-shards 1]
 //
 // -kind=a2a indexes the terrain itself (every vertex plus per-edge Steiner
 // sites), so -pois is not required; se and dynamic index the POI file.
+//
+// -shards=K (se kind) tiles the terrain's planar bounding box into K tiles,
+// builds one SE oracle per non-empty tile in parallel, and writes them as
+// one multi container ("tile-<col>-<row>" members with their tile bboxes)
+// that seserve routes across by name or coordinates. Output is
+// byte-identical for any -workers value.
 package main
 
 import (
@@ -39,6 +45,7 @@ func main() {
 		check        = flag.Bool("check", false, "verify oracle invariants after construction (se kind)")
 		workers      = flag.Int("workers", 0, "construction worker goroutines (0 = all CPUs; output is identical for any value)")
 		sitesPerEdge = flag.Int("sites-per-edge", 0, "a2a: Steiner sites per mesh edge (0 = derive from eps)")
+		shards       = flag.Int("shards", 1, "se: tile the terrain into this many shards and write a multi container")
 	)
 	flag.Parse()
 
@@ -70,10 +77,30 @@ func main() {
 		return gen.Dedup(pois, 1e-9)
 	}
 
+	if *shards > 1 && *kind != "se" {
+		fatal("-shards needs -kind=se (got %q)", *kind)
+	}
+
 	start := time.Now()
 	var idx core.DistanceIndex
 	switch *kind {
 	case "se":
+		if *shards > 1 {
+			sh, err := core.BuildShardedSE(geodesic.NewExact(m), m, readPOIs(), *shards, opt)
+			if err != nil {
+				fatal("building sharded oracle: %v", err)
+			}
+			if *check {
+				for _, mm := range sh.Members() {
+					if err := mm.Index.(*core.Oracle).CheckInvariants(); err != nil {
+						fatal("invariant check failed on shard %s: %v", mm.Name, err)
+					}
+				}
+				fmt.Printf("invariants: ok (%d shards)\n", sh.NumMembers())
+			}
+			idx = sh
+			break
+		}
 		oracle, err := core.Build(geodesic.NewExact(m), readPOIs(), opt)
 		if err != nil {
 			fatal("building oracle: %v", err)
@@ -118,6 +145,13 @@ func main() {
 
 	st := idx.Stats()
 	fmt.Printf("index: kind=%s, %d points, eps=%g, h=%d -> %s\n", st.Kind, st.Points, st.Epsilon, st.Height, *out)
+	if sh, ok := idx.(*core.ShardedIndex); ok {
+		for _, mm := range sh.Members() {
+			ms := mm.Index.Stats()
+			fmt.Printf("shard %s: %d points, %d pairs, bbox [%.6g,%.6g]x[%.6g,%.6g]\n",
+				mm.Name, ms.Points, ms.Pairs, mm.BBox.MinX, mm.BBox.MaxX, mm.BBox.MinY, mm.BBox.MaxY)
+		}
+	}
 	if st.Sites > 0 {
 		fmt.Printf("sites: %d (%d per edge, spacing %.3g, local threshold %.3g)\n",
 			st.Sites, st.SitesPerEdge, st.SiteSpacing, st.LocalThreshold)

@@ -10,6 +10,11 @@
 //	sequery -oracle index.sedx -sx 10 -sy 20 -tx 400 -ty 380   (a2a kinds)
 //	sequery -oracle index.sedx -batch < pairs.txt
 //	sequery -oracle index.sedx -bench 100000
+//	sequery -oracle multi.sedx -index tile-0-0 -s 3 -t 17      (multi kinds)
+//
+// A multi (sharded) container holds several member indexes with
+// member-local ids; pick one with -index (running without it lists the
+// member names).
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 	"time"
 
 	"seoracle/internal/core"
@@ -26,6 +32,7 @@ import (
 func main() {
 	var (
 		oraclePath = flag.String("oracle", "oracle.se", "serialized index container")
+		indexName  = flag.String("index", "", "member name to query inside a multi container")
 		s          = flag.Int("s", -1, "source endpoint id")
 		t          = flag.Int("t", -1, "target endpoint id")
 		sx         = flag.Float64("sx", 0, "source x (with -sy; a2a kinds)")
@@ -43,6 +50,21 @@ func main() {
 	idx, err := core.LoadFile(*oraclePath)
 	if err != nil {
 		fatal("loading index: %v", err)
+	}
+	if sh, ok := idx.(*core.ShardedIndex); ok {
+		if *indexName == "" {
+			fatal("%s is a multi container with %d members (%s); pick one with -index",
+				*oraclePath, sh.NumMembers(), strings.Join(sh.MemberNames(), ", "))
+		}
+		m, ok := sh.Member(*indexName)
+		if !ok {
+			fatal("no member named %q in %s (members: %s)",
+				*indexName, *oraclePath, strings.Join(sh.MemberNames(), ", "))
+		}
+		idx = m.Index
+	} else if *indexName != "" {
+		fatal("-index addresses members of a multi container; %s holds a single %s index",
+			*oraclePath, idx.Stats().Kind)
 	}
 	st := idx.Stats()
 	query := idx.Query

@@ -5,13 +5,20 @@
 // terrain, for a2a and dynamic kinds), startup performs no geodesic
 // computation at all.
 //
+// A multi (sharded) container serves every member from this one process:
+// requests address a member with ?index=<name> or, for coordinate-addressed
+// endpoints, by whichever member bbox contains the source point. The
+// bounded LRU query cache (-cache, single-flight on misses) deduplicates
+// hot repeated queries; hit/miss counters appear in /statsz.
+//
 // Usage:
 //
-//	seserve -index index.sedx [-addr :8080] [-mmap]
+//	seserve -index index.sedx [-addr :8080] [-mmap] [-cache 1024]
 //
 // Endpoints (see internal/server):
 //
 //	curl 'localhost:8080/v1/query?s=3&t=17'
+//	curl 'localhost:8080/v1/query?index=tile-0-0&s=3&t=17'     (multi kinds)
 //	curl 'localhost:8080/v1/query?sx=10&sy=20&tx=400&ty=380'   (a2a kinds)
 //	curl -d '{"pairs":[[0,1],[2,3]]}' localhost:8080/v1/batch
 //	curl 'localhost:8080/v1/nearest?x=120&y=340'
@@ -27,9 +34,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"seoracle/internal/core"
 	"seoracle/internal/server"
 )
 
@@ -38,6 +47,7 @@ func main() {
 		indexPath = flag.String("index", "oracle.se", "serialized index container")
 		addr      = flag.String("addr", ":8080", "listen address")
 		useMmap   = flag.Bool("mmap", false, "memory-map the container instead of streaming it")
+		cacheSize = flag.Int("cache", 1024, "LRU query cache entries (0 disables caching)")
 	)
 	flag.Parse()
 
@@ -50,10 +60,13 @@ func main() {
 	fmt.Printf("seserve: loaded %s index from %s in %v (%d points, eps=%g, %.3f MB)\n",
 		st.Kind, *indexPath, time.Since(t0).Round(time.Millisecond),
 		st.Points, st.Epsilon, float64(st.MemoryBytes)/(1<<20))
+	if sh, ok := idx.(*core.ShardedIndex); ok {
+		fmt.Printf("seserve: %d members: %s\n", sh.NumMembers(), strings.Join(sh.MemberNames(), ", "))
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(idx).Handler(),
+		Handler:           server.NewWithOptions(idx, server.Options{CacheSize: *cacheSize}).Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errc := make(chan error, 1)

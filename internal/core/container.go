@@ -34,7 +34,8 @@ const (
 	containerVersion = 1
 
 	// maxContainerSections bounds the section count a header may declare;
-	// every kind today writes at most six.
+	// the scalar kinds write at most six, and a multi container writes one
+	// manifest plus at most maxShardMembers member sections.
 	maxContainerSections = 64
 )
 
@@ -48,6 +49,12 @@ const (
 	secFaceSites uint32 = 5 // per-face site id lists (KindA2A)
 	secSiteMeta  uint32 = 6 // local-regime threshold / spacing / density (KindA2A)
 	secDynState  uint32 = 7 // dynamic oracle state: POIs, tombstones, overflow
+	secManifest  uint32 = 8 // multi-index member manifest (KindMulti)
+
+	// secMemberBase is the first member-body section id of a KindMulti
+	// container: member i's own tagged container bytes live in section
+	// secMemberBase+i, in manifest order.
+	secMemberBase uint32 = 64
 )
 
 // kindDecoder turns a validated section map back into a concrete index.
@@ -70,6 +77,7 @@ func init() {
 	RegisterKind(KindSE, decodeSEContainer)
 	RegisterKind(KindA2A, decodeA2AContainer)
 	RegisterKind(KindDynamic, decodeDynamicContainer)
+	RegisterKind(KindMulti, decodeMultiContainer)
 }
 
 // section is one length-framed payload queued for writing. Payloads are
@@ -256,7 +264,7 @@ func Load(r io.Reader) (DistanceIndex, error) {
 	}
 	dec, ok := kindRegistry[kind]
 	if !ok {
-		return nil, fmt.Errorf("core: unknown index kind tag %d (known: se=1, a2a=2, dynamic=3)", uint16(kind))
+		return nil, fmt.Errorf("core: unknown index kind tag %d (known: se=1, a2a=2, dynamic=3, multi=4)", uint16(kind))
 	}
 	idx, err := dec(secs)
 	if err != nil {

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"bytes"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"seoracle/internal/gen"
@@ -142,6 +144,65 @@ func TestDynamicDeleteErrors(t *testing.T) {
 	}
 	if _, err := d.Query(0, 1); err == nil {
 		t.Error("query against deleted POI allowed")
+	}
+}
+
+// TestDynamicNearestSkipsTombstones: Nearest must never return a deleted
+// POI — on the live oracle, and on an oracle that went through
+// Delete → EncodeTo → Load (the serving path: /v1/nearest against a
+// container-loaded dynamic index).
+func TestDynamicNearestSkipsTombstones(t *testing.T) {
+	d, _ := newDynamicWorld(t)
+	// Query exactly at POI 4's projection: it must win while live.
+	x, y := d.pois[4].P.X, d.pois[4].P.Y
+	id, _, planar, err := d.Nearest(x, y)
+	if err != nil || id != 4 || planar != 0 {
+		t.Fatalf("live Nearest = %d/%g/%v, want POI 4 at 0", id, planar, err)
+	}
+	if err := d.Delete(4); err != nil {
+		t.Fatal(err)
+	}
+	check := func(stage string, d *DynamicOracle) {
+		t.Helper()
+		id, _, _, err := d.Nearest(x, y)
+		if err != nil {
+			t.Fatalf("%s: Nearest: %v", stage, err)
+		}
+		if id == 4 {
+			t.Fatalf("%s: Nearest returned the tombstoned POI 4", stage)
+		}
+		if d.deleted[id] {
+			t.Fatalf("%s: Nearest returned deleted POI %d", stage, id)
+		}
+	}
+	check("after delete", d)
+
+	var buf bytes.Buffer
+	if err := d.EncodeTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := idx.(*DynamicOracle)
+	if got := d2.Stats().Tombstones; got != 1 {
+		t.Fatalf("loaded oracle reports %d tombstones, want 1", got)
+	}
+	check("after encode/load round trip", d2)
+}
+
+// TestBatchErrorsCarryPairIndex: every QueryBatch implementation wraps a
+// failing pair's error with its index, so bulk callers (the /v1/batch
+// endpoint) can tell which pair was bad.
+func TestBatchErrorsCarryPairIndex(t *testing.T) {
+	d, w := newDynamicWorld(t)
+	o := w.build(t, Options{Epsilon: 0.2, Seed: 5})
+	bad := [][2]int32{{0, 1}, {0, 30000}}
+	for name, idx := range map[string]DistanceIndex{"se": o, "dynamic": d} {
+		if _, err := idx.QueryBatch(bad, nil); err == nil || !strings.Contains(err.Error(), "pair 1") {
+			t.Errorf("%s: QueryBatch error %v does not name pair 1", name, err)
+		}
 	}
 }
 

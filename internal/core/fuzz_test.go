@@ -102,7 +102,19 @@ func FuzzDecode(f *testing.F) {
 	if err := dyn.EncodeTo(&dynCont); err != nil {
 		f.Fatal(err)
 	}
-	for _, seed := range [][]byte{legacy.Bytes(), seCont.Bytes(), a2aCont.Bytes(), dynCont.Bytes()} {
+	// Multi container: a 2-shard tiled build, so the fuzzer sees a valid
+	// manifest (names, bboxes, member-count) plus two nested member bodies
+	// to mutate — duplicate names, overlapping/empty/inverted bboxes,
+	// member-count lies and truncation all start one bit flip away.
+	sh, err := BuildShardedSE(eng, m, pois, 2, Options{Epsilon: 0.3, Seed: 606})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var multiCont bytes.Buffer
+	if err := sh.EncodeTo(&multiCont); err != nil {
+		f.Fatal(err)
+	}
+	for _, seed := range [][]byte{legacy.Bytes(), seCont.Bytes(), a2aCont.Bytes(), dynCont.Bytes(), multiCont.Bytes()} {
 		f.Add(seed)
 		f.Add(seed[:len(seed)/2])
 		// Kind-tag flip without CRC repair: must die at the footer check.
@@ -128,7 +140,8 @@ func FuzzDecode(f *testing.F) {
 			t.Fatalf("re-loading a re-encoded %s index: %v", st.Kind, err)
 		}
 		st2 := idx2.Stats()
-		if st2.Kind != st.Kind || st2.Points != st.Points || st2.Pairs != st.Pairs || st2.Sites != st.Sites {
+		if st2.Kind != st.Kind || st2.Points != st.Points || st2.Pairs != st.Pairs ||
+			st2.Sites != st.Sites || st2.Members != st.Members {
 			t.Fatalf("round trip changed shape: %+v -> %+v", st, st2)
 		}
 	})

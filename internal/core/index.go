@@ -22,6 +22,10 @@ const (
 	KindA2A Kind = 2
 	// KindDynamic is the insert/delete-capable oracle (*DynamicOracle).
 	KindDynamic Kind = 3
+	// KindMulti is the sharded multi-index container (*ShardedIndex): a
+	// manifest of named members (each with a planar bbox) bundling several
+	// indexes of the other kinds into one serving unit.
+	KindMulti Kind = 4
 )
 
 func (k Kind) String() string {
@@ -32,6 +36,8 @@ func (k Kind) String() string {
 		return "a2a"
 	case KindDynamic:
 		return "dynamic"
+	case KindMulti:
+		return "multi"
 	}
 	return fmt.Sprintf("kind(%d)", uint16(k))
 }
@@ -74,6 +80,10 @@ type IndexStats struct {
 	Overflow   int `json:"overflow,omitempty"`
 	Tombstones int `json:"tombstones,omitempty"`
 	Rebuilds   int `json:"rebuilds,omitempty"`
+
+	// Members is the member count of a multi index (KindMulti); its other
+	// fields aggregate the members (sums; max for Height and Epsilon).
+	Members int `json:"members,omitempty"`
 }
 
 // DistanceIndex is the one abstraction over every query engine the repo
@@ -134,6 +144,7 @@ var (
 	_ DistanceIndex = (*Oracle)(nil)
 	_ DistanceIndex = (*SiteOracle)(nil)
 	_ DistanceIndex = (*DynamicOracle)(nil)
+	_ DistanceIndex = (*ShardedIndex)(nil)
 	_ PointIndex    = (*SiteOracle)(nil)
 	_ NearestFinder = (*Oracle)(nil)
 	_ NearestFinder = (*SiteOracle)(nil)

@@ -1,0 +1,516 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"seoracle/internal/geodesic"
+	"seoracle/internal/terrain"
+)
+
+// sharded.go — the multi-index container. A ShardedIndex bundles many member
+// indexes (any non-multi kind) behind one DistanceIndex, each member tagged
+// with a name and a planar bounding box. The serving layer routes requests to
+// a member by name or by locating coordinates in a member's bbox; sebuild
+// -shards=K produces one by tiling the terrain and building one SE oracle per
+// tile. On disk it is a KindMulti container: a manifest section naming every
+// member (name, kind, bbox), followed by the members' existing tagged
+// container bodies, one per section.
+
+const (
+	// maxShardMembers bounds how many members one multi container may carry
+	// (the envelope's maxContainerSections leaves room for 63 member
+	// sections; 48 keeps headroom for future shared sections).
+	maxShardMembers = 48
+	// maxShardNameLen bounds one member name.
+	maxShardNameLen = 64
+)
+
+// BBox2D is a closed planar axis-aligned bounding box.
+type BBox2D struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// Contains reports whether (x, y) lies inside the box (boundary inclusive).
+func (b BBox2D) Contains(x, y float64) bool {
+	return x >= b.MinX && x <= b.MaxX && y >= b.MinY && y <= b.MaxY
+}
+
+// dist2 returns the squared planar distance from (x, y) to the box (zero
+// inside it).
+func (b BBox2D) dist2(x, y float64) float64 {
+	dx := math.Max(0, math.Max(b.MinX-x, x-b.MaxX))
+	dy := math.Max(0, math.Max(b.MinY-y, y-b.MaxY))
+	return dx*dx + dy*dy
+}
+
+// validate rejects the boxes no routing decision can trust: non-finite
+// corners and inverted (empty) extents. A degenerate point box is legal — a
+// shard of one POI has zero extent.
+func (b BBox2D) validate() error {
+	for _, v := range []float64{b.MinX, b.MinY, b.MaxX, b.MaxY} {
+		if !finite(v) {
+			return fmt.Errorf("bbox corner %g is not finite", v)
+		}
+	}
+	if b.MinX > b.MaxX || b.MinY > b.MaxY {
+		return fmt.Errorf("bbox [%g,%g]x[%g,%g] is inverted", b.MinX, b.MaxX, b.MinY, b.MaxY)
+	}
+	return nil
+}
+
+// ShardMember is one named member of a ShardedIndex. Its index ids are local
+// to the member: POI 0 of one shard is unrelated to POI 0 of another.
+type ShardMember struct {
+	Name  string
+	BBox  BBox2D
+	Index DistanceIndex
+}
+
+// ShardedIndex is a multi-index container: several independent member indexes
+// served as one unit. It implements DistanceIndex so the loader, the CLI
+// tools and the serving layer treat it uniformly, but its id-addressed
+// Query/QueryBatch only answer directly when exactly one member exists —
+// with more, the caller must pick a member (by name or bbox) first.
+type ShardedIndex struct {
+	members []ShardMember
+	byName  map[string]int
+}
+
+// validShardName enforces the member-name alphabet: names travel in URLs
+// (?index=) and file manifests, so they are restricted to [A-Za-z0-9._-].
+func validShardName(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty member name")
+	}
+	if len(name) > maxShardNameLen {
+		return fmt.Errorf("member name %d bytes long (max %d)", len(name), maxShardNameLen)
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '.', c == '_', c == '-':
+		default:
+			return fmt.Errorf("member name %q contains %q (allowed: letters, digits, '.', '_', '-')", name, c)
+		}
+	}
+	return nil
+}
+
+// NewShardedIndex builds a multi index over members, validating names
+// (unique, URL-safe), bboxes and member kinds (nesting multi inside multi is
+// not supported).
+func NewShardedIndex(members []ShardMember) (*ShardedIndex, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("core: multi index needs at least one member")
+	}
+	if len(members) > maxShardMembers {
+		return nil, fmt.Errorf("core: multi index holds %d members (max %d)", len(members), maxShardMembers)
+	}
+	byName := make(map[string]int, len(members))
+	for i, m := range members {
+		if err := validShardName(m.Name); err != nil {
+			return nil, fmt.Errorf("core: member %d: %v", i, err)
+		}
+		if _, dup := byName[m.Name]; dup {
+			return nil, fmt.Errorf("core: duplicate member name %q", m.Name)
+		}
+		if err := m.BBox.validate(); err != nil {
+			return nil, fmt.Errorf("core: member %q: %v", m.Name, err)
+		}
+		if m.Index == nil {
+			return nil, fmt.Errorf("core: member %q has no index", m.Name)
+		}
+		if _, nested := m.Index.(*ShardedIndex); nested {
+			return nil, fmt.Errorf("core: member %q is itself a multi index (nesting unsupported)", m.Name)
+		}
+		byName[m.Name] = i
+	}
+	return &ShardedIndex{members: members, byName: byName}, nil
+}
+
+// Members returns the member list in manifest order. The slice aliases
+// index-owned memory and must be treated as read-only.
+func (sh *ShardedIndex) Members() []ShardMember { return sh.members }
+
+// NumMembers returns the member count.
+func (sh *ShardedIndex) NumMembers() int { return len(sh.members) }
+
+// MemberNames returns the member names in manifest order.
+func (sh *ShardedIndex) MemberNames() []string {
+	names := make([]string, len(sh.members))
+	for i, m := range sh.members {
+		names[i] = m.Name
+	}
+	return names
+}
+
+// Member returns the named member.
+func (sh *ShardedIndex) Member(name string) (ShardMember, bool) {
+	i, ok := sh.byName[name]
+	if !ok {
+		return ShardMember{}, false
+	}
+	return sh.members[i], true
+}
+
+// Locate returns the member owning the planar point — the
+// coordinate-routing rule of the serving layer: the first member (in
+// manifest order) whose bbox contains it, else the member whose bbox is
+// planar-closest. Routing is total (a point a single un-sharded index would
+// answer never strands between tiles — a tile dropped for holding no POIs,
+// or a point just outside the terrain, falls to the nearest member);
+// manifest order makes ties deterministic. contained reports whether a
+// bbox actually held the point.
+func (sh *ShardedIndex) Locate(x, y float64) (m ShardMember, contained bool) {
+	best, bestD2 := 0, math.Inf(1)
+	for i, mm := range sh.members {
+		d2 := mm.BBox.dist2(x, y)
+		if d2 == 0 {
+			return mm, true
+		}
+		if d2 < bestD2 {
+			best, bestD2 = i, d2
+		}
+	}
+	return sh.members[best], false
+}
+
+// Query answers through the sole member when exactly one exists; with more,
+// endpoint ids are ambiguous across members and the caller must address a
+// member by name or bbox first.
+func (sh *ShardedIndex) Query(s, t int32) (float64, error) {
+	if len(sh.members) == 1 {
+		return sh.members[0].Index.Query(s, t)
+	}
+	return 0, fmt.Errorf("core: multi index holds %d members; address one by name (ids are member-local)", len(sh.members))
+}
+
+// QueryBatch answers pairs through Query (so the single-member delegation
+// and the ambiguity error apply batch-wide). Part of the DistanceIndex
+// interface; errors carry the offending pair index.
+func (sh *ShardedIndex) QueryBatch(pairs [][2]int32, dst []float64) ([]float64, error) {
+	return BatchViaQuery(sh.Query, pairs, dst)
+}
+
+// MemoryBytes sums the members plus the manifest bookkeeping.
+func (sh *ShardedIndex) MemoryBytes() int64 {
+	var b int64
+	for _, m := range sh.members {
+		b += m.Index.MemoryBytes() + int64(len(m.Name)) + 48
+	}
+	return b
+}
+
+// Stats aggregates the members: point/pair/memory sums, the maximum height
+// and epsilon (the conservative error bound across shards), and the member
+// count.
+func (sh *ShardedIndex) Stats() IndexStats {
+	st := IndexStats{Kind: KindMulti, Members: len(sh.members)}
+	for _, m := range sh.members {
+		ms := m.Index.Stats()
+		st.Points += ms.Points
+		st.Pairs += ms.Pairs
+		st.MemoryBytes += ms.MemoryBytes
+		st.Epsilon = math.Max(st.Epsilon, ms.Epsilon)
+		if ms.Height > st.Height {
+			st.Height = ms.Height
+		}
+	}
+	return st
+}
+
+// --- serialization ----------------------------------------------------------
+
+// Manifest layout: count int64, then per member kind uint16, nameLen uint16,
+// name bytes, bbox 4 × float64. Member i's tagged container body follows as
+// section secMemberBase+i, in manifest order.
+
+func (sh *ShardedIndex) manifestLen() uint64 {
+	n := uint64(8)
+	for _, m := range sh.members {
+		n += 2 + 2 + uint64(len(m.Name)) + 32
+	}
+	return n
+}
+
+func (sh *ShardedIndex) manifestSection() section {
+	return section{id: secManifest, length: sh.manifestLen(), write: func(w io.Writer) error {
+		if err := binary.Write(w, binary.LittleEndian, int64(len(sh.members))); err != nil {
+			return err
+		}
+		for _, m := range sh.members {
+			if err := binary.Write(w, binary.LittleEndian,
+				[]uint16{uint16(m.Index.Stats().Kind), uint16(len(m.Name))}); err != nil {
+				return err
+			}
+			if _, err := io.WriteString(w, m.Name); err != nil {
+				return err
+			}
+			if err := binary.Write(w, binary.LittleEndian,
+				[4]float64{m.BBox.MinX, m.BBox.MinY, m.BBox.MaxX, m.BBox.MaxY}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}}
+}
+
+// EncodeTo writes the multi index as a tagged container (kind "multi"):
+// the manifest followed by every member's own container bytes. Members are
+// buffered one at a time (their containers are deterministic, so decode →
+// re-encode stays byte-identical member by member).
+func (sh *ShardedIndex) EncodeTo(w io.Writer) error {
+	secs := []section{sh.manifestSection()}
+	for i, m := range sh.members {
+		var buf bytes.Buffer
+		if err := m.Index.EncodeTo(&buf); err != nil {
+			return fmt.Errorf("core: encoding member %q: %w", m.Name, err)
+		}
+		secs = append(secs, bytesSection(secMemberBase+uint32(i), buf.Bytes()))
+	}
+	return writeContainer(w, KindMulti, secs)
+}
+
+// decodeMultiContainer rebuilds a *ShardedIndex from a multi-kind section
+// map. The manifest is the source of truth: a member count that disagrees
+// with the member sections actually present (either direction), a manifest
+// kind that disagrees with a member's body, duplicate or malformed names,
+// and invalid bboxes are all corruption, not slack.
+func decodeMultiContainer(secs map[uint32][]byte) (DistanceIndex, error) {
+	if err := requireSections(secs, secManifest); err != nil {
+		return nil, err
+	}
+	r := bytes.NewReader(secs[secManifest])
+	var count int64
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("multi manifest header: %w", err)
+	}
+	if count < 1 || count > maxShardMembers {
+		return nil, fmt.Errorf("multi manifest declares %d members (want 1..%d)", count, maxShardMembers)
+	}
+	type entry struct {
+		name string
+		kind Kind
+		bbox BBox2D
+	}
+	entries := make([]entry, 0, count)
+	for i := int64(0); i < count; i++ {
+		var kindTag, nameLen uint16
+		if err := binary.Read(r, binary.LittleEndian, &kindTag); err != nil {
+			return nil, fmt.Errorf("multi manifest entry %d: %w", i, err)
+		}
+		if err := binary.Read(r, binary.LittleEndian, &nameLen); err != nil {
+			return nil, fmt.Errorf("multi manifest entry %d: %w", i, err)
+		}
+		if nameLen == 0 || nameLen > maxShardNameLen {
+			return nil, fmt.Errorf("multi manifest entry %d: name length %d (want 1..%d)", i, nameLen, maxShardNameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, name); err != nil {
+			return nil, fmt.Errorf("multi manifest entry %d: %w", i, err)
+		}
+		if err := validShardName(string(name)); err != nil {
+			return nil, fmt.Errorf("multi manifest entry %d: %v", i, err)
+		}
+		var bb [4]float64
+		if err := binary.Read(r, binary.LittleEndian, &bb); err != nil {
+			return nil, fmt.Errorf("multi manifest entry %d (%q): %w", i, name, err)
+		}
+		e := entry{name: string(name), kind: Kind(kindTag), bbox: BBox2D{MinX: bb[0], MinY: bb[1], MaxX: bb[2], MaxY: bb[3]}}
+		if err := e.bbox.validate(); err != nil {
+			return nil, fmt.Errorf("multi manifest entry %d (%q): %v", i, name, err)
+		}
+		entries = append(entries, e)
+	}
+	if err := expectDrained(r, "multi manifest"); err != nil {
+		return nil, err
+	}
+	for id := range secs {
+		if id >= secMemberBase && id < secMemberBase+maxShardMembers && int64(id-secMemberBase) >= count {
+			return nil, fmt.Errorf("container holds member section %d beyond the %d the manifest declares", id-secMemberBase, count)
+		}
+	}
+	members := make([]ShardMember, 0, count)
+	for i, e := range entries {
+		payload, ok := secs[secMemberBase+uint32(i)]
+		if !ok {
+			return nil, fmt.Errorf("manifest declares %d members, member %d (%q) has no section", count, i, e.name)
+		}
+		idx, err := Load(bytes.NewReader(payload))
+		if err != nil {
+			return nil, fmt.Errorf("member %q: %w", e.name, err)
+		}
+		if _, nested := idx.(*ShardedIndex); nested {
+			return nil, fmt.Errorf("member %q is itself a multi index (nesting unsupported)", e.name)
+		}
+		if got := idx.Stats().Kind; got != e.kind {
+			return nil, fmt.Errorf("member %q: manifest says kind %s, body holds %s", e.name, e.kind, got)
+		}
+		members = append(members, ShardMember{Name: e.name, BBox: e.bbox, Index: idx})
+	}
+	sh, err := NewShardedIndex(members)
+	if err != nil {
+		return nil, err
+	}
+	return sh, nil
+}
+
+// --- tiled construction -----------------------------------------------------
+
+// shardGrid factors K into kx columns × ky rows, as square as K's divisors
+// allow (prime K degenerates to a 1-row strip).
+func shardGrid(k int) (kx, ky int) {
+	ky = int(math.Sqrt(float64(k)))
+	for ; ky > 1; ky-- {
+		if k%ky == 0 {
+			break
+		}
+	}
+	if ky < 1 {
+		ky = 1
+	}
+	return k / ky, ky
+}
+
+// tileIndex maps a coordinate to its tile column/row, clamping boundary
+// points (x == max lands in the last tile).
+func tileIndex(v, min, span float64, k int) int {
+	if span <= 0 || k <= 1 {
+		return 0
+	}
+	i := int((v - min) / span * float64(k))
+	if i < 0 {
+		i = 0
+	}
+	if i >= k {
+		i = k - 1
+	}
+	return i
+}
+
+// BuildShardedSE tiles the terrain's planar bounding box into a shards-tile
+// grid, partitions the POIs by tile, and builds one SE oracle per non-empty
+// tile — in parallel across tiles through the same bounded worker pool the
+// single-oracle build phases use. Tiles that received no POIs are dropped
+// (an SE oracle cannot be empty); their region still routes, because Locate
+// falls back to the planar-closest member bbox.
+//
+// Every member build is deterministic regardless of opt.Workers (the Build
+// contract), tile membership is a pure function of POI coordinates, and
+// members are emitted in row-major tile order — so the serialized container
+// is byte-identical for any worker count.
+//
+// Member names are "tile-<col>-<row>"; each member's manifest bbox is its
+// full tile rectangle (edge tiles extend to the terrain bounds).
+func BuildShardedSE(eng geodesic.Engine, m *terrain.Mesh, pois []terrain.SurfacePoint, shards int, opt Options) (*ShardedIndex, error) {
+	if shards < 1 || shards > maxShardMembers {
+		return nil, fmt.Errorf("core: shard count %d out of range [1,%d]", shards, maxShardMembers)
+	}
+	if len(pois) == 0 {
+		return nil, fmt.Errorf("core: no POIs")
+	}
+	st := m.ComputeStats()
+	minX, minY := st.BBoxMin.X, st.BBoxMin.Y
+	spanX, spanY := st.BBoxMax.X-minX, st.BBoxMax.Y-minY
+	kx, ky := shardGrid(shards)
+
+	buckets := make([][]terrain.SurfacePoint, kx*ky)
+	for _, p := range pois {
+		ix := tileIndex(p.P.X, minX, spanX, kx)
+		iy := tileIndex(p.P.Y, minY, spanY, ky)
+		buckets[iy*kx+ix] = append(buckets[iy*kx+ix], p)
+	}
+
+	type tile struct {
+		name string
+		bbox BBox2D
+		pois []terrain.SurfacePoint
+	}
+	var tiles []tile
+	for iy := 0; iy < ky; iy++ {
+		for ix := 0; ix < kx; ix++ {
+			pts := buckets[iy*kx+ix]
+			if len(pts) == 0 {
+				continue
+			}
+			tiles = append(tiles, tile{
+				name: fmt.Sprintf("tile-%d-%d", ix, iy),
+				bbox: BBox2D{
+					MinX: minX + spanX*float64(ix)/float64(kx),
+					MinY: minY + spanY*float64(iy)/float64(ky),
+					MaxX: minX + spanX*float64(ix+1)/float64(kx),
+					MaxY: minY + spanY*float64(iy+1)/float64(ky),
+				},
+				pois: pts,
+			})
+		}
+	}
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	// Split the worker budget between the tile fan-out and each tile's
+	// inner build phases, so total goroutines stay ~workers instead of
+	// workers² (output is byte-identical either way).
+	innerOpt := opt
+	innerOpt.Workers = workers / len(tiles)
+	if innerOpt.Workers < 1 {
+		innerOpt.Workers = 1
+	}
+	built := make([]DistanceIndex, len(tiles))
+	errs := make([]error, len(tiles))
+	parfor(workers, len(tiles), func(i int) {
+		built[i], errs[i] = Build(eng, tiles[i].pois, innerOpt)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: building shard %s (%d POIs): %w", tiles[i].name, len(tiles[i].pois), err)
+		}
+	}
+	members := make([]ShardMember, len(tiles))
+	for i, tl := range tiles {
+		members[i] = ShardMember{Name: tl.name, BBox: tl.bbox, Index: built[i]}
+	}
+	return NewShardedIndex(members)
+}
+
+// NearestAcross returns the globally nearest indexed endpoint over every
+// member that answers nearest queries — the unnamed-/v1/nearest semantics
+// of the serving layer: the answer must match what one un-sharded index
+// over the same points would return, so every member is scanned (member
+// bboxes are routing hints, not guaranteed point bounds, and a
+// boundary-adjacent query's true nearest can sit in the neighboring tile).
+// Ties break toward the earlier member. Members that cannot answer (no
+// NearestFinder, or no point table) are skipped; an error is returned only
+// when no member produced an answer.
+func (sh *ShardedIndex) NearestAcross(x, y float64) (ShardMember, int32, terrain.SurfacePoint, float64, error) {
+	var (
+		bm    ShardMember
+		bid   int32 = -1
+		bat   terrain.SurfacePoint
+		bestD = math.Inf(1)
+	)
+	for _, m := range sh.members {
+		nf, ok := m.Index.(NearestFinder)
+		if !ok {
+			continue
+		}
+		id, at, d, err := nf.Nearest(x, y)
+		if err != nil {
+			continue
+		}
+		if d < bestD {
+			bm, bid, bat, bestD = m, id, at, d
+		}
+	}
+	if bid < 0 {
+		return ShardMember{}, -1, terrain.SurfacePoint{}, 0,
+			fmt.Errorf("core: no member of the multi index answered a nearest query")
+	}
+	return bm, bid, bat, bestD, nil
+}

@@ -1,0 +1,125 @@
+package server
+
+import (
+	"container/list"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// errQueryPanicked is handed to single-flight waiters whose shared
+// computation panicked (the panic itself propagates on the computing
+// goroutine).
+var errQueryPanicked = errors.New("server: shared query computation panicked")
+
+// queryCache is a bounded LRU over successful query answers with
+// single-flight coalescing: concurrent requests for the same key share one
+// index computation instead of racing N identical queries through the
+// engine. Errors are returned to every waiter but never cached — a bad id
+// stays bad, and caching it would only pin garbage.
+//
+// Hits count answers served without touching the index (LRU hits and
+// coalesced flight waiters); misses count actual index computations.
+type queryCache struct {
+	capacity int
+	hits     atomic.Int64
+	misses   atomic.Int64
+
+	mu     sync.Mutex
+	ll     *list.List               // front = most recently used
+	byKey  map[string]*list.Element // -> *cacheEntry
+	flight map[string]*flightCall
+}
+
+type cacheEntry struct {
+	key string
+	val float64
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  float64
+	err  error
+}
+
+// newQueryCache returns a cache bounded to capacity entries, or nil (cache
+// disabled) when capacity <= 0.
+func newQueryCache(capacity int) *queryCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &queryCache{
+		capacity: capacity,
+		ll:       list.New(),
+		byKey:    make(map[string]*list.Element),
+		flight:   make(map[string]*flightCall),
+	}
+}
+
+// do returns the answer for key, computing it with fn on a miss. The hit
+// result reports whether the answer was served without invoking fn.
+func (c *queryCache) do(key string, fn func() (float64, error)) (val float64, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		v := el.Value.(*cacheEntry).val
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return v, true, nil
+	}
+	if fc, ok := c.flight[key]; ok {
+		c.mu.Unlock()
+		<-fc.done // val/err are written before done closes
+		if fc.err != nil {
+			return 0, true, fc.err
+		}
+		c.hits.Add(1)
+		return fc.val, true, nil
+	}
+	fc := &flightCall{done: make(chan struct{})}
+	c.flight[key] = fc
+	c.mu.Unlock()
+	c.misses.Add(1)
+
+	// The flight entry MUST be retired even if fn panics (net/http recovers
+	// handler panics, so the server survives — but an un-closed done channel
+	// would hang every waiter and wedge the key forever). The deferred
+	// cleanup hands waiters an error instead of a zero value.
+	completed := false
+	defer func() {
+		if !completed {
+			fc.err = errQueryPanicked
+		}
+		c.mu.Lock()
+		delete(c.flight, key)
+		if fc.err == nil {
+			c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, val: fc.val})
+			for c.ll.Len() > c.capacity {
+				old := c.ll.Back()
+				c.ll.Remove(old)
+				delete(c.byKey, old.Value.(*cacheEntry).key)
+			}
+		}
+		c.mu.Unlock()
+		close(fc.done)
+	}()
+	fc.val, fc.err = fn()
+	completed = true
+	return fc.val, false, fc.err
+}
+
+// statsLocked-free snapshot for /statsz.
+func (c *queryCache) snapshot() map[string]interface{} {
+	if c == nil {
+		return map[string]interface{}{"capacity": 0, "entries": 0, "hits": int64(0), "misses": int64(0)}
+	}
+	c.mu.Lock()
+	entries := c.ll.Len()
+	c.mu.Unlock()
+	return map[string]interface{}{
+		"capacity": c.capacity,
+		"entries":  entries,
+		"hits":     c.hits.Load(),
+		"misses":   c.misses.Load(),
+	}
+}

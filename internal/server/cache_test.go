@@ -1,0 +1,56 @@
+package server
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestCachePanicDoesNotWedgeKey: a panicking computation must retire its
+// flight entry — waiters get an error (not a hang) and the key stays
+// usable for later requests.
+func TestCachePanicDoesNotWedgeKey(t *testing.T) {
+	c := newQueryCache(4)
+
+	started := make(chan struct{})
+	waiterDone := make(chan error, 1)
+	go func() {
+		<-started
+		_, _, err := c.do("k", func() (float64, error) {
+			t.Error("waiter computed instead of waiting on the flight")
+			return 0, nil
+		})
+		waiterDone <- err
+	}()
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic did not propagate to the computing caller")
+			}
+		}()
+		c.do("k", func() (float64, error) {
+			close(started)
+			time.Sleep(20 * time.Millisecond) // let the waiter attach to the flight
+			panic("engine bug")
+		})
+	}()
+
+	select {
+	case err := <-waiterDone:
+		if !errors.Is(err, errQueryPanicked) {
+			t.Fatalf("waiter got %v, want errQueryPanicked", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter hung: flight entry was never retired")
+	}
+
+	// The key is not wedged: a later computation runs and caches normally.
+	v, hit, err := c.do("k", func() (float64, error) { return 42, nil })
+	if err != nil || hit || v != 42 {
+		t.Fatalf("post-panic do = %g/%v/%v, want fresh 42", v, hit, err)
+	}
+	if v, hit, _ := c.do("k", func() (float64, error) { return 0, nil }); !hit || v != 42 {
+		t.Fatalf("post-panic cache entry missing: %g/%v", v, hit)
+	}
+}

@@ -1,42 +1,89 @@
 // Package server is the HTTP serving layer over a DistanceIndex: one
-// immutable index (any kind — se, a2a, dynamic), loaded once from a
-// container file, answering concurrent JSON queries with per-endpoint
-// latency and QPS counters.
+// container — either a single index (any kind: se, a2a, dynamic) or a
+// sharded multi container serving many member indexes from one process —
+// answering concurrent JSON queries with per-endpoint latency and QPS
+// counters, per-index routing counters, and an optional bounded LRU query
+// cache with single-flight miss coalescing.
 //
 // Endpoints:
 //
 //	GET/POST /v1/query    one distance: ids (s, t) or planar coords (sx, sy, tx, ty)
 //	POST     /v1/batch    bulk id pairs through QueryBatch
 //	GET/POST /v1/nearest  nearest indexed endpoint to planar coords (x, y)
-//	GET      /healthz     liveness + index kind
-//	GET      /statsz      IndexStats + per-endpoint request/error/latency counters
+//	GET      /healthz     liveness + index kind (+ member names for multi)
+//	GET      /statsz      IndexStats + per-endpoint, per-index and cache counters
 //
-// The index is never mutated by a request, so the handlers share it without
-// locking; a DynamicOracle is served read-only.
+// Multi-container routing: an explicit index name (?index= or the JSON
+// "index" field) always wins; without one, coordinate-addressed requests
+// (/v1/query with sx..ty, /v1/nearest) route to the first member whose
+// planar bbox contains the source point, and id-addressed requests are
+// rejected as ambiguous (member ids are local to each member).
+//
+// The indexes are never mutated by a request, so the handlers share them
+// without locking; a DynamicOracle is served read-only.
 package server
 
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"math"
 	"net/http"
 	"strconv"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"seoracle/internal/core"
+	"seoracle/internal/terrain"
 )
 
 // MaxBatchPairs bounds one /v1/batch request, so a single client cannot
 // commit unbounded memory on the server.
 const MaxBatchPairs = 1 << 20
 
-// Server serves one DistanceIndex over HTTP.
-type Server struct {
+// Options configures a Server beyond its index.
+type Options struct {
+	// CacheSize bounds the LRU query cache (entries); 0 disables caching.
+	CacheSize int
+}
+
+// target is one routable index: the sole index of a single-container
+// server, or one member of a multi container.
+type target struct {
+	name    string // "" on a single-index server
 	idx     core.DistanceIndex
 	pt      core.PointIndex    // non-nil when the index answers arbitrary points
 	nf      core.NearestFinder // non-nil when the index can scan for nearest endpoints
-	kindTag core.Kind          // cached at attach: Stats() can be O(index) per call
+	kind    core.Kind          // cached at attach: Stats() can be O(index) per call
+	queries atomic.Int64       // requests routed to this index
+}
+
+func newTarget(name string, idx core.DistanceIndex) *target {
+	t := &target{name: name, idx: idx, kind: idx.Stats().Kind}
+	if pt, ok := idx.(core.PointIndex); ok {
+		t.pt = pt
+	}
+	if nf, ok := idx.(core.NearestFinder); ok {
+		t.nf = nf
+	}
+	return t
+}
+
+// Server serves one index container over HTTP.
+type Server struct {
+	root    core.DistanceIndex
+	kindTag core.Kind
+	sharded *core.ShardedIndex // non-nil when serving a multi container
+	single  *target            // non-nil when serving one index
+	targets []*target          // routable indexes, manifest order
+	byName  map[string]*target
+
+	cache          *queryCache // nil when disabled
+	encodeFailures atomic.Int64
+	encodeLogOnce  sync.Once
+
 	start   time.Time
 	mux     *http.ServeMux
 	metrics map[string]*endpointMetrics
@@ -66,22 +113,33 @@ func (m *endpointMetrics) observe(d time.Duration, failed bool) {
 	}
 }
 
-// New builds a Server around idx. The optional point/nearest capabilities
-// are discovered by interface assertion, so every index kind — and any
-// future registered kind — serves through the same code path.
-func New(idx core.DistanceIndex) *Server {
+// New builds a Server around idx with default options (no query cache).
+func New(idx core.DistanceIndex) *Server { return NewWithOptions(idx, Options{}) }
+
+// NewWithOptions builds a Server around idx. The optional point/nearest
+// capabilities are discovered per index by interface assertion, so every
+// kind — and any future registered kind — serves through the same code
+// path. A *core.ShardedIndex fans out into one routable target per member.
+func NewWithOptions(idx core.DistanceIndex, opt Options) *Server {
 	s := &Server{
-		idx:     idx,
+		root:    idx,
 		kindTag: idx.Stats().Kind,
 		start:   time.Now(),
 		mux:     http.NewServeMux(),
 		metrics: map[string]*endpointMetrics{},
+		byName:  map[string]*target{},
+		cache:   newQueryCache(opt.CacheSize),
 	}
-	if pt, ok := idx.(core.PointIndex); ok {
-		s.pt = pt
-	}
-	if nf, ok := idx.(core.NearestFinder); ok {
-		s.nf = nf
+	if sh, ok := idx.(*core.ShardedIndex); ok {
+		s.sharded = sh
+		for _, m := range sh.Members() {
+			tgt := newTarget(m.Name, m.Index)
+			s.targets = append(s.targets, tgt)
+			s.byName[m.Name] = tgt
+		}
+	} else {
+		s.single = newTarget("", idx)
+		s.targets = []*target{s.single}
 	}
 	s.route("/v1/query", s.handleQuery, http.MethodGet, http.MethodPost)
 	s.route("/v1/batch", s.handleBatch, http.MethodPost)
@@ -107,7 +165,7 @@ func (s *Server) route(path string, h func(w http.ResponseWriter, r *http.Reques
 		t0 := time.Now()
 		var status int
 		if !allowed[r.Method] {
-			status = writeError(w, http.StatusMethodNotAllowed, "method %s not allowed on %s", r.Method, path)
+			status = s.writeError(w, http.StatusMethodNotAllowed, "method %s not allowed on %s", r.Method, path)
 		} else {
 			status = h(w, r)
 		}
@@ -115,31 +173,101 @@ func (s *Server) route(path string, h func(w http.ResponseWriter, r *http.Reques
 	})
 }
 
+// --- routing ----------------------------------------------------------------
+
+func (s *Server) memberNames() []string {
+	if s.sharded == nil {
+		return nil
+	}
+	return s.sharded.MemberNames()
+}
+
+// resolve picks the index a request addresses: an explicit name always
+// wins; a single-index server falls back to its index; a multi server
+// routes by the planar source coordinates (when given) through the member
+// bboxes. On failure it returns a nil target with the status and message to
+// write.
+func (s *Server) resolve(name string, x, y *float64) (*target, int, string) {
+	if name != "" {
+		if tgt, ok := s.byName[name]; ok {
+			return tgt, 0, ""
+		}
+		if s.sharded == nil {
+			return nil, http.StatusNotFound,
+				fmt.Sprintf("no index named %q: this server holds one unnamed %s index", name, s.kindTag)
+		}
+		return nil, http.StatusNotFound,
+			fmt.Sprintf("no index named %q (members: %s)", name, strings.Join(s.memberNames(), ", "))
+	}
+	if s.single != nil {
+		return s.single, 0, ""
+	}
+	if x != nil && y != nil {
+		// Locate is total: containment first, else the planar-closest member
+		// bbox — so a coordinate a single un-sharded index would answer never
+		// strands between tiles. Off-terrain points still fail inside the
+		// member (e.g. Project errors), exactly as on a single-index server.
+		m, _ := s.sharded.Locate(*x, *y)
+		return s.byName[m.Name], 0, ""
+	}
+	return nil, http.StatusBadRequest, fmt.Sprintf(
+		"multi index: ids are member-local, address one with index= (members: %s)",
+		strings.Join(s.memberNames(), ", "))
+}
+
+// cachedQuery answers through the LRU + single-flight cache when enabled.
+func (s *Server) cachedQuery(key string, fn func() (float64, error)) (float64, error) {
+	if s.cache == nil {
+		return fn()
+	}
+	d, _, err := s.cache.do(key, fn)
+	return d, err
+}
+
+func idKey(name string, s, t int32) string {
+	return "i|" + name + "|" + strconv.FormatInt(int64(s), 10) + "|" + strconv.FormatInt(int64(t), 10)
+}
+
+func xyKey(name string, sx, sy, tx, ty float64) string {
+	var b strings.Builder
+	b.WriteString("c|")
+	b.WriteString(name)
+	for _, v := range [4]float64{sx, sy, tx, ty} {
+		b.WriteByte('|')
+		b.WriteString(strconv.FormatFloat(v, 'x', -1, 64))
+	}
+	return b.String()
+}
+
 // --- request/response shapes ------------------------------------------------
 
 // queryRequest is /v1/query's body (POST) or query-string (GET): either both
-// ids or all four planar coordinates.
+// ids or all four planar coordinates, plus an optional member index name.
 type queryRequest struct {
-	S  *int32   `json:"s,omitempty"`
-	T  *int32   `json:"t,omitempty"`
-	SX *float64 `json:"sx,omitempty"`
-	SY *float64 `json:"sy,omitempty"`
-	TX *float64 `json:"tx,omitempty"`
-	TY *float64 `json:"ty,omitempty"`
+	Index string   `json:"index,omitempty"`
+	S     *int32   `json:"s,omitempty"`
+	T     *int32   `json:"t,omitempty"`
+	SX    *float64 `json:"sx,omitempty"`
+	SY    *float64 `json:"sy,omitempty"`
+	TX    *float64 `json:"tx,omitempty"`
+	TY    *float64 `json:"ty,omitempty"`
 }
 
 type queryResponse struct {
 	Distance float64   `json:"distance"`
 	Kind     core.Kind `json:"kind"`
+	Index    string    `json:"index,omitempty"` // member name on a multi server
 }
 
 type batchRequest struct {
+	Index string     `json:"index,omitempty"`
 	Pairs [][2]int32 `json:"pairs"`
 }
 
 type batchResponse struct {
 	Distances []float64 `json:"distances"`
 	Count     int       `json:"count"`
+	Index     string    `json:"index,omitempty"`
 }
 
 type nearestResponse struct {
@@ -148,6 +276,7 @@ type nearestResponse struct {
 	Y        float64 `json:"y"`
 	Z        float64 `json:"z"`
 	Distance float64 `json:"distance"` // planar distance from the query point
+	Index    string  `json:"index,omitempty"`
 }
 
 type errorResponse struct {
@@ -160,116 +289,178 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) int {
 	var req queryRequest
 	if r.Method == http.MethodGet {
 		q := r.URL.Query()
+		req.Index = q.Get("index")
 		var err error
 		if req.S, err = formInt32(q.Get("s"), req.S); err != nil {
-			return writeError(w, http.StatusBadRequest, "bad s: %v", err)
+			return s.writeError(w, http.StatusBadRequest, "bad s: %v", err)
 		}
 		if req.T, err = formInt32(q.Get("t"), req.T); err != nil {
-			return writeError(w, http.StatusBadRequest, "bad t: %v", err)
+			return s.writeError(w, http.StatusBadRequest, "bad t: %v", err)
 		}
 		for _, f := range []struct {
 			name string
 			dst  **float64
 		}{{"sx", &req.SX}, {"sy", &req.SY}, {"tx", &req.TX}, {"ty", &req.TY}} {
 			if *f.dst, err = formFloat(q.Get(f.name), *f.dst); err != nil {
-				return writeError(w, http.StatusBadRequest, "bad %s: %v", f.name, err)
+				return s.writeError(w, http.StatusBadRequest, "bad %s: %v", f.name, err)
 			}
 		}
-	} else if status := readJSON(w, r, &req); status != 0 {
+	} else if status := s.readJSON(w, r, &req); status != 0 {
 		return status
+	} else if req.Index == "" {
+		req.Index = r.URL.Query().Get("index") // POSTs may name the member in the URL too
 	}
 	if err := finiteCoords(req.SX, req.SY, req.TX, req.TY); err != nil {
-		return writeError(w, http.StatusBadRequest, "%v", err)
+		return s.writeError(w, http.StatusBadRequest, "%v", err)
 	}
 
 	switch {
 	case req.S != nil && req.T != nil:
-		d, err := s.idx.Query(*req.S, *req.T)
-		if err != nil {
-			return writeError(w, http.StatusBadRequest, "query: %v", err)
+		tgt, status, msg := s.resolve(req.Index, nil, nil)
+		if tgt == nil {
+			return s.writeError(w, status, "%s", msg)
 		}
-		return writeJSON(w, http.StatusOK, queryResponse{Distance: d, Kind: s.kind()})
+		tgt.queries.Add(1)
+		d, err := s.cachedQuery(idKey(tgt.name, *req.S, *req.T), func() (float64, error) {
+			return tgt.idx.Query(*req.S, *req.T)
+		})
+		if err != nil {
+			return s.writeError(w, http.StatusBadRequest, "query: %v", err)
+		}
+		return s.writeJSON(w, http.StatusOK, queryResponse{Distance: d, Kind: tgt.kind, Index: tgt.name})
 	case req.SX != nil && req.SY != nil && req.TX != nil && req.TY != nil:
-		if s.pt == nil {
-			return writeError(w, http.StatusBadRequest,
-				"index kind %s answers id queries only; coordinate queries need an a2a index", s.kind())
+		tgt, status, msg := s.resolve(req.Index, req.SX, req.SY)
+		if tgt == nil {
+			return s.writeError(w, status, "%s", msg)
 		}
-		d, err := s.pt.QueryXY(*req.SX, *req.SY, *req.TX, *req.TY)
+		if tgt.pt == nil {
+			return s.writeError(w, http.StatusBadRequest,
+				"index kind %s answers id queries only; coordinate queries need an a2a index", tgt.kind)
+		}
+		tgt.queries.Add(1)
+		d, err := s.cachedQuery(xyKey(tgt.name, *req.SX, *req.SY, *req.TX, *req.TY), func() (float64, error) {
+			return tgt.pt.QueryXY(*req.SX, *req.SY, *req.TX, *req.TY)
+		})
 		if err != nil {
-			return writeError(w, http.StatusBadRequest, "query: %v", err)
+			return s.writeError(w, http.StatusBadRequest, "query: %v", err)
 		}
-		return writeJSON(w, http.StatusOK, queryResponse{Distance: d, Kind: s.kind()})
+		return s.writeJSON(w, http.StatusOK, queryResponse{Distance: d, Kind: tgt.kind, Index: tgt.name})
 	}
-	return writeError(w, http.StatusBadRequest,
+	return s.writeError(w, http.StatusBadRequest,
 		"need endpoint ids (s, t) or planar coordinates (sx, sy, tx, ty)")
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) int {
 	var req batchRequest
-	if status := readJSON(w, r, &req); status != 0 {
+	if status := s.readJSON(w, r, &req); status != 0 {
 		return status
 	}
+	if req.Index == "" {
+		req.Index = r.URL.Query().Get("index")
+	}
 	if len(req.Pairs) == 0 {
-		return writeError(w, http.StatusBadRequest, "empty pair list")
+		return s.writeError(w, http.StatusBadRequest, "empty pair list")
 	}
 	if len(req.Pairs) > MaxBatchPairs {
-		return writeError(w, http.StatusRequestEntityTooLarge,
+		return s.writeError(w, http.StatusRequestEntityTooLarge,
 			"batch of %d pairs exceeds the %d limit", len(req.Pairs), MaxBatchPairs)
 	}
-	dst, err := s.idx.QueryBatch(req.Pairs, make([]float64, len(req.Pairs)))
-	if err != nil {
-		return writeError(w, http.StatusBadRequest, "batch: %v", err)
+	tgt, status, msg := s.resolve(req.Index, nil, nil)
+	if tgt == nil {
+		return s.writeError(w, status, "%s", msg)
 	}
-	return writeJSON(w, http.StatusOK, batchResponse{Distances: dst, Count: len(dst)})
+	tgt.queries.Add(1)
+	// QueryBatch implementations wrap a failing pair's error with its index
+	// ("batch pair N: ..."), so the client can tell which pair was bad.
+	dst, err := tgt.idx.QueryBatch(req.Pairs, make([]float64, len(req.Pairs)))
+	if err != nil {
+		return s.writeError(w, http.StatusBadRequest, "batch: %v", err)
+	}
+	return s.writeJSON(w, http.StatusOK, batchResponse{Distances: dst, Count: len(dst), Index: tgt.name})
 }
 
 func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) int {
 	var req struct {
-		X *float64 `json:"x"`
-		Y *float64 `json:"y"`
+		Index string   `json:"index,omitempty"`
+		X     *float64 `json:"x"`
+		Y     *float64 `json:"y"`
 	}
 	if r.Method == http.MethodGet {
 		q := r.URL.Query()
+		req.Index = q.Get("index")
 		var err error
 		if req.X, err = formFloat(q.Get("x"), req.X); err != nil {
-			return writeError(w, http.StatusBadRequest, "bad x: %v", err)
+			return s.writeError(w, http.StatusBadRequest, "bad x: %v", err)
 		}
 		if req.Y, err = formFloat(q.Get("y"), req.Y); err != nil {
-			return writeError(w, http.StatusBadRequest, "bad y: %v", err)
+			return s.writeError(w, http.StatusBadRequest, "bad y: %v", err)
 		}
-	} else if status := readJSON(w, r, &req); status != 0 {
+	} else if status := s.readJSON(w, r, &req); status != 0 {
 		return status
+	} else if req.Index == "" {
+		req.Index = r.URL.Query().Get("index")
 	}
 	if req.X == nil || req.Y == nil {
-		return writeError(w, http.StatusBadRequest, "need planar coordinates (x, y)")
+		return s.writeError(w, http.StatusBadRequest, "need planar coordinates (x, y)")
 	}
 	if err := finiteCoords(req.X, req.Y); err != nil {
-		return writeError(w, http.StatusBadRequest, "%v", err)
+		return s.writeError(w, http.StatusBadRequest, "%v", err)
 	}
-	if s.nf == nil {
-		return writeError(w, http.StatusNotImplemented, "index kind %s cannot answer nearest-endpoint queries", s.kind())
-	}
-	id, at, planar, err := s.nf.Nearest(*req.X, *req.Y)
-	if err != nil {
-		return writeError(w, http.StatusBadRequest, "nearest: %v", err)
+	var (
+		name   string
+		id     int32
+		at     terrain.SurfacePoint
+		planar float64
+		err    error
+	)
+	if s.sharded != nil && req.Index == "" {
+		// Unnamed nearest on a multi server is GLOBAL: the answer must match
+		// what one un-sharded index would return, and a boundary-adjacent
+		// query's true nearest can sit in the tile next door — so every
+		// member is scanned, not just the bbox-routed one.
+		var m core.ShardMember
+		m, id, at, planar, err = s.sharded.NearestAcross(*req.X, *req.Y)
+		if err != nil {
+			return s.writeError(w, http.StatusNotImplemented, "nearest: %v", err)
+		}
+		name = m.Name
+		s.byName[name].queries.Add(1)
+	} else {
+		tgt, status, msg := s.resolve(req.Index, req.X, req.Y)
+		if tgt == nil {
+			return s.writeError(w, status, "%s", msg)
+		}
+		if tgt.nf == nil {
+			return s.writeError(w, http.StatusNotImplemented, "index kind %s cannot answer nearest-endpoint queries", tgt.kind)
+		}
+		tgt.queries.Add(1)
+		id, at, planar, err = tgt.nf.Nearest(*req.X, *req.Y)
+		if err != nil {
+			return s.writeError(w, http.StatusBadRequest, "nearest: %v", err)
+		}
+		name = tgt.name
 	}
 	if math.IsInf(planar, 0) || math.IsNaN(planar) {
 		// Finite-but-huge coordinates can overflow the squared distance;
-		// JSON cannot carry the result, so reject rather than emit a 200
-		// with an unencodable body.
-		return writeError(w, http.StatusBadRequest, "coordinates (%g,%g) out of range", *req.X, *req.Y)
+		// JSON cannot carry the result, so reject rather than emit an
+		// unencodable body.
+		return s.writeError(w, http.StatusBadRequest, "coordinates (%g,%g) out of range", *req.X, *req.Y)
 	}
-	return writeJSON(w, http.StatusOK, nearestResponse{
-		ID: id, X: at.P.X, Y: at.P.Y, Z: at.P.Z, Distance: planar,
+	return s.writeJSON(w, http.StatusOK, nearestResponse{
+		ID: id, X: at.P.X, Y: at.P.Y, Z: at.P.Z, Distance: planar, Index: name,
 	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) int {
-	return writeJSON(w, http.StatusOK, map[string]interface{}{
+	body := map[string]interface{}{
 		"status":         "ok",
-		"kind":           s.kind(),
+		"kind":           s.kindTag,
 		"uptime_seconds": time.Since(s.start).Seconds(),
-	})
+	}
+	if s.sharded != nil {
+		body["indexes"] = s.memberNames()
+	}
+	return s.writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) int {
@@ -290,14 +481,25 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) int {
 			"latency_ns": m.latencyNs.Load(),
 		}
 	}
-	return writeJSON(w, http.StatusOK, map[string]interface{}{
-		"index":          s.idx.Stats(),
-		"endpoints":      eps,
-		"uptime_seconds": uptime,
-	})
+	body := map[string]interface{}{
+		"index":           s.root.Stats(),
+		"endpoints":       eps,
+		"cache":           s.cache.snapshot(),
+		"encode_failures": s.encodeFailures.Load(),
+		"uptime_seconds":  uptime,
+	}
+	if s.sharded != nil {
+		members := map[string]interface{}{}
+		for _, tgt := range s.targets {
+			members[tgt.name] = map[string]interface{}{
+				"stats":   tgt.idx.Stats(),
+				"queries": tgt.queries.Load(),
+			}
+		}
+		body["indexes"] = members
+	}
+	return s.writeJSON(w, http.StatusOK, body)
 }
-
-func (s *Server) kind() core.Kind { return s.kindTag }
 
 // --- helpers ----------------------------------------------------------------
 
@@ -329,7 +531,7 @@ func formFloat(v string, cur *float64) (*float64, error) {
 
 // finiteCoords rejects NaN/Inf coordinates that arrived through the JSON
 // body (the GET path already rejects them in formFloat). Non-finite inputs
-// would otherwise propagate into distances that json.Encoder cannot emit.
+// would otherwise propagate into distances that JSON cannot carry.
 func finiteCoords(vals ...*float64) error {
 	for _, v := range vals {
 		if v != nil && (math.IsNaN(*v) || math.IsInf(*v, 0)) {
@@ -341,21 +543,37 @@ func finiteCoords(vals ...*float64) error {
 
 // readJSON decodes a request body, returning 0 on success or the error
 // status it already wrote.
-func readJSON(w http.ResponseWriter, r *http.Request, dst interface{}) int {
+func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, dst interface{}) int {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
 	if err := dec.Decode(dst); err != nil {
-		return writeError(w, http.StatusBadRequest, "bad JSON body: %v", err)
+		return s.writeError(w, http.StatusBadRequest, "bad JSON body: %v", err)
 	}
 	return 0
 }
 
-func writeJSON(w http.ResponseWriter, status int, v interface{}) int {
+// writeJSON marshals v BEFORE writing the status line, so an unencodable
+// value (a NaN/Inf float that slipped into a response struct) becomes a
+// counted, logged 500 with a JSON error body — not a silent 200 with a
+// truncated body, which is what encoding straight into the ResponseWriter
+// used to produce.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v interface{}) int {
+	data, err := json.Marshal(v)
+	if err != nil {
+		s.encodeFailures.Add(1)
+		s.encodeLogOnce.Do(func() {
+			log.Printf("server: response encoding failed (counted in /statsz encode_failures): %v", err)
+		})
+		// errorResponse always marshals, so this recursion terminates.
+		return s.writeJSON(w, http.StatusInternalServerError,
+			errorResponse{Error: fmt.Sprintf("response not encodable: %v", err)})
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	data = append(data, '\n')
+	_, _ = w.Write(data) // a client gone mid-write is its problem, not an encode failure
 	return status
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) int {
-	return writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...interface{}) int {
+	return s.writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
 }

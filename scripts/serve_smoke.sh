@@ -3,12 +3,14 @@
 # pipeline, run by `make serve-smoke` and CI:
 #
 #   1. generate a small terrain + POI set (terraingen)
-#   2. build and serialize an SE index (sebuild -kind=se) and an A2A index
-#      (sebuild -kind=a2a)
+#   2. build and serialize an SE index (sebuild -kind=se), an A2A index
+#      (sebuild -kind=a2a) and a 2-shard multi container (sebuild -shards=2)
 #   3. answer a query offline with sequery
 #   4. start seserve on the same container, hit /healthz, /v1/query,
 #      /v1/nearest and /statsz with curl
-#   5. assert the served distance equals sequery's answer, for both kinds
+#   5. assert the served distance equals sequery's answer, for every kind;
+#      for the multi container also assert routing by member name and by
+#      coordinates, and that the query cache reports hits in /statsz
 #
 # Requires: go, curl, awk. Exits non-zero on any mismatch.
 set -eu
@@ -91,4 +93,49 @@ GOT_A2A="$(field "$TMP/q2.json" distance)"
 say "seserve says d((20,20),(100,110)) = $GOT_A2A"
 [ "$GOT_A2A" = "$WANT_A2A" ] || { say "A2A distance mismatch: sequery=$WANT_A2A server=$GOT_A2A"; exit 1; }
 
-say "OK (se + a2a served, answers match sequery)"
+kill "$SERVER_PID" && wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+# --- sharded multi kind -----------------------------------------------------
+say "building 2-shard multi index"
+"$TMP/sebuild" -kind=se -shards=2 -terrain "$TMP/terrain.off" -pois "$TMP/pois.txt" \
+    -out "$TMP/multi.sedx" -eps 0.2 -seed 7
+
+WANT_M="$("$TMP/sequery" -oracle "$TMP/multi.sedx" -index tile-0-0 -s 0 -t 1 | awk -F'= ' '{print $2}' | awk '{print $1}')"
+[ -n "$WANT_M" ] || { say "sequery produced no multi answer"; exit 1; }
+say "sequery says tile-0-0 d(0,1) = $WANT_M"
+
+"$TMP/seserve" -index "$TMP/multi.sedx" -addr "127.0.0.1:$PORT" -cache 256 &
+SERVER_PID=$!
+wait_healthy
+grep -q '"kind":"multi"' "$TMP/health.json" || { say "healthz kind mismatch: $(cat "$TMP/health.json")"; exit 1; }
+grep -q 'tile-0-0' "$TMP/health.json" || { say "healthz lists no members: $(cat "$TMP/health.json")"; exit 1; }
+
+# Route by member name; the repeat of the same query must be a cache hit.
+for _ in 1 2; do
+    curl_json "http://127.0.0.1:$PORT/v1/query?index=tile-0-0&s=0&t=1" >"$TMP/qm.json"
+done
+GOT_M="$(field "$TMP/qm.json" distance)"
+say "seserve says tile-0-0 d(0,1) = $GOT_M"
+[ "$GOT_M" = "$WANT_M" ] || { say "multi distance mismatch: sequery=$WANT_M server=$GOT_M"; exit 1; }
+
+# Route /v1/nearest by coordinates: the left half of the terrain belongs to
+# tile-0-0, the right half to tile-1-0.
+curl_json "http://127.0.0.1:$PORT/v1/nearest?x=10&y=60" >"$TMP/n0.json"
+grep -q '"index":"tile-0-0"' "$TMP/n0.json" || { say "nearest (10,60) routed wrong: $(cat "$TMP/n0.json")"; exit 1; }
+curl_json "http://127.0.0.1:$PORT/v1/nearest?x=110&y=60" >"$TMP/n1.json"
+grep -q '"index":"tile-1-0"' "$TMP/n1.json" || { say "nearest (110,60) routed wrong: $(cat "$TMP/n1.json")"; exit 1; }
+
+# Unknown member names are 404s.
+CODE="$(curl -s -o /dev/null -w '%{http_code}' "http://127.0.0.1:$PORT/v1/query?index=nope&s=0&t=1")"
+[ "$CODE" = "404" ] || { say "unknown member returned $CODE, want 404"; exit 1; }
+
+curl_json "http://127.0.0.1:$PORT/statsz" >"$TMP/statsm.json"
+grep -q '"tile-1-0"' "$TMP/statsm.json" || { say "statsz missing per-member stats"; exit 1; }
+HITS="$(field "$TMP/statsm.json" hits)"
+MISSES="$(field "$TMP/statsm.json" misses)"
+say "cache: hits=$HITS misses=$MISSES"
+[ "${HITS:-0}" -ge 1 ] 2>/dev/null || { say "expected >= 1 cache hit, got '$HITS'"; exit 1; }
+[ "${MISSES:-0}" -ge 1 ] 2>/dev/null || { say "expected >= 1 cache miss, got '$MISSES'"; exit 1; }
+
+say "OK (se + a2a + sharded multi served, answers match sequery, cache hit recorded)"

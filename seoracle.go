@@ -83,6 +83,7 @@ const (
 	KindSE      = core.KindSE
 	KindA2A     = core.KindA2A
 	KindDynamic = core.KindDynamic
+	KindMulti   = core.KindMulti
 )
 
 // Options configures oracle construction.
@@ -158,6 +159,23 @@ type DynamicOracle = core.DynamicOracle
 // BuildDynamic constructs a dynamic SE oracle over the initial POI set.
 func BuildDynamic(t *Terrain, pois []SurfacePoint, opt Options) (*DynamicOracle, error) {
 	return core.NewDynamicOracle(geodesic.NewExact(t), t, pois, opt)
+}
+
+// ShardedIndex is a multi-index container: several named member indexes,
+// each with a planar bounding box, served as one unit (and one "multi"-kind
+// container file). cmd/seserve routes requests across its members by name
+// or by locating coordinates in a member bbox.
+type ShardedIndex = core.ShardedIndex
+
+// ShardMember is one named member of a ShardedIndex.
+type ShardMember = core.ShardMember
+
+// BuildSharded tiles the terrain's planar bounding box into a shards-tile
+// grid and builds one SE oracle per non-empty tile (in parallel across
+// tiles; byte-identical output for any opt.Workers). Member ids are local
+// to each member.
+func BuildSharded(t *Terrain, pois []SurfacePoint, shards int, opt Options) (*ShardedIndex, error) {
+	return core.BuildShardedSE(geodesic.NewExact(t), t, pois, shards, opt)
 }
 
 // Load reads any serialized index container (written with EncodeTo) and
