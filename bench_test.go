@@ -184,6 +184,35 @@ func BenchmarkFig8_QueryBatch(b *testing.B) {
 	b.ReportMetric(float64(len(pairs)), "queries/op")
 }
 
+// BenchmarkQueryPath drives the path-reporting surface: QueryPath runs the
+// same O(h) pair scan as Query, then stitches center-chain geodesic hops.
+// Hop segments are cached across calls, so steady-state cost is the scan
+// plus polyline assembly; the first query for a hop pays its exact SSAD.
+func BenchmarkQueryPath(b *testing.B) {
+	w := world(b, "sf-small", exp.SFSmall)
+	o := buildSE(b, w, 0.1, core.SelectRandom)
+	rng := rand.New(rand.NewSource(8))
+	n := int32(len(w.ds.POIs))
+	// Warm the hop cache over the benchmark's pair distribution so the
+	// timed loop measures serving-path steady state.
+	warm := rand.New(rand.NewSource(8))
+	for i := 0; i < 256; i++ {
+		if _, _, err := o.QueryPath(warm.Int31n(n), warm.Int31n(n)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		path, _, err := o.QueryPath(rng.Int31n(n), rng.Int31n(n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(path)), "vertices")
+		}
+	}
+}
+
 func BenchmarkFig8_QueryKAlgo(b *testing.B) {
 	w := world(b, "sf-small", exp.SFSmall)
 	k, err := baseline.NewKAlgo(w.ds.Mesh, 0.1)

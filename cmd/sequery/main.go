@@ -2,12 +2,15 @@
 // dynamic — or a legacy bare oracle stream) and answers distance queries:
 // from the command line by endpoint id or planar coordinates, as a batch
 // from stdin ("s t" id pairs, one per line), or as an in-process throughput
-// benchmark over random pairs.
+// benchmark over random pairs. With -path it reports the surface path
+// behind the answer as a GeoJSON LineString Feature on stdout.
 //
 // Usage:
 //
 //	sequery -oracle index.sedx -s 3 -t 17
+//	sequery -oracle index.sedx -path -s 3 -t 17                (GeoJSON path)
 //	sequery -oracle index.sedx -sx 10 -sy 20 -tx 400 -ty 380   (a2a kinds)
+//	sequery -oracle index.sedx -path -xy -sx 10 -sy 20 -tx 400 -ty 380
 //	sequery -oracle index.sedx -batch < pairs.txt
 //	sequery -oracle index.sedx -bench 100000
 //	sequery -oracle multi.sedx -index tile-0-0 -s 3 -t 17      (multi kinds)
@@ -19,6 +22,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -27,6 +31,7 @@ import (
 	"time"
 
 	"seoracle/internal/core"
+	"seoracle/internal/terrain"
 )
 
 func main() {
@@ -40,6 +45,7 @@ func main() {
 		tx         = flag.Float64("tx", 0, "target x (with -ty; a2a kinds)")
 		ty         = flag.Float64("ty", 0, "target y")
 		xy         = flag.Bool("xy", false, "query by planar coordinates (-sx -sy -tx -ty)")
+		path       = flag.Bool("path", false, "report the surface path as a GeoJSON LineString (with -s/-t or -xy)")
 		batch      = flag.Bool("batch", false, "read 's t' id pairs from stdin")
 		naive      = flag.Bool("naive", false, "use the O(h^2) naive query (se kind)")
 		benchN     = flag.Int("bench", 0, "benchmark: time QueryBatch over this many random pairs")
@@ -78,6 +84,38 @@ func main() {
 
 	if *benchN > 0 {
 		bench(idx, *benchN, *benchSeed, *naive)
+		return
+	}
+	if *path {
+		var (
+			pts []terrain.SurfacePoint
+			d   float64
+			err error
+		)
+		if *xy {
+			pp, ok := idx.(core.PointPathIndex)
+			if !ok {
+				fatal("coordinate path queries need an a2a-kind index, this file holds %s", st.Kind)
+			}
+			pts, d, err = pp.QueryPathXY(*sx, *sy, *tx, *ty)
+		} else {
+			if *s < 0 || *t < 0 {
+				fatal("-path needs -s and -t (or -xy with coordinates)")
+			}
+			pi, ok := idx.(core.PathIndex)
+			if !ok {
+				fatal("index kind %s cannot report paths", st.Kind)
+			}
+			pts, d, err = pi.QueryPath(int32(*s), int32(*t))
+		}
+		if err != nil {
+			fatal("path: %v", err)
+		}
+		if err := writeGeoJSON(os.Stdout, pts, d, st.Kind.String()); err != nil {
+			fatal("encoding path: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "path: %d vertices, length %g (kind=%s, eps=%g)\n",
+			len(pts), d, st.Kind, st.Epsilon)
 		return
 	}
 	if *xy {
@@ -195,6 +233,28 @@ func bench(idx core.DistanceIndex, n int, seed int64, naive bool) {
 	fmt.Printf("mode=%s pairs=%d passes=%d elapsed=%v\n", mode, len(pairs), passes, el.Round(time.Millisecond))
 	fmt.Printf("%.1f ns/query, %.0f queries/sec (kind=%s, eps=%g, h=%d, points=%d)\n",
 		perQuery, 1e9/perQuery, st.Kind, st.Epsilon, st.Height, st.Points)
+}
+
+// writeGeoJSON emits one GeoJSON Feature whose geometry is the path as a
+// LineString of [x, y, z] positions — the same shape /v1/path serves.
+func writeGeoJSON(w *os.File, pts []terrain.SurfacePoint, dist float64, kind string) error {
+	coords := make([][3]float64, len(pts))
+	for i, p := range pts {
+		coords[i] = [3]float64{p.P.X, p.P.Y, p.P.Z}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"type": "Feature",
+		"geometry": map[string]any{
+			"type":        "LineString",
+			"coordinates": coords,
+		},
+		"properties": map[string]any{
+			"distance": dist,
+			"vertices": len(pts),
+			"kind":     kind,
+		},
+	})
 }
 
 func fatal(format string, args ...interface{}) {

@@ -3,12 +3,16 @@
 // between them instantly, and the example ranks the landmarks reachable
 // from a trailhead within a day's hike. It also shows how much the geodesic
 // distance exceeds the straight-line distance — the reason Euclidean
-// estimates mislead hikers.
+// estimates mislead hikers — and exports the route to the day's farthest
+// landmark as a GeoJSON LineString (route.geojson) that any map viewer can
+// draw on top of the terrain.
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"log"
+	"os"
 	"sort"
 
 	"seoracle"
@@ -53,6 +57,7 @@ func main() {
 	const dayHike = 250.0 // meters of geodesic travel in this toy massif
 
 	type reach struct {
+		id       int32
 		name     string
 		geodesic float64
 		straight float64
@@ -65,6 +70,7 @@ func main() {
 		}
 		if d <= dayHike {
 			within = append(within, reach{
+				id:       int32(t),
 				name:     names[t],
 				geodesic: d,
 				straight: landmarks[trailhead].P.Dist(landmarks[t].P),
@@ -80,5 +86,46 @@ func main() {
 	}
 	if len(within) == 0 {
 		fmt.Println("  (nothing in range — pick a longer day)")
+		return
 	}
+
+	// Export the day's most ambitious route — trailhead to the farthest
+	// landmark still in range — as GeoJSON. QueryPath returns the oracle's
+	// ε-approximate highway path on the surface; its length is the distance
+	// a hiker would actually walk along the polyline.
+	goal := within[len(within)-1]
+	route, length, err := oracle.QueryPath(trailhead, goal.id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	coords := make([][3]float64, len(route))
+	for i, p := range route {
+		coords[i] = [3]float64{p.P.X, p.P.Y, p.P.Z}
+	}
+	feature := map[string]any{
+		"type": "Feature",
+		"geometry": map[string]any{
+			"type":        "LineString",
+			"coordinates": coords,
+		},
+		"properties": map[string]any{
+			"from":     names[trailhead],
+			"to":       goal.name,
+			"distance": length,
+			"vertices": len(route),
+		},
+	}
+	out, err := os.Create("route.geojson")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(out)
+	if err := enc.Encode(feature); err != nil {
+		log.Fatal(err)
+	}
+	if err := out.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nroute %s -> %s: %.1f m over %d polyline vertices -> route.geojson\n",
+		names[trailhead], goal.name, length, len(route))
 }

@@ -376,13 +376,19 @@ func decodeA2AContainer(secs map[uint32][]byte) (DistanceIndex, error) {
 	// The sites are the inner oracle's POIs; share the table so Nearest and
 	// memory accounting behave identically to a freshly built oracle.
 	inner.pts = sites
+	eng := geodesic.NewExact(mesh)
+	// The inner oracle shares the site oracle's mesh and engine so
+	// QueryPath works after a load exactly as on a freshly built oracle
+	// (the a2a container carries one mesh; the inner body stays mesh-free).
+	inner.mesh = mesh
+	inner.peng = eng
 	so := &SiteOracle{
 		oracle:         inner,
 		mesh:           mesh,
 		sites:          sites,
 		faceSites:      faceSites,
 		locator:        terrain.NewLocator(mesh),
-		eng:            geodesic.NewExact(mesh),
+		eng:            eng,
 		localThreshold: thresholds[0],
 		spacing:        thresholds[1],
 		sitesPerEdge:   int(per),

@@ -7,11 +7,16 @@ import (
 
 // The query fast path must not touch the allocator: pathOf indexes the
 // precomputed slab and lookup probes the flat hash, so a successful Query is
-// allocation-free. Enforced here rather than only observed in benchmarks.
+// allocation-free. Enforced here rather than only observed in benchmarks —
+// and after a QueryPath has run, so the path machinery (segment cache, lazy
+// engine) provably never leaks allocations into the distance path.
 func TestQueryZeroAllocs(t *testing.T) {
 	w := newTestWorld(t, 13, 30, 71)
 	o := w.build(t, Options{Epsilon: 0.2, Seed: 73})
 	n := int32(o.NumPOIs())
+	if _, _, err := o.QueryPath(0, n-1); err != nil {
+		t.Fatal(err)
+	}
 	var s, q int32
 	avg := testing.AllocsPerRun(500, func() {
 		if _, err := o.Query(s, q); err != nil {

@@ -388,8 +388,14 @@ func decodeDynamicContainer(secs map[uint32][]byte) (DistanceIndex, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dynamic tombstones: %w", err)
 	}
+	eng := geodesic.NewExact(mesh)
+	// The base oracle shares the dynamic oracle's mesh and engine so
+	// QueryPath works after a load (the dynamic container carries one mesh;
+	// the base body stays mesh-free).
+	base.mesh = mesh
+	base.peng = eng
 	d := &DynamicOracle{
-		eng:           geodesic.NewExact(mesh),
+		eng:           eng,
 		mesh:          mesh,
 		opt:           Options{Epsilon: eps, Selection: Selection(selection), Seed: seed, NaivePairDistances: naive != 0},
 		base:          base,

@@ -9,6 +9,7 @@ import (
 	"math"
 
 	"seoracle/internal/perfecthash"
+	"seoracle/internal/terrain"
 )
 
 // Binary serialization of the SE oracle body. The body is versionless and
@@ -256,17 +257,30 @@ func (o *Oracle) bodySection() section {
 }
 
 // EncodeTo writes the oracle as a tagged container (kind "se"): the oracle
-// body plus the POI point table that backs Nearest. Part of the
-// DistanceIndex interface.
-func (o *Oracle) EncodeTo(w io.Writer) error {
+// body, the POI point table that backs Nearest, and — when the oracle
+// retains one — the terrain mesh that backs QueryPath, so path reporting
+// survives the round trip. Part of the DistanceIndex interface.
+func (o *Oracle) EncodeTo(w io.Writer) error { return o.encodeContainer(w, o.mesh) }
+
+// encodeContainer writes the SE container with an explicit mesh choice:
+// EncodeTo passes the oracle's own mesh, while a multi container passes nil
+// for members whose mesh it hoists into one shared section (sharded.go) —
+// the tiles of one terrain would otherwise each embed an identical copy.
+func (o *Oracle) encodeContainer(w io.Writer, mesh *terrain.Mesh) error {
 	secs := []section{o.bodySection()}
 	if o.pts != nil {
 		secs = append(secs, pointsSection(secPoints, o.pts))
 	}
+	if mesh != nil {
+		secs = append(secs, meshSection(secMesh, mesh))
+	}
 	return writeContainer(w, KindSE, secs)
 }
 
-// decodeSEContainer rebuilds an *Oracle from an SE-kind section map.
+// decodeSEContainer rebuilds an *Oracle from an SE-kind section map. A mesh
+// section (optional: pre-path files and mesh-less builds carry none)
+// restores path reporting; the path engine itself is derived state, rebuilt
+// lazily on the first QueryPath.
 func decodeSEContainer(secs map[uint32][]byte) (DistanceIndex, error) {
 	if err := requireSections(secs, secOracle); err != nil {
 		return nil, err
@@ -288,6 +302,20 @@ func decodeSEContainer(secs map[uint32][]byte) (DistanceIndex, error) {
 			return nil, fmt.Errorf("point table holds %d points for %d POIs", len(pts), o.npoi)
 		}
 		o.pts = pts
+	}
+	if payload, ok := secs[secMesh]; ok {
+		mesh, err := decodeMesh(payload)
+		if err != nil {
+			return nil, fmt.Errorf("mesh section: %w", err)
+		}
+		// The POIs feed the geodesic engine's array indexing; bounds must
+		// hold against the mesh before QueryPath may trust them.
+		for i, p := range o.pts {
+			if err := checkMeshPoint(p, mesh); err != nil {
+				return nil, fmt.Errorf("POI %d: %w", i, err)
+			}
+		}
+		o.mesh = mesh
 	}
 	return o, nil
 }

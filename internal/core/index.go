@@ -129,6 +129,37 @@ type PointIndex interface {
 	QueryXY(sx, sy, tx, ty float64) (float64, error)
 }
 
+// PathIndex is a DistanceIndex that can also report the surface path behind
+// an id-addressed distance query (the serving layer's /v1/path): QueryPath
+// returns a polyline of surface points from endpoint s to endpoint t whose
+// summed segment length equals the returned distance exactly.
+//
+// For oracle-backed kinds the polyline is the ε-approximate *highway path*
+// — the query points chained through their partition-tree centers and the
+// matched pair's center-to-center geodesic — not the exact geodesic between
+// s and t, so its length may exceed Query's answer by up to the oracle's ε
+// slack. Paths that are resolved exactly (dynamic overflow rows, the A2A
+// short-range regime) match Query to floating-point precision.
+type PathIndex interface {
+	DistanceIndex
+	// QueryPath returns the surface path between two indexed endpoints and
+	// its length. The polyline starts at endpoint s's surface point and
+	// ends at t's; every vertex lies on a mesh face.
+	QueryPath(s, t int32) ([]terrain.SurfacePoint, float64, error)
+}
+
+// PointPathIndex is a PathIndex that also reports paths between arbitrary
+// surface points (implemented by the A2A oracle, mirroring PointIndex).
+type PointPathIndex interface {
+	PathIndex
+	// QueryPathPoints returns the surface path between two arbitrary
+	// surface points and its length.
+	QueryPathPoints(s, t terrain.SurfacePoint) ([]terrain.SurfacePoint, float64, error)
+	// QueryPathXY projects both planar coordinate pairs and answers the
+	// surface-point path query — the serving layer's coordinate form.
+	QueryPathXY(sx, sy, tx, ty float64) ([]terrain.SurfacePoint, float64, error)
+}
+
 // NearestFinder is implemented by indexes that can report the indexed
 // endpoint nearest to a planar position (the serving layer's /v1/nearest).
 type NearestFinder interface {
@@ -141,14 +172,19 @@ type NearestFinder interface {
 // Compile-time checks: every engine implements the shared interface, and
 // the site oracle additionally serves arbitrary points.
 var (
-	_ DistanceIndex = (*Oracle)(nil)
-	_ DistanceIndex = (*SiteOracle)(nil)
-	_ DistanceIndex = (*DynamicOracle)(nil)
-	_ DistanceIndex = (*ShardedIndex)(nil)
-	_ PointIndex    = (*SiteOracle)(nil)
-	_ NearestFinder = (*Oracle)(nil)
-	_ NearestFinder = (*SiteOracle)(nil)
-	_ NearestFinder = (*DynamicOracle)(nil)
+	_ DistanceIndex  = (*Oracle)(nil)
+	_ DistanceIndex  = (*SiteOracle)(nil)
+	_ DistanceIndex  = (*DynamicOracle)(nil)
+	_ DistanceIndex  = (*ShardedIndex)(nil)
+	_ PointIndex     = (*SiteOracle)(nil)
+	_ PathIndex      = (*Oracle)(nil)
+	_ PathIndex      = (*SiteOracle)(nil)
+	_ PathIndex      = (*DynamicOracle)(nil)
+	_ PathIndex      = (*ShardedIndex)(nil)
+	_ PointPathIndex = (*SiteOracle)(nil)
+	_ NearestFinder  = (*Oracle)(nil)
+	_ NearestFinder  = (*SiteOracle)(nil)
+	_ NearestFinder  = (*DynamicOracle)(nil)
 )
 
 // BatchViaQuery is the shared QueryBatch implementation for indexes whose

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -59,6 +60,8 @@ type BuildStats struct {
 // A built (or decoded) Oracle is immutable: Query, QueryNaive,
 // CheckInvariants, Encode and every accessor only read its state, so one
 // Oracle may be shared freely across goroutines without external locking.
+// (QueryPath's geodesic-segment cache is the one internally synchronized
+// exception; see path.go.)
 type Oracle struct {
 	eps    float64
 	tree   *ctree
@@ -73,6 +76,18 @@ type Oracle struct {
 	// Nearest and is serialized as the container's point section); oracles
 	// loaded from legacy streams carry none.
 	pts []terrain.SurfacePoint
+
+	// mesh is the terrain the oracle was built on, retained (and serialized
+	// as the container's mesh section) so QueryPath can stitch geodesic
+	// segments after a load. Nil when the construction engine exposed no
+	// mesh or the oracle came from a pre-path stream; distance queries never
+	// touch it. peng is the path-capable geodesic engine — the construction
+	// engine when it reported paths, else built lazily from mesh under
+	// pathMu (path.go).
+	mesh     *terrain.Mesh
+	peng     geodesic.PathEngine
+	pathMu   sync.Mutex
+	segCache map[uint64]pathSeg // canonical POI pair -> geodesic hop segment
 }
 
 // Build constructs an SE oracle over the POIs of a terrain using eng as the
@@ -155,6 +170,16 @@ func Build(eng geodesic.Engine, pois []terrain.SurfacePoint, opt Options) (*Orac
 		pts:    append([]terrain.SurfacePoint(nil), pois...),
 	}
 	o.buildPathSlab()
+	// Retain the path-reporting surface when the engine exposes it: the
+	// mesh is serialized with the oracle (QueryPath survives a round trip)
+	// and the engine itself is reused so hop geodesics share its pooled
+	// scratch.
+	if pe, ok := eng.(geodesic.PathEngine); ok {
+		o.peng = pe
+	}
+	if me, ok := eng.(interface{ Mesh() *terrain.Mesh }); ok {
+		o.mesh = me.Mesh()
+	}
 	return o, nil
 }
 

@@ -46,6 +46,17 @@ func (o *Oracle) Query(s, t int32) (float64, error) {
 		// O(h) passes to state the obvious.
 		return 0, nil
 	}
+	d, _, _, err := o.queryPair(s, t)
+	return d, err
+}
+
+// queryPair runs the O(h) scan of §3.4 and returns the unique matched node
+// pair (Theorem 1) along with its stored distance. It is the shared core of
+// Query (which drops the nodes) and QueryPath (which stitches the highway
+// path between their centers). Callers must have validated s and t and
+// excluded s == t; like Query, a successful call performs no heap
+// allocations.
+func (o *Oracle) queryPair(s, t int32) (float64, int32, int32, error) {
 	as := o.pathOf(s)
 	at := o.pathOf(t)
 
@@ -55,7 +66,7 @@ func (o *Oracle) Query(s, t int32) (float64, error) {
 			continue
 		}
 		if d, ok := o.lookup(as[i], at[i]); ok {
-			return d, nil
+			return d, as[i], at[i], nil
 		}
 	}
 	// Step 2: first-higher-layer pairs (Layer(O) < Layer(O')): for each
@@ -71,7 +82,7 @@ func (o *Oracle) Query(s, t int32) (float64, error) {
 				continue
 			}
 			if d, ok := o.lookup(as[k], at[i]); ok {
-				return d, nil
+				return d, as[k], at[i], nil
 			}
 		}
 	}
@@ -86,11 +97,11 @@ func (o *Oracle) Query(s, t int32) (float64, error) {
 				continue
 			}
 			if d, ok := o.lookup(as[i], at[k]); ok {
-				return d, nil
+				return d, as[i], at[k], nil
 			}
 		}
 	}
-	return 0, fmt.Errorf("core: no node pair contains POIs (%d,%d); oracle corrupt", s, t)
+	return 0, -1, -1, fmt.Errorf("core: no node pair contains POIs (%d,%d); oracle corrupt", s, t)
 }
 
 // QueryNaive answers the same query by scanning the full A_s × A_t product

@@ -34,10 +34,12 @@ type BBox2D struct {
 	MinX, MinY, MaxX, MaxY float64
 }
 
-// Contains reports whether (x, y) lies inside the box (boundary inclusive).
-func (b BBox2D) Contains(x, y float64) bool {
-	return x >= b.MinX && x <= b.MaxX && y >= b.MinY && y <= b.MaxY
-}
+// Containment is half-open [min, max) per axis — a point on a shared tile
+// boundary belongs to exactly one member — and only ShardedIndex.contains
+// implements it, because the rule needs the tiling's outer bounds (the
+// outermost max edges have no neighboring tile to own them). There is
+// deliberately no per-box Contains method: it could not answer the outer
+// boundary consistently with Locate.
 
 // dist2 returns the squared planar distance from (x, y) to the box (zero
 // inside it).
@@ -78,6 +80,10 @@ type ShardMember struct {
 type ShardedIndex struct {
 	members []ShardMember
 	byName  map[string]int
+	// maxX/maxY are the member bboxes' global maxima: under half-open
+	// containment the max edge of a tile belongs to its neighbor, except on
+	// the index's outer boundary, where these maxima re-admit it.
+	maxX, maxY float64
 }
 
 // validShardName enforces the member-name alphabet: names travel in URLs
@@ -111,6 +117,7 @@ func NewShardedIndex(members []ShardMember) (*ShardedIndex, error) {
 		return nil, fmt.Errorf("core: multi index holds %d members (max %d)", len(members), maxShardMembers)
 	}
 	byName := make(map[string]int, len(members))
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
 	for i, m := range members {
 		if err := validShardName(m.Name); err != nil {
 			return nil, fmt.Errorf("core: member %d: %v", i, err)
@@ -128,8 +135,10 @@ func NewShardedIndex(members []ShardMember) (*ShardedIndex, error) {
 			return nil, fmt.Errorf("core: member %q is itself a multi index (nesting unsupported)", m.Name)
 		}
 		byName[m.Name] = i
+		maxX = math.Max(maxX, m.BBox.MaxX)
+		maxY = math.Max(maxY, m.BBox.MaxY)
 	}
-	return &ShardedIndex{members: members, byName: byName}, nil
+	return &ShardedIndex{members: members, byName: byName, maxX: maxX, maxY: maxY}, nil
 }
 
 // Members returns the member list in manifest order. The slice aliases
@@ -158,25 +167,45 @@ func (sh *ShardedIndex) Member(name string) (ShardMember, bool) {
 }
 
 // Locate returns the member owning the planar point — the
-// coordinate-routing rule of the serving layer: the first member (in
-// manifest order) whose bbox contains it, else the member whose bbox is
-// planar-closest. Routing is total (a point a single un-sharded index would
-// answer never strands between tiles — a tile dropped for holding no POIs,
-// or a point just outside the terrain, falls to the nearest member);
-// manifest order makes ties deterministic. contained reports whether a
-// bbox actually held the point.
+// coordinate-routing rule of the serving layer: the member whose bbox
+// contains it under half-open [min,max) semantics (a member on the index's
+// outer boundary keeps its outer max edge, so the tiling's closure is
+// preserved), else the member whose bbox is planar-closest. Half-open
+// containment makes a point on a shared tile boundary belong to exactly
+// one tile — the routing decision is a function of the manifest's bboxes,
+// not of manifest order, and therefore survives encode → load unchanged.
+// Routing is total (a point a single un-sharded index would answer never
+// strands between tiles — a tile dropped for holding no POIs, or a point
+// just outside the terrain, falls to the nearest member); in the fallback,
+// manifest order makes distance ties deterministic. contained reports
+// whether a bbox actually held the point.
 func (sh *ShardedIndex) Locate(x, y float64) (m ShardMember, contained bool) {
 	best, bestD2 := 0, math.Inf(1)
 	for i, mm := range sh.members {
-		d2 := mm.BBox.dist2(x, y)
-		if d2 == 0 {
+		if sh.contains(mm.BBox, x, y) {
 			return mm, true
 		}
-		if d2 < bestD2 {
+		if d2 := mm.BBox.dist2(x, y); d2 < bestD2 {
 			best, bestD2 = i, d2
 		}
 	}
 	return sh.members[best], false
+}
+
+// contains is the half-open membership test Locate routes by: [min, max)
+// per axis, with the max edge re-admitted for members sitting on the
+// index's outer boundary (there is no neighboring tile to own it).
+func (sh *ShardedIndex) contains(b BBox2D, x, y float64) bool {
+	if x < b.MinX || y < b.MinY || x > b.MaxX || y > b.MaxY {
+		return false
+	}
+	if x == b.MaxX && b.MaxX < sh.maxX {
+		return false
+	}
+	if y == b.MaxY && b.MaxY < sh.maxY {
+		return false
+	}
+	return true
 }
 
 // Query answers through the sole member when exactly one exists; with more,
@@ -259,15 +288,41 @@ func (sh *ShardedIndex) manifestSection() section {
 	}}
 }
 
+// sharedMesh returns the terrain mesh to hoist into the multi container's
+// one shared mesh section: the first SE member's retained mesh. The tiled
+// build hands every tile the same *Mesh, so only members holding exactly
+// that mesh are stripped of their per-member copy — a hand-assembled index
+// mixing terrains keeps each member's own embedded mesh.
+func (sh *ShardedIndex) sharedMesh() *terrain.Mesh {
+	for _, m := range sh.members {
+		if o, ok := m.Index.(*Oracle); ok && o.mesh != nil {
+			return o.mesh
+		}
+	}
+	return nil
+}
+
 // EncodeTo writes the multi index as a tagged container (kind "multi"):
-// the manifest followed by every member's own container bytes. Members are
-// buffered one at a time (their containers are deterministic, so decode →
-// re-encode stays byte-identical member by member).
+// the manifest, one shared terrain mesh (when the SE members tile a common
+// terrain — embedding it per member would store K identical copies), then
+// every member's own container bytes. Members are buffered one at a time
+// (their containers are deterministic, so decode → re-encode stays
+// byte-identical member by member).
 func (sh *ShardedIndex) EncodeTo(w io.Writer) error {
+	shared := sh.sharedMesh()
 	secs := []section{sh.manifestSection()}
+	if shared != nil {
+		secs = append(secs, meshSection(secMesh, shared))
+	}
 	for i, m := range sh.members {
 		var buf bytes.Buffer
-		if err := m.Index.EncodeTo(&buf); err != nil {
+		var err error
+		if o, ok := m.Index.(*Oracle); ok && o.mesh == shared {
+			err = o.encodeContainer(&buf, nil) // mesh hoisted into the shared section
+		} else {
+			err = m.Index.EncodeTo(&buf)
+		}
+		if err != nil {
 			return fmt.Errorf("core: encoding member %q: %w", m.Name, err)
 		}
 		secs = append(secs, bytesSection(secMemberBase+uint32(i), buf.Bytes()))
@@ -334,6 +389,17 @@ func decodeMultiContainer(secs map[uint32][]byte) (DistanceIndex, error) {
 			return nil, fmt.Errorf("container holds member section %d beyond the %d the manifest declares", id-secMemberBase, count)
 		}
 	}
+	// An optional shared mesh section carries the terrain the SE members
+	// tile; it is attached to every mesh-less SE member below so QueryPath
+	// works without storing one mesh copy per tile.
+	var shared *terrain.Mesh
+	if payload, ok := secs[secMesh]; ok {
+		m, err := decodeMesh(payload)
+		if err != nil {
+			return nil, fmt.Errorf("shared mesh section: %w", err)
+		}
+		shared = m
+	}
 	members := make([]ShardMember, 0, count)
 	for i, e := range entries {
 		payload, ok := secs[secMemberBase+uint32(i)]
@@ -349,6 +415,14 @@ func decodeMultiContainer(secs map[uint32][]byte) (DistanceIndex, error) {
 		}
 		if got := idx.Stats().Kind; got != e.kind {
 			return nil, fmt.Errorf("member %q: manifest says kind %s, body holds %s", e.name, e.kind, got)
+		}
+		if o, ok := idx.(*Oracle); ok && o.mesh == nil && shared != nil {
+			for j, p := range o.pts {
+				if err := checkMeshPoint(p, shared); err != nil {
+					return nil, fmt.Errorf("member %q POI %d against the shared mesh: %w", e.name, j, err)
+				}
+			}
+			o.mesh = shared
 		}
 		members = append(members, ShardMember{Name: e.name, BBox: e.bbox, Index: idx})
 	}
@@ -485,9 +559,11 @@ func BuildShardedSE(eng geodesic.Engine, m *terrain.Mesh, pois []terrain.Surface
 // over the same points would return, so every member is scanned (member
 // bboxes are routing hints, not guaranteed point bounds, and a
 // boundary-adjacent query's true nearest can sit in the neighboring tile).
-// Ties break toward the earlier member. Members that cannot answer (no
-// NearestFinder, or no point table) are skipped; an error is returned only
-// when no member produced an answer.
+// Two members at exactly equal planar distance tie toward the lower member
+// name — a property of the members themselves, not of manifest order, so
+// the winner is identical however the container was assembled or reloaded.
+// Members that cannot answer (no NearestFinder, or no point table) are
+// skipped; an error is returned only when no member produced an answer.
 func (sh *ShardedIndex) NearestAcross(x, y float64) (ShardMember, int32, terrain.SurfacePoint, float64, error) {
 	var (
 		bm    ShardMember
@@ -504,7 +580,7 @@ func (sh *ShardedIndex) NearestAcross(x, y float64) (ShardMember, int32, terrain
 		if err != nil {
 			continue
 		}
-		if d < bestD {
+		if d < bestD || (d == bestD && bid >= 0 && m.Name < bm.Name) {
 			bm, bid, bat, bestD = m, id, at, d
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"seoracle/internal/geodesic"
 	"seoracle/internal/terrain"
 )
 
@@ -49,7 +50,9 @@ func TestShardedBuildPartition(t *testing.T) {
 		o := m.Index.(*Oracle)
 		total += o.NumPOIs()
 		for _, p := range o.Points() {
-			if !m.BBox.Contains(p.P.X, p.P.Y) {
+			// Half-open routing containment (the tiling assigns boundary
+			// POIs with the same [min,max) rule, outer edges included).
+			if !sh.contains(m.BBox, p.P.X, p.P.Y) {
 				t.Errorf("member %s: POI at (%g,%g) outside bbox %+v", m.Name, p.P.X, p.P.Y, m.BBox)
 			}
 		}
@@ -448,5 +451,123 @@ func TestShardGrid(t *testing.T) {
 	}
 	if kx, ky := shardGrid(2); kx != 2 || ky != 1 {
 		t.Errorf("shardGrid(2) = %dx%d, want 2x1", kx, ky)
+	}
+}
+
+// flatGridWorld builds a flat height-field terrain whose vertex coordinates
+// are exact small integers, so planar distances to symmetric vertices tie
+// exactly in floating point.
+func flatGridWorld(t *testing.T, n int) (*terrain.Mesh, *geodesic.Exact) {
+	t.Helper()
+	m, err := terrain.NewGrid(n, n, 1, 1, make([]float64, n*n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, geodesic.NewExact(m)
+}
+
+// TestNearestAcrossTieBreaksByName: a query point exactly equidistant
+// between two members' nearest POIs must pick the lower member NAME — not
+// the earlier manifest position. The lower-named member is deliberately
+// placed second in the manifest so the old iteration-order tie-break would
+// return the wrong member.
+func TestNearestAcrossTieBreaksByName(t *testing.T) {
+	m, eng := flatGridWorld(t, 5)
+	opt := Options{Epsilon: 0.5, Seed: 1}
+	oracleAt := func(v int32) *Oracle {
+		o, err := Build(eng, []terrain.SurfacePoint{m.VertexPoint(v)}, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o
+	}
+	// Row y=2 of the 5x5 unit grid: vertex ids 2*5+x. POIs at x=1 and x=3;
+	// the query at (2, 2) is exactly 1.0 from both.
+	left := oracleAt(2*5 + 1)
+	right := oracleAt(2*5 + 3)
+	sh, err := NewShardedIndex([]ShardMember{
+		{Name: "tile-z", BBox: BBox2D{MinX: 0, MinY: 0, MaxX: 2, MaxY: 4}, Index: left},
+		{Name: "tile-a", BBox: BBox2D{MinX: 2, MinY: 0, MaxX: 4, MaxY: 4}, Index: right},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, _, _, d, err := sh.NearestAcross(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 1.0 {
+		t.Fatalf("tie setup broken: nearest distance %v, want exactly 1.0", d)
+	}
+	if mm.Name != "tile-a" {
+		t.Fatalf("equal-distance tie went to %q, want lower name %q", mm.Name, "tile-a")
+	}
+	// A non-tied query still picks the closer member regardless of name.
+	mm, _, _, _, err = sh.NearestAcross(0.9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm.Name != "tile-z" {
+		t.Fatalf("closer member lost to name order: got %q", mm.Name)
+	}
+}
+
+// TestLocateHalfOpenBoundary: a point exactly on a shared tile boundary
+// belongs to the member whose min edge it is — independent of manifest
+// order, and identically after an encode → load round trip. The index's
+// outer max edges stay owned by their boundary members.
+func TestLocateHalfOpenBoundary(t *testing.T) {
+	m, eng := flatGridWorld(t, 5)
+	opt := Options{Epsilon: 0.5, Seed: 1}
+	build := func(vs ...int32) *Oracle {
+		pts := make([]terrain.SurfacePoint, len(vs))
+		for i, v := range vs {
+			pts[i] = m.VertexPoint(v)
+		}
+		o, err := Build(eng, pts, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o
+	}
+	west := ShardMember{Name: "west", BBox: BBox2D{MinX: 0, MinY: 0, MaxX: 2, MaxY: 4}, Index: build(2*5+0, 2*5+1)}
+	east := ShardMember{Name: "east", BBox: BBox2D{MinX: 2, MinY: 0, MaxX: 4, MaxY: 4}, Index: build(2*5+3, 2*5+4)}
+	for _, order := range [][]ShardMember{{west, east}, {east, west}} {
+		sh, err := NewShardedIndex(order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := sh.EncodeTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		loadedIdx, err := Load(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loaded := loadedIdx.(*ShardedIndex)
+		for _, idx := range []*ShardedIndex{sh, loaded} {
+			cases := []struct {
+				x, y float64
+				want string
+			}{
+				{2, 1, "east"}, // shared boundary: belongs to the min-edge member
+				{1.9, 1, "west"},
+				{2.1, 1, "east"},
+				{0, 1, "west"}, // outer min edge
+				{4, 1, "east"}, // outer max edge stays with its boundary member
+				{2, 4, "east"}, // corner on the shared edge and the outer max y
+			}
+			for _, c := range cases {
+				got, contained := idx.Locate(c.x, c.y)
+				if !contained {
+					t.Fatalf("order %s/%s: (%g,%g) located no containing member", order[0].Name, order[1].Name, c.x, c.y)
+				}
+				if got.Name != c.want {
+					t.Errorf("order %s/%s: (%g,%g) routed to %q, want %q",
+						order[0].Name, order[1].Name, c.x, c.y, got.Name, c.want)
+				}
+			}
+		}
 	}
 }

@@ -96,6 +96,7 @@ type run struct {
 	e    *Exact
 	m    *terrain.Mesh
 	stop Stop
+	src  terrain.SurfacePoint
 
 	lists [][]*window // live windows per half-edge
 	label []float64   // per-vertex distance upper bounds (exact at settle)
@@ -110,6 +111,15 @@ type run struct {
 	theap       estHeap
 	settledN    int
 	settled     []bool
+
+	// vfrom[v] / tfrom[i] record how the current best label of vertex v /
+	// estimate of target i was achieved — the predecessor links PathTo's
+	// backtrace walks (path.go). Entries are only read for vertices and
+	// targets whose distance is finite, which this run must have written, so
+	// recycled stale entries (including dangling window pointers into a
+	// reset arena) are never followed.
+	vfrom []origin
+	tfrom []origin
 
 	// insert/clip scratch (see trim.go); safe because insert never re-enters.
 	ivA, ivB []iv
@@ -129,6 +139,7 @@ func (e *Exact) getRun() *run {
 		m:           m,
 		lists:       make([][]*window, m.NumHalfedges()),
 		label:       make([]float64, m.NumVerts()),
+		vfrom:       make([]origin, m.NumVerts()),
 		faceTargets: make(map[int32][]int),
 		vertTargets: make(map[int32][]int),
 	}
@@ -144,6 +155,7 @@ func (e *Exact) putRun(r *run) {
 // begin resets the run for a new expansion and seeds it from src.
 func (r *run) begin(src terrain.SurfacePoint, targets []terrain.SurfacePoint, stop Stop) {
 	r.stop = stop
+	r.src = src
 	for i := range r.lists {
 		r.lists[i] = r.lists[i][:0]
 	}
@@ -173,6 +185,7 @@ func (r *run) initTargets(targets []terrain.SurfacePoint) {
 	r.est = grow(r.est, len(targets))
 	r.settled = grow(r.settled, len(targets))
 	r.tcoords = grow(r.tcoords, len(targets))
+	r.tfrom = grow(r.tfrom, len(targets))
 	clear(r.faceTargets)
 	clear(r.vertTargets)
 	for i, t := range targets {
@@ -213,18 +226,18 @@ func (r *run) frameCoords(h int32, p geom.Vec3) geom.Vec2 {
 
 func (r *run) initSource(src terrain.SurfacePoint) {
 	if src.Vert >= 0 {
-		r.updateLabel(src.Vert, 0, true)
+		r.updateLabel(src.Vert, 0, originSource())
 		return
 	}
 	f := src.Face
 	fa := r.m.Faces[f]
 	// Labels of the face's corners (straight segments inside the face).
 	for _, v := range fa {
-		r.updateLabel(v, src.P.Dist(r.m.Verts[v]), true)
+		r.updateLabel(v, src.P.Dist(r.m.Verts[v]), originSource())
 	}
 	// Targets on the same face: the straight segment is a geodesic.
 	for _, ti := range r.faceTargets[f] {
-		r.updateEstimate(ti, src.P.Dist(r.targets[ti].P))
+		r.updateEstimate(ti, src.P.Dist(r.targets[ti].P), originSource())
 	}
 	// One full-edge window through each side of the face.
 	for k := 0; k < 3; k++ {
@@ -243,7 +256,7 @@ func (r *run) initSource(src terrain.SurfacePoint) {
 		if y2 < 0 {
 			y2 = 0
 		}
-		r.insert(he.Twin, 0, L, x, -math.Sqrt(y2), 0)
+		r.insert(he.Twin, 0, L, x, -math.Sqrt(y2), 0, nil, -1)
 	}
 }
 
@@ -301,10 +314,12 @@ func (r *run) results(out []float64) {
 	}
 }
 
-// updateEstimate lowers a target's distance estimate.
-func (r *run) updateEstimate(ti int, d float64) {
+// updateEstimate lowers a target's distance estimate, recording where the
+// improvement came from so the path backtrace can replay it.
+func (r *run) updateEstimate(ti int, d float64, from origin) {
 	if d < r.est[ti] {
 		r.est[ti] = d
+		r.tfrom[ti] = from
 		r.theap.push(estItem{est: d, idx: ti})
 	}
 }
@@ -312,19 +327,20 @@ func (r *run) updateEstimate(ti int, d float64) {
 // updateLabel lowers a vertex label and schedules the dependent work: a
 // pseudo-source event (when the vertex can bend geodesics), estimate updates
 // for targets on incident faces, and (on event pop) edge relaxations.
-func (r *run) updateLabel(v int32, d float64, _ bool) {
+func (r *run) updateLabel(v int32, d float64, from origin) {
 	if d >= r.label[v] {
 		return
 	}
 	r.label[v] = d
+	r.vfrom[v] = from
 	pushVertex(&r.queue, v, d)
 	for _, ti := range r.vertTargets[v] {
-		r.updateEstimate(ti, d)
+		r.updateEstimate(ti, d, originVert(v))
 	}
 	if len(r.faceTargets) > 0 {
 		for _, f := range r.m.VertFaces(v) {
 			for _, ti := range r.faceTargets[f] {
-				r.updateEstimate(ti, d+r.m.Verts[v].Dist(r.targets[ti].P))
+				r.updateEstimate(ti, d+r.m.Verts[v].Dist(r.targets[ti].P), originVert(v))
 			}
 		}
 	}
@@ -346,9 +362,9 @@ func (r *run) spawnFromVertex(v int32, d float64) {
 			// needed: boundary edges exist as a single half-edge, so the
 			// edge to a neighbor may only appear with v as its destination.
 			if he.Org == v {
-				r.updateLabel(he.Dst, d+he.Len, false)
+				r.updateLabel(he.Dst, d+he.Len, originVert(v))
 			} else if he.Dst == v {
-				r.updateLabel(he.Org, d+he.Len, false)
+				r.updateLabel(he.Org, d+he.Len, originVert(v))
 			}
 		}
 		if ho < 0 {
@@ -373,7 +389,7 @@ func (r *run) spawnFromVertex(v int32, d float64) {
 		if y2 < 0 {
 			y2 = 0
 		}
-		r.insert(he.Twin, 0, L, x, -math.Sqrt(y2), d)
+		r.insert(he.Twin, 0, L, x, -math.Sqrt(y2), d, nil, v)
 	}
 }
 
@@ -404,7 +420,7 @@ func (r *run) propagateWindow(w *window) {
 			// Point source on the edge interior: the whole face is visible.
 			r.propagateOntoEdge(w, h1, A1, B1, 0, 1, ps, opp1)
 			r.propagateOntoEdge(w, h2, A2, B2, 0, 1, ps, opp2)
-			r.updateLabel(r.m.OppositeVert(h), w.sigma+ps.Dist(apex), false)
+			r.updateLabel(r.m.OppositeVert(h), w.sigma+ps.Dist(apex), originWin(w, apex))
 		}
 		// Grazing windows carry no area; endpoint labels were already
 		// handled at insertion time.
@@ -430,7 +446,7 @@ func (r *run) propagateWindow(w *window) {
 
 	// Direct apex label when the apex is inside the visible cone.
 	if x := r.crossX(ps, apex); x >= w.b0-1e-12*L && x <= w.b1+1e-12*L {
-		r.updateLabel(r.m.OppositeVert(h), w.sigma+ps.Dist(apex), false)
+		r.updateLabel(r.m.OppositeVert(h), w.sigma+ps.Dist(apex), originWin(w, apex))
 	}
 }
 
@@ -499,5 +515,5 @@ func (r *run) propagateOntoEdge(w *window, hk int32, A, B geom.Vec2, ulo, uhi fl
 	}
 	nb0 := (1 - uhi) * L1
 	nb1 := (1 - ulo) * L1
-	r.insert(he.Twin, nb0, nb1, psT.X, psT.Y, w.sigma)
+	r.insert(he.Twin, nb0, nb1, psT.X, psT.Y, w.sigma, w, -1)
 }

@@ -1,0 +1,215 @@
+package geodesic
+
+import (
+	"fmt"
+	"math"
+
+	"seoracle/internal/geom"
+	"seoracle/internal/terrain"
+)
+
+// Path reporting: PathTo runs the same window-propagation expansion as
+// DistancesTo, but every label/estimate improvement records its provenance
+// (which window or vertex pseudo-source produced it), so after the target
+// settles the geodesic can be backtraced: the trace walks predecessor
+// windows from the target to the source, intersecting the unfolded
+// pseudo-source→point segment with each crossed edge to recover the exact
+// 3-D crossing points. The result is a polyline of surface points whose
+// summed segment length equals the reported geodesic distance (the
+// unfolding is isometric, so the equality is exact up to floating point).
+
+// origin records how a vertex label or target estimate was achieved:
+// through a window (win != nil; wq is the reached point in win's half-edge
+// frame), straight from a vertex pseudo-source (vert >= 0), or straight
+// from the true source point (neither).
+type origin struct {
+	win  *window
+	wq   geom.Vec2
+	vert int32
+}
+
+func originSource() origin                    { return origin{vert: -1} }
+func originVert(v int32) origin               { return origin{vert: v} }
+func originWin(w *window, q geom.Vec2) origin { return origin{win: w, wq: q, vert: -1} }
+
+// PathEngine is an Engine that can also report the geodesic path itself,
+// not just its length.
+type PathEngine interface {
+	Engine
+	// PathTo returns the geodesic between two surface points as a polyline
+	// from src to dst, together with its length — the sum of the polyline's
+	// straight-segment lengths, which matches the distance DistancesTo
+	// reports for the same pair up to floating-point backtrace error.
+	PathTo(src, dst terrain.SurfacePoint) ([]terrain.SurfacePoint, float64, error)
+}
+
+var _ PathEngine = (*Exact)(nil)
+
+// PathTo implements PathEngine: one covering expansion from src, then a
+// predecessor backtrace from dst. It shares the pooled run scratch with
+// DistancesTo — the returned polyline is freshly allocated and never
+// aliases pooled memory.
+func (e *Exact) PathTo(src, dst terrain.SurfacePoint) ([]terrain.SurfacePoint, float64, error) {
+	r := e.getRun()
+	defer e.putRun(r)
+	r.begin(src, []terrain.SurfacePoint{dst}, Stop{CoverTargets: true})
+	r.propagate()
+	if math.IsInf(r.est[0], 1) {
+		return nil, 0, fmt.Errorf("geodesic: target unreachable from source (disconnected surface?)")
+	}
+	pts, err := r.backtrace(0)
+	if err != nil {
+		return nil, 0, err
+	}
+	// The trace runs target → source; callers get source → target.
+	for i, j := 0, len(pts)-1; i < j; i, j = i+1, j-1 {
+		pts[i], pts[j] = pts[j], pts[i]
+	}
+	length := 0.0
+	for i := 1; i < len(pts); i++ {
+		length += pts[i].P.Dist(pts[i-1].P)
+	}
+	return pts, length, nil
+}
+
+// backtrace walks the provenance links of target ti back to the source and
+// returns the polyline in target → source order.
+func (r *run) backtrace(ti int) ([]terrain.SurfacePoint, error) {
+	pts := make([]terrain.SurfacePoint, 0, 16)
+	pts = r.pushPt(pts, r.targets[ti])
+	from := r.tfrom[ti]
+	// Window predecessor chains follow arena creation order (strictly
+	// decreasing) and vertex chains follow strictly decreasing labels, so
+	// the walk terminates; the cap only guards numerically corrupt state.
+	maxSteps := 64*(r.m.NumHalfedges()+r.m.NumVerts()) + 1024
+	for steps := 0; ; steps++ {
+		if steps > maxSteps {
+			return nil, fmt.Errorf("geodesic: path backtrace exceeded %d steps (corrupt predecessor chain?)", maxSteps)
+		}
+		switch {
+		case from.win != nil:
+			var err error
+			pts, from, err = r.traceWindowStep(from.win, from.wq, pts)
+			if err != nil {
+				return nil, err
+			}
+		case from.vert >= 0:
+			v := from.vert
+			pts = r.pushPt(pts, r.m.VertexPoint(v))
+			if math.IsInf(r.label[v], 1) {
+				return nil, fmt.Errorf("geodesic: backtrace reached unlabeled vertex %d", v)
+			}
+			from = r.vfrom[v]
+		default:
+			// The true source.
+			pts = r.pushPt(pts, r.src)
+			return pts, nil
+		}
+	}
+}
+
+// traceWindowStep resolves one window hop of the backtrace: the path
+// reaches point q (in w's half-edge frame, q.Y >= 0) through window w. It
+// emits the bend point when the unfolded segment misses the window interval
+// (mirroring windowDistTo's upper-bound path), emits the 3-D crossing point
+// on w's edge, and returns the provenance to continue from: w's predecessor
+// window (with q converted into its frame), w's pseudo-source vertex, or
+// the true source.
+func (r *run) traceWindowStep(w *window, q geom.Vec2, pts []terrain.SurfacePoint) ([]terrain.SurfacePoint, origin, error) {
+	he := r.m.Halfedge(w.he)
+	L := he.Len
+	px, py := w.px, w.py
+
+	// Does the unfolded segment ps→q cross the base axis inside the
+	// window? (Same tolerances as windowDistTo, so the trace replays the
+	// branch the estimate was computed with.)
+	through := false
+	x := px
+	if den := q.Y - py; den > 1e-14*L {
+		u := -py / den
+		x = px + u*(q.X-px)
+		through = x >= w.b0-1e-12*L && x <= w.b1+1e-12*L
+	} else {
+		through = px >= w.b0 && px <= w.b1
+	}
+	if !through {
+		// The path bends at the nearer window endpoint; from the bend the
+		// segment to the pseudo-source crosses the axis at the bend itself.
+		b := w.b0
+		d0 := w.distAt(w.b0) + math.Hypot(q.X-w.b0, q.Y)
+		d1 := w.distAt(w.b1) + math.Hypot(q.X-w.b1, q.Y)
+		if d1 < d0 {
+			b = w.b1
+		}
+		x = b
+	}
+	if x < w.b0 {
+		x = w.b0
+	}
+	if x > w.b1 {
+		x = w.b1
+	}
+	pts = r.pushPt(pts, r.edgePoint(w.he, x/L))
+
+	switch {
+	case w.pred != nil:
+		q2, err := r.toPredFrame(w, x)
+		if err != nil {
+			return nil, origin{}, err
+		}
+		return pts, originWin(w.pred, q2), nil
+	case w.srcVert >= 0:
+		return pts, originVert(w.srcVert), nil
+	default:
+		return pts, originSource(), nil
+	}
+}
+
+// toPredFrame converts the crossing at parameter x (length units) on w's
+// half-edge into the frame of w's predecessor window. w was created by
+// unfolding pred across pred's face: w.he is the twin of that face's edge
+// h1 (dst → apex) or h2 (apex → org), and propagateOntoEdge maps edge
+// parameter u along A→B to twin parameter (1-u)·len.
+func (r *run) toPredFrame(w *window, x float64) (geom.Vec2, error) {
+	ph := w.pred.he
+	h1 := r.m.NextInFace(ph)
+	h2 := r.m.NextInFace(h1)
+	pl := r.m.Halfedge(ph).Len
+	apex := r.e.apex[ph]
+	u := 1 - x/r.m.Halfedge(w.he).Len
+	var a, b geom.Vec2
+	switch w.he {
+	case r.m.Halfedge(h1).Twin:
+		a, b = geom.Vec2{X: pl}, apex
+	case r.m.Halfedge(h2).Twin:
+		a, b = apex, geom.Vec2{}
+	default:
+		return geom.Vec2{}, fmt.Errorf("geodesic: window on half-edge %d has predecessor on non-adjacent half-edge %d", w.he, ph)
+	}
+	return a.Add(b.Sub(a).Scale(u)), nil
+}
+
+// edgePoint returns the surface point at parameter t ∈ [0,1] along
+// half-edge h. The point lies on h's face (on its boundary edge), which is
+// the face the path traversed between this crossing and the previous one.
+func (r *run) edgePoint(h int32, t float64) terrain.SurfacePoint {
+	he := r.m.Halfedge(h)
+	return terrain.SurfacePoint{
+		Face: he.Face,
+		Vert: -1,
+		P:    r.m.Verts[he.Org].Lerp(r.m.Verts[he.Dst], t),
+	}
+}
+
+// pushPt appends a polyline point, collapsing coincident neighbors: the
+// newer (closer-to-source) point replaces the older one, except that the
+// first point — the exact query target — is never replaced.
+func (r *run) pushPt(pts []terrain.SurfacePoint, p terrain.SurfacePoint) []terrain.SurfacePoint {
+	if n := len(pts); n > 0 && pts[n-1].P.Dist(p.P) <= 1e-12*(1+p.P.Norm()) {
+		if n > 1 {
+			pts[n-1] = p
+		}
+		return pts
+	}
+	return append(pts, p)
+}

@@ -1,0 +1,196 @@
+package geodesic
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"seoracle/internal/terrain"
+)
+
+// pathPoints returns a deterministic mix of vertex and face-interior query
+// points spread over the mesh.
+func pathPoints(m *terrain.Mesh, seed int64, n int) []terrain.SurfacePoint {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]terrain.SurfacePoint, 0, n)
+	for i := 0; i < n; i++ {
+		if i%3 == 0 {
+			pts = append(pts, m.VertexPoint(int32(rng.Intn(m.NumVerts()))))
+			continue
+		}
+		f := int32(rng.Intn(m.NumFaces()))
+		u, v := rng.Float64(), rng.Float64()
+		pts = append(pts, m.FacePoint(f, u, v, 1+rng.Float64()))
+	}
+	return pts
+}
+
+// The backtraced polyline must run exactly from src to dst, its summed
+// segment length must equal the distance PathTo reports AND the distance
+// DistancesTo reports for the same pair, and every intermediate vertex must
+// lie on the mesh surface.
+func TestPathToMatchesDistancesTo(t *testing.T) {
+	m := noisyGrid(t, 11, 11, 301)
+	e := NewExact(m)
+	pts := pathPoints(m, 302, 14)
+	for i, src := range pts {
+		for j, dst := range pts {
+			if i == j {
+				continue
+			}
+			want := e.DistancesTo(src, []terrain.SurfacePoint{dst}, Stop{CoverTargets: true})[0]
+			path, got, err := e.PathTo(src, dst)
+			if err != nil {
+				t.Fatalf("pair (%d,%d): %v", i, j, err)
+			}
+			if len(path) < 1 {
+				t.Fatalf("pair (%d,%d): empty path", i, j)
+			}
+			if d := path[0].P.Dist(src.P); d > 1e-9 {
+				t.Fatalf("pair (%d,%d): path starts %g away from src", i, j, d)
+			}
+			if d := path[len(path)-1].P.Dist(dst.P); d > 1e-9 {
+				t.Fatalf("pair (%d,%d): path ends %g away from dst", i, j, d)
+			}
+			sum := 0.0
+			for k := 1; k < len(path); k++ {
+				sum += path[k].P.Dist(path[k-1].P)
+			}
+			tol := 1e-9 * (1 + want)
+			if math.Abs(sum-got) > tol {
+				t.Fatalf("pair (%d,%d): summed polyline %.15g != reported %.15g", i, j, sum, got)
+			}
+			if math.Abs(got-want) > tol {
+				t.Fatalf("pair (%d,%d): path length %.15g, DistancesTo %.15g (diff %g)", i, j, got, want, got-want)
+			}
+			for k, p := range path {
+				if err := m.Validate(p); err != nil {
+					t.Fatalf("pair (%d,%d) vertex %d: %v", i, j, k, err)
+				}
+			}
+		}
+	}
+}
+
+// A same-face pair is a single straight segment; a self pair degenerates to
+// a point with zero length.
+func TestPathToDegenerate(t *testing.T) {
+	m := noisyGrid(t, 5, 5, 311)
+	e := NewExact(m)
+	a := m.FacePoint(0, 3, 1, 1)
+	b := m.FacePoint(0, 1, 3, 1)
+	path, d, err := e.PathTo(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 2 {
+		t.Fatalf("same-face path has %d points, want 2", len(path))
+	}
+	if want := a.P.Dist(b.P); math.Abs(d-want) > 1e-12*(1+want) {
+		t.Fatalf("same-face path length %g, want straight %g", d, want)
+	}
+	path, d, err = e.PathTo(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("self path has length %g, want 0", d)
+	}
+	if len(path) == 0 || path[0].P.Dist(a.P) > 1e-12 {
+		t.Fatalf("self path %v does not sit on the query point", path)
+	}
+}
+
+// PathTo shares the pooled run scratch with DistancesTo; interleaving the
+// two must leak state in neither direction (the PR-2 purity contract,
+// extended to paths).
+func TestPathToPooledPurity(t *testing.T) {
+	m := noisyGrid(t, 9, 9, 331)
+	e := NewExact(m)
+	pts := pathPoints(m, 332, 8)
+	type key struct{ i, j int }
+	wantPath := map[key][]terrain.SurfacePoint{}
+	wantDist := map[key]float64{}
+	fresh := NewExact(m)
+	for i := range pts {
+		for j := range pts {
+			if i == j {
+				continue
+			}
+			p, d, err := fresh.PathTo(pts[i], pts[j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantPath[key{i, j}] = p
+			wantDist[key{i, j}] = d
+		}
+	}
+	for pass := 0; pass < 3; pass++ {
+		for i := range pts {
+			for j := range pts {
+				if i == j {
+					continue
+				}
+				// Dirty the pool with an unrelated distance expansion in
+				// between.
+				e.DistancesTo(pts[j], pts[:1], Stop{Radius: 2})
+				got, d, err := e.PathTo(pts[i], pts[j])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d != wantDist[key{i, j}] {
+					t.Fatalf("pass %d pair (%d,%d): pooled length %v, fresh %v", pass, i, j, d, wantDist[key{i, j}])
+				}
+				want := wantPath[key{i, j}]
+				if len(got) != len(want) {
+					t.Fatalf("pass %d pair (%d,%d): pooled path has %d points, fresh %d", pass, i, j, len(got), len(want))
+				}
+				for k := range got {
+					if got[k] != want[k] {
+						t.Fatalf("pass %d pair (%d,%d) point %d: pooled %v, fresh %v", pass, i, j, k, got[k], want[k])
+					}
+				}
+			}
+		}
+	}
+}
+
+// Concurrent PathTo calls each check out their own run; under -race this
+// proves provenance recording stays private to the expansion, and every
+// goroutine must reproduce the serial result bit for bit.
+func TestPathToConcurrent(t *testing.T) {
+	m := noisyGrid(t, 9, 9, 337)
+	e := NewExact(m)
+	pts := pathPoints(m, 338, 10)
+	dst := pts[len(pts)-1]
+	want := make([][]terrain.SurfacePoint, len(pts)-1)
+	for i := range want {
+		p, _, err := e.PathTo(pts[i], dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = p
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := range want {
+				got, _, err := e.PathTo(pts[i], dst)
+				if err != nil {
+					t.Errorf("goroutine %d pair %d: %v", g, i, err)
+					return
+				}
+				for k := range got {
+					if got[k] != want[i][k] {
+						t.Errorf("goroutine %d pair %d point %d: %v, want %v", g, i, k, got[k], want[i][k])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

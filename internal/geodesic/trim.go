@@ -13,13 +13,15 @@ type iv struct{ a, b float64 }
 // pseudo-source (px,py) and source offset sigma) to the edge's window list,
 // resolving overlaps with existing windows so that the per-edge windows stay
 // (numerically) disjoint. Surviving pieces are queued for propagation and
-// drive vertex-label and target-estimate updates.
+// drive vertex-label and target-estimate updates. pred and srcVert carry the
+// candidate's provenance (the window it was unfolded from, the pseudo-source
+// vertex, or neither for the true source) into every surviving piece.
 //
 // The piece lists and the edge-list snapshot live in run-owned scratch
 // (r.ivA/r.ivB/r.snap): insert is the innermost hot call of the expansion and
 // never re-enters itself, so reusing one set of buffers is safe and keeps the
 // clipping loop allocation-free.
-func (r *run) insert(he int32, b0, b1, px, py, sigma float64) {
+func (r *run) insert(he int32, b0, b1, px, py, sigma float64, pred *window, srcVert int32) {
 	L := r.m.Halfedge(he).Len
 	epsLen := 1e-11 * L
 	if b0 < 0 {
@@ -105,7 +107,7 @@ func (r *run) insert(he int32, b0, b1, px, py, sigma float64) {
 	}
 
 	for _, p := range pieces {
-		w := r.arena.get(he, p.a, p.b, px, py, sigma, false)
+		w := r.arena.get(he, p.a, p.b, px, py, sigma, false, pred, srcVert)
 		r.lists[he] = append(r.lists[he], w)
 		pushWindow(&r.queue, w)
 		r.afterInsert(w, L, epsLen)
@@ -146,14 +148,14 @@ func (r *run) compact(he int32) {
 func (r *run) clipWindow(he int32, w *window, lo, hi, epsLen float64) {
 	w.alive = false
 	if lo-w.b0 > epsLen {
-		left := r.arena.get(he, w.b0, lo, w.px, w.py, w.sigma, w.propagated)
+		left := r.arena.get(he, w.b0, lo, w.px, w.py, w.sigma, w.propagated, w.pred, w.srcVert)
 		r.lists[he] = append(r.lists[he], left)
 		if !left.propagated {
 			pushWindow(&r.queue, left)
 		}
 	}
 	if w.b1-hi > epsLen {
-		right := r.arena.get(he, hi, w.b1, w.px, w.py, w.sigma, w.propagated)
+		right := r.arena.get(he, hi, w.b1, w.px, w.py, w.sigma, w.propagated, w.pred, w.srcVert)
 		r.lists[he] = append(r.lists[he], right)
 		if !right.propagated {
 			pushWindow(&r.queue, right)
@@ -185,10 +187,10 @@ func bisectCross(cand, wE *window, lo, hi float64, newWinsLo bool) float64 {
 func (r *run) afterInsert(w *window, L, epsLen float64) {
 	he := r.m.Halfedge(w.he)
 	if w.b0 <= epsLen {
-		r.updateLabel(he.Org, w.sigma+math.Hypot(w.px, w.py), false)
+		r.updateLabel(he.Org, w.sigma+math.Hypot(w.px, w.py), originWin(w, geom.Vec2{}))
 	}
 	if w.b1 >= L-epsLen {
-		r.updateLabel(he.Dst, w.sigma+math.Hypot(L-w.px, w.py), false)
+		r.updateLabel(he.Dst, w.sigma+math.Hypot(L-w.px, w.py), originWin(w, geom.Vec2{X: L}))
 	}
 	if len(r.faceTargets) == 0 {
 		return
@@ -200,7 +202,7 @@ func (r *run) afterInsert(w *window, L, epsLen float64) {
 	local := int(w.he % 3)
 	for _, ti := range tis {
 		q := r.tcoords[ti][local]
-		r.updateEstimate(ti, r.windowDistTo(w, q, L))
+		r.updateEstimate(ti, r.windowDistTo(w, q, L), originWin(w, q))
 	}
 }
 

@@ -19,6 +19,16 @@ type window struct {
 	sigma      float64
 	alive      bool
 	propagated bool
+
+	// Provenance for path backtracing (path.go). Exactly one of the three
+	// origins applies: pred is the window this one was unfolded from (its
+	// pseudo-source and sigma were inherited, possibly through clipping);
+	// srcVert >= 0 names the saddle/boundary vertex whose pseudo-source
+	// event spawned it; otherwise it was seeded directly from the true
+	// source point. Arena recycling overwrites every field on get(), so a
+	// recycled window can never leak a stale predecessor across runs.
+	pred    *window
+	srcVert int32
 }
 
 // distAt returns the window's distance value at edge parameter t.
@@ -53,7 +63,7 @@ type winArena struct {
 const winArenaBlock = 512
 
 // get returns a fully initialized live window.
-func (a *winArena) get(he int32, b0, b1, px, py, sigma float64, propagated bool) *window {
+func (a *winArena) get(he int32, b0, b1, px, py, sigma float64, propagated bool, pred *window, srcVert int32) *window {
 	if a.cur == len(a.blocks) {
 		a.blocks = append(a.blocks, make([]window, winArenaBlock))
 	}
@@ -63,7 +73,7 @@ func (a *winArena) get(he int32, b0, b1, px, py, sigma float64, propagated bool)
 		a.next = 0
 	}
 	*w = window{he: he, b0: b0, b1: b1, px: px, py: py, sigma: sigma,
-		alive: true, propagated: propagated}
+		alive: true, propagated: propagated, pred: pred, srcVert: srcVert}
 	return w
 }
 

@@ -18,6 +18,11 @@ var errQueryPanicked = errors.New("server: shared query computation panicked")
 // engine. Errors are returned to every waiter but never cached — a bad id
 // stays bad, and caching it would only pin garbage.
 //
+// Values are opaque to the cache (a distance, a marshaled path response);
+// cached values are shared across requests and must be treated as
+// immutable by every consumer. The capacity bound counts entries, so a
+// path-heavy workload holds at most capacity polylines resident.
+//
 // Hits count answers served without touching the index (LRU hits and
 // coalesced flight waiters); misses count actual index computations.
 type queryCache struct {
@@ -33,12 +38,12 @@ type queryCache struct {
 
 type cacheEntry struct {
 	key string
-	val float64
+	val any
 }
 
 type flightCall struct {
 	done chan struct{}
-	val  float64
+	val  any
 	err  error
 }
 
@@ -58,7 +63,7 @@ func newQueryCache(capacity int) *queryCache {
 
 // do returns the answer for key, computing it with fn on a miss. The hit
 // result reports whether the answer was served without invoking fn.
-func (c *queryCache) do(key string, fn func() (float64, error)) (val float64, hit bool, err error) {
+func (c *queryCache) do(key string, fn func() (any, error)) (val any, hit bool, err error) {
 	c.mu.Lock()
 	if el, ok := c.byKey[key]; ok {
 		c.ll.MoveToFront(el)
@@ -71,7 +76,7 @@ func (c *queryCache) do(key string, fn func() (float64, error)) (val float64, hi
 		c.mu.Unlock()
 		<-fc.done // val/err are written before done closes
 		if fc.err != nil {
-			return 0, true, fc.err
+			return nil, true, fc.err
 		}
 		c.hits.Add(1)
 		return fc.val, true, nil

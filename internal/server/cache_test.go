@@ -16,7 +16,7 @@ func TestCachePanicDoesNotWedgeKey(t *testing.T) {
 	waiterDone := make(chan error, 1)
 	go func() {
 		<-started
-		_, _, err := c.do("k", func() (float64, error) {
+		_, _, err := c.do("k", func() (any, error) {
 			t.Error("waiter computed instead of waiting on the flight")
 			return 0, nil
 		})
@@ -29,7 +29,7 @@ func TestCachePanicDoesNotWedgeKey(t *testing.T) {
 				t.Error("panic did not propagate to the computing caller")
 			}
 		}()
-		c.do("k", func() (float64, error) {
+		c.do("k", func() (any, error) {
 			close(started)
 			time.Sleep(20 * time.Millisecond) // let the waiter attach to the flight
 			panic("engine bug")
@@ -46,11 +46,11 @@ func TestCachePanicDoesNotWedgeKey(t *testing.T) {
 	}
 
 	// The key is not wedged: a later computation runs and caches normally.
-	v, hit, err := c.do("k", func() (float64, error) { return 42, nil })
-	if err != nil || hit || v != 42 {
-		t.Fatalf("post-panic do = %g/%v/%v, want fresh 42", v, hit, err)
+	v, hit, err := c.do("k", func() (any, error) { return 42.0, nil })
+	if err != nil || hit || v != 42.0 {
+		t.Fatalf("post-panic do = %v/%v/%v, want fresh 42", v, hit, err)
 	}
-	if v, hit, _ := c.do("k", func() (float64, error) { return 0, nil }); !hit || v != 42 {
-		t.Fatalf("post-panic cache entry missing: %g/%v", v, hit)
+	if v, hit, _ := c.do("k", func() (any, error) { return 0.0, nil }); !hit || v != 42.0 {
+		t.Fatalf("post-panic cache entry missing: %v/%v", v, hit)
 	}
 }

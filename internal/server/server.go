@@ -8,6 +8,7 @@
 // Endpoints:
 //
 //	GET/POST /v1/query    one distance: ids (s, t) or planar coords (sx, sy, tx, ty)
+//	GET/POST /v1/path     the surface path behind a query, as a GeoJSON LineString
 //	POST     /v1/batch    bulk id pairs through QueryBatch
 //	GET/POST /v1/nearest  nearest indexed endpoint to planar coords (x, y)
 //	GET      /healthz     liveness + index kind (+ member names for multi)
@@ -25,6 +26,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"math"
@@ -54,10 +56,12 @@ type Options struct {
 type target struct {
 	name    string // "" on a single-index server
 	idx     core.DistanceIndex
-	pt      core.PointIndex    // non-nil when the index answers arbitrary points
-	nf      core.NearestFinder // non-nil when the index can scan for nearest endpoints
-	kind    core.Kind          // cached at attach: Stats() can be O(index) per call
-	queries atomic.Int64       // requests routed to this index
+	pt      core.PointIndex     // non-nil when the index answers arbitrary points
+	nf      core.NearestFinder  // non-nil when the index can scan for nearest endpoints
+	pi      core.PathIndex      // non-nil when the index reports id-addressed paths
+	pp      core.PointPathIndex // non-nil when it reports coordinate-addressed paths
+	kind    core.Kind           // cached at attach: Stats() can be O(index) per call
+	queries atomic.Int64        // requests routed to this index
 }
 
 func newTarget(name string, idx core.DistanceIndex) *target {
@@ -67,6 +71,12 @@ func newTarget(name string, idx core.DistanceIndex) *target {
 	}
 	if nf, ok := idx.(core.NearestFinder); ok {
 		t.nf = nf
+	}
+	if pi, ok := idx.(core.PathIndex); ok {
+		t.pi = pi
+	}
+	if pp, ok := idx.(core.PointPathIndex); ok {
+		t.pp = pp
 	}
 	return t
 }
@@ -80,9 +90,10 @@ type Server struct {
 	targets []*target          // routable indexes, manifest order
 	byName  map[string]*target
 
-	cache          *queryCache // nil when disabled
-	encodeFailures atomic.Int64
-	encodeLogOnce  sync.Once
+	cache           *queryCache // nil when disabled
+	encodeFailures  atomic.Int64
+	coordRejections atomic.Int64 // non-finite coordinates rejected before routing
+	encodeLogOnce   sync.Once
 
 	start   time.Time
 	mux     *http.ServeMux
@@ -142,6 +153,7 @@ func NewWithOptions(idx core.DistanceIndex, opt Options) *Server {
 		s.targets = []*target{s.single}
 	}
 	s.route("/v1/query", s.handleQuery, http.MethodGet, http.MethodPost)
+	s.route("/v1/path", s.handlePath, http.MethodGet, http.MethodPost)
 	s.route("/v1/batch", s.handleBatch, http.MethodPost)
 	s.route("/v1/nearest", s.handleNearest, http.MethodGet, http.MethodPost)
 	s.route("/healthz", s.handleHealthz, http.MethodGet)
@@ -215,21 +227,40 @@ func (s *Server) resolve(name string, x, y *float64) (*target, int, string) {
 		strings.Join(s.memberNames(), ", "))
 }
 
-// cachedQuery answers through the LRU + single-flight cache when enabled.
+// cachedQuery answers a distance through the LRU + single-flight cache
+// when enabled.
 func (s *Server) cachedQuery(key string, fn func() (float64, error)) (float64, error) {
 	if s.cache == nil {
 		return fn()
 	}
-	d, _, err := s.cache.do(key, fn)
-	return d, err
+	v, _, err := s.cache.do(key, func() (any, error) { return fn() })
+	if err != nil {
+		return 0, err
+	}
+	return v.(float64), nil
 }
 
-func idKey(name string, s, t int32) string {
-	return "i|" + name + "|" + strconv.FormatInt(int64(s), 10) + "|" + strconv.FormatInt(int64(t), 10)
+// cachedValue answers an arbitrary response value (e.g. a path response)
+// through the same cache. Cached values are shared across requests and must
+// be immutable.
+func (s *Server) cachedValue(key string, fn func() (any, error)) (any, error) {
+	if s.cache == nil {
+		return fn()
+	}
+	v, _, err := s.cache.do(key, fn)
+	return v, err
 }
 
-func xyKey(name string, sx, sy, tx, ty float64) string {
+// Cache keys are prefixed by address shape ("i" ids, "c" coords) and the
+// querying endpoint family ("" distance, "p" path), so a path response can
+// never be served where a float is expected.
+func idKey(family, name string, s, t int32) string {
+	return family + "i|" + name + "|" + strconv.FormatInt(int64(s), 10) + "|" + strconv.FormatInt(int64(t), 10)
+}
+
+func xyKey(family, name string, sx, sy, tx, ty float64) string {
 	var b strings.Builder
+	b.WriteString(family)
 	b.WriteString("c|")
 	b.WriteString(name)
 	for _, v := range [4]float64{sx, sy, tx, ty} {
@@ -279,41 +310,91 @@ type nearestResponse struct {
 	Index    string  `json:"index,omitempty"`
 }
 
+// pathResponse is /v1/path's body: a GeoJSON Feature whose geometry is the
+// surface path as a LineString of [x, y, z] positions, with the distance
+// (the polyline's summed length) and vertex count in the properties.
+type pathResponse struct {
+	Type       string         `json:"type"` // "Feature"
+	Geometry   pathGeometry   `json:"geometry"`
+	Properties pathProperties `json:"properties"`
+}
+
+type pathGeometry struct {
+	Type        string       `json:"type"` // "LineString"
+	Coordinates [][3]float64 `json:"coordinates"`
+}
+
+type pathProperties struct {
+	Distance float64   `json:"distance"`
+	Vertices int       `json:"vertices"`
+	Kind     core.Kind `json:"kind"`
+	Index    string    `json:"index,omitempty"`
+}
+
+func newPathResponse(tgt *target, path []terrain.SurfacePoint, d float64) pathResponse {
+	coords := make([][3]float64, len(path))
+	for i, p := range path {
+		coords[i] = [3]float64{p.P.X, p.P.Y, p.P.Z}
+	}
+	return pathResponse{
+		Type:     "Feature",
+		Geometry: pathGeometry{Type: "LineString", Coordinates: coords},
+		Properties: pathProperties{
+			Distance: d,
+			Vertices: len(path),
+			Kind:     tgt.kind,
+			Index:    tgt.name,
+		},
+	}
+}
+
 type errorResponse struct {
 	Error string `json:"error"`
 }
 
 // --- handlers ---------------------------------------------------------------
 
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) int {
+// parsePairRequest reads the shared /v1/query and /v1/path request shape
+// (ids or planar coordinates, plus an optional member name) from the query
+// string or the JSON body, and runs the counted non-finite coordinate
+// rejection BEFORE any routing decision. A non-zero status means the error
+// response was already written.
+func (s *Server) parsePairRequest(w http.ResponseWriter, r *http.Request) (queryRequest, int) {
 	var req queryRequest
 	if r.Method == http.MethodGet {
 		q := r.URL.Query()
 		req.Index = q.Get("index")
 		var err error
 		if req.S, err = formInt32(q.Get("s"), req.S); err != nil {
-			return s.writeError(w, http.StatusBadRequest, "bad s: %v", err)
+			return req, s.writeError(w, http.StatusBadRequest, "bad s: %v", err)
 		}
 		if req.T, err = formInt32(q.Get("t"), req.T); err != nil {
-			return s.writeError(w, http.StatusBadRequest, "bad t: %v", err)
+			return req, s.writeError(w, http.StatusBadRequest, "bad t: %v", err)
 		}
 		for _, f := range []struct {
 			name string
 			dst  **float64
 		}{{"sx", &req.SX}, {"sy", &req.SY}, {"tx", &req.TX}, {"ty", &req.TY}} {
 			if *f.dst, err = formFloat(q.Get(f.name), *f.dst); err != nil {
-				return s.writeError(w, http.StatusBadRequest, "bad %s: %v", f.name, err)
+				return req, s.writeError(w, http.StatusBadRequest, "bad %s: %v", f.name, err)
 			}
 		}
 	} else if status := s.readJSON(w, r, &req); status != 0 {
-		return status
+		return req, status
 	} else if req.Index == "" {
 		req.Index = r.URL.Query().Get("index") // POSTs may name the member in the URL too
 	}
-	if err := finiteCoords(req.SX, req.SY, req.TX, req.TY); err != nil {
-		return s.writeError(w, http.StatusBadRequest, "%v", err)
+	if status := s.checkCoords(w, req.SX, req.SY, req.TX, req.TY); status != 0 {
+		return req, status
 	}
+	return req, 0
+}
 
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) int {
+	req, status := s.parsePairRequest(w, r)
+	if status != 0 {
+		return status
+	}
 	switch {
 	case req.S != nil && req.T != nil:
 		tgt, status, msg := s.resolve(req.Index, nil, nil)
@@ -321,7 +402,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) int {
 			return s.writeError(w, status, "%s", msg)
 		}
 		tgt.queries.Add(1)
-		d, err := s.cachedQuery(idKey(tgt.name, *req.S, *req.T), func() (float64, error) {
+		d, err := s.cachedQuery(idKey("", tgt.name, *req.S, *req.T), func() (float64, error) {
 			return tgt.idx.Query(*req.S, *req.T)
 		})
 		if err != nil {
@@ -338,7 +419,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) int {
 				"index kind %s answers id queries only; coordinate queries need an a2a index", tgt.kind)
 		}
 		tgt.queries.Add(1)
-		d, err := s.cachedQuery(xyKey(tgt.name, *req.SX, *req.SY, *req.TX, *req.TY), func() (float64, error) {
+		d, err := s.cachedQuery(xyKey("", tgt.name, *req.SX, *req.SY, *req.TX, *req.TY), func() (float64, error) {
 			return tgt.pt.QueryXY(*req.SX, *req.SY, *req.TX, *req.TY)
 		})
 		if err != nil {
@@ -348,6 +429,72 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) int {
 	}
 	return s.writeError(w, http.StatusBadRequest,
 		"need endpoint ids (s, t) or planar coordinates (sx, sy, tx, ty)")
+}
+
+// handlePath serves the surface path behind a distance query as a GeoJSON
+// LineString Feature. Routing, member addressing and the query cache work
+// exactly as on /v1/query; the cached value is the fully built response,
+// so a repeated path query costs one LRU probe.
+func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) int {
+	req, status := s.parsePairRequest(w, r)
+	if status != 0 {
+		return status
+	}
+	switch {
+	case req.S != nil && req.T != nil:
+		tgt, status, msg := s.resolve(req.Index, nil, nil)
+		if tgt == nil {
+			return s.writeError(w, status, "%s", msg)
+		}
+		if tgt.pi == nil {
+			return s.writeError(w, http.StatusNotImplemented, "index kind %s cannot report paths", tgt.kind)
+		}
+		tgt.queries.Add(1)
+		v, err := s.cachedValue(idKey("p", tgt.name, *req.S, *req.T), func() (any, error) {
+			path, d, err := tgt.pi.QueryPath(*req.S, *req.T)
+			if err != nil {
+				return nil, err
+			}
+			return newPathResponse(tgt, path, d), nil
+		})
+		if err != nil {
+			return s.writeError(w, s.pathErrorStatus(err), "path: %v", err)
+		}
+		return s.writeJSON(w, http.StatusOK, v)
+	case req.SX != nil && req.SY != nil && req.TX != nil && req.TY != nil:
+		tgt, status, msg := s.resolve(req.Index, req.SX, req.SY)
+		if tgt == nil {
+			return s.writeError(w, status, "%s", msg)
+		}
+		if tgt.pp == nil {
+			return s.writeError(w, http.StatusNotImplemented,
+				"index kind %s reports id paths only; coordinate paths need an a2a index", tgt.kind)
+		}
+		tgt.queries.Add(1)
+		v, err := s.cachedValue(xyKey("p", tgt.name, *req.SX, *req.SY, *req.TX, *req.TY), func() (any, error) {
+			path, d, err := tgt.pp.QueryPathXY(*req.SX, *req.SY, *req.TX, *req.TY)
+			if err != nil {
+				return nil, err
+			}
+			return newPathResponse(tgt, path, d), nil
+		})
+		if err != nil {
+			return s.writeError(w, s.pathErrorStatus(err), "path: %v", err)
+		}
+		return s.writeJSON(w, http.StatusOK, v)
+	}
+	return s.writeError(w, http.StatusBadRequest,
+		"need endpoint ids (s, t) or planar coordinates (sx, sy, tx, ty)")
+}
+
+// pathErrorStatus maps a QueryPath failure to its HTTP status: an index
+// that structurally cannot report paths (no embedded mesh) is 501, a bad
+// request (out-of-range id, off-terrain point) is 400.
+func (s *Server) pathErrorStatus(err error) int {
+	if errors.Is(err, core.ErrNoPathGeometry) {
+		return http.StatusNotImplemented
+	}
+	return http.StatusBadRequest
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) int {
@@ -400,11 +547,11 @@ func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) int {
 	} else if req.Index == "" {
 		req.Index = r.URL.Query().Get("index")
 	}
+	if status := s.checkCoords(w, req.X, req.Y); status != 0 {
+		return status
+	}
 	if req.X == nil || req.Y == nil {
 		return s.writeError(w, http.StatusBadRequest, "need planar coordinates (x, y)")
-	}
-	if err := finiteCoords(req.X, req.Y); err != nil {
-		return s.writeError(w, http.StatusBadRequest, "%v", err)
 	}
 	var (
 		name   string
@@ -482,11 +629,12 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) int {
 		}
 	}
 	body := map[string]interface{}{
-		"index":           s.root.Stats(),
-		"endpoints":       eps,
-		"cache":           s.cache.snapshot(),
-		"encode_failures": s.encodeFailures.Load(),
-		"uptime_seconds":  uptime,
+		"index":            s.root.Stats(),
+		"endpoints":        eps,
+		"cache":            s.cache.snapshot(),
+		"encode_failures":  s.encodeFailures.Load(),
+		"coord_rejections": s.coordRejections.Load(),
+		"uptime_seconds":   uptime,
 	}
 	if s.sharded != nil {
 		members := map[string]interface{}{}
@@ -523,22 +671,24 @@ func formFloat(v string, cur *float64) (*float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	if math.IsNaN(f) || math.IsInf(f, 0) {
-		return nil, fmt.Errorf("coordinate must be finite, got %g", f)
-	}
 	return &f, nil
 }
 
-// finiteCoords rejects NaN/Inf coordinates that arrived through the JSON
-// body (the GET path already rejects them in formFloat). Non-finite inputs
-// would otherwise propagate into distances that JSON cannot carry.
-func finiteCoords(vals ...*float64) error {
+// checkCoords rejects NaN/±Inf coordinates with a counted 400 BEFORE any
+// routing decision, on every coordinate-bearing endpoint (/v1/query,
+// /v1/nearest, /v1/path; /v1/batch is id-addressed and carries none).
+// Non-finite inputs used to flow into locators and engines and only
+// surface as encode-failure 500s; the rejection count is exported as
+// coord_rejections in /statsz. A non-zero return means the error response
+// was already written.
+func (s *Server) checkCoords(w http.ResponseWriter, vals ...*float64) int {
 	for _, v := range vals {
 		if v != nil && (math.IsNaN(*v) || math.IsInf(*v, 0)) {
-			return fmt.Errorf("coordinate must be finite, got %g", *v)
+			s.coordRejections.Add(1)
+			return s.writeError(w, http.StatusBadRequest, "coordinate must be finite, got %g", *v)
 		}
 	}
-	return nil
+	return 0
 }
 
 // readJSON decodes a request body, returning 0 on success or the error

@@ -7,10 +7,12 @@
 #      (sebuild -kind=a2a) and a 2-shard multi container (sebuild -shards=2)
 #   3. answer a query offline with sequery
 #   4. start seserve on the same container, hit /healthz, /v1/query,
-#      /v1/nearest and /statsz with curl
+#      /v1/path, /v1/nearest and /statsz with curl
 #   5. assert the served distance equals sequery's answer, for every kind;
-#      for the multi container also assert routing by member name and by
-#      coordinates, and that the query cache reports hits in /statsz
+#      assert /v1/path returns a GeoJSON LineString on the single and the
+#      2-shard containers; for the multi container also assert routing by
+#      member name and by coordinates, and that the query cache reports
+#      hits in /statsz
 #
 # Requires: go, curl, awk. Exits non-zero on any mismatch.
 set -eu
@@ -68,6 +70,17 @@ GOT_SE="$(field "$TMP/q.json" distance)"
 say "seserve says d(0,5) = $GOT_SE"
 [ "$GOT_SE" = "$WANT_SE" ] || { say "SE distance mismatch: sequery=$WANT_SE server=$GOT_SE"; exit 1; }
 
+# Path reporting on the single container: a GeoJSON LineString Feature
+# whose vertex count is sane, served and via the CLI.
+curl_json "http://127.0.0.1:$PORT/v1/path?s=0&t=5" >"$TMP/p.json"
+grep -q '"LineString"' "$TMP/p.json" || { say "/v1/path is not a LineString: $(cat "$TMP/p.json")"; exit 1; }
+PVERTS="$(field "$TMP/p.json" vertices)"
+[ "${PVERTS:-0}" -ge 2 ] 2>/dev/null || { say "/v1/path has $PVERTS vertices, want >= 2"; exit 1; }
+PDIST="$(field "$TMP/p.json" distance)"
+say "seserve path d(0,5) = $PDIST over $PVERTS vertices"
+"$TMP/sequery" -oracle "$TMP/se.sedx" -path -s 0 -t 5 >"$TMP/pcli.json" 2>/dev/null
+grep -q '"LineString"' "$TMP/pcli.json" || { say "sequery -path produced no LineString"; exit 1; }
+
 curl_json "http://127.0.0.1:$PORT/v1/nearest?x=40&y=40" >/dev/null
 curl_json "http://127.0.0.1:$PORT/statsz" >"$TMP/stats.json"
 grep -q '"/v1/query"' "$TMP/stats.json" || { say "statsz missing endpoint metrics"; exit 1; }
@@ -92,6 +105,10 @@ curl_json "http://127.0.0.1:$PORT/v1/query?sx=20&sy=20&tx=100&ty=110" >"$TMP/q2.
 GOT_A2A="$(field "$TMP/q2.json" distance)"
 say "seserve says d((20,20),(100,110)) = $GOT_A2A"
 [ "$GOT_A2A" = "$WANT_A2A" ] || { say "A2A distance mismatch: sequery=$WANT_A2A server=$GOT_A2A"; exit 1; }
+
+# Coordinate-addressed path on the a2a container.
+curl_json "http://127.0.0.1:$PORT/v1/path?sx=20&sy=20&tx=100&ty=110" >"$TMP/p2.json"
+grep -q '"LineString"' "$TMP/p2.json" || { say "a2a /v1/path is not a LineString: $(cat "$TMP/p2.json")"; exit 1; }
 
 kill "$SERVER_PID" && wait "$SERVER_PID" 2>/dev/null || true
 SERVER_PID=""
@@ -125,6 +142,15 @@ curl_json "http://127.0.0.1:$PORT/v1/nearest?x=10&y=60" >"$TMP/n0.json"
 grep -q '"index":"tile-0-0"' "$TMP/n0.json" || { say "nearest (10,60) routed wrong: $(cat "$TMP/n0.json")"; exit 1; }
 curl_json "http://127.0.0.1:$PORT/v1/nearest?x=110&y=60" >"$TMP/n1.json"
 grep -q '"index":"tile-1-0"' "$TMP/n1.json" || { say "nearest (110,60) routed wrong: $(cat "$TMP/n1.json")"; exit 1; }
+
+# Path reporting routes across the sharded container by member name and
+# returns valid GeoJSON carrying the answering member.
+curl_json "http://127.0.0.1:$PORT/v1/path?index=tile-0-0&s=0&t=1" >"$TMP/pm.json"
+grep -q '"LineString"' "$TMP/pm.json" || { say "sharded /v1/path is not a LineString: $(cat "$TMP/pm.json")"; exit 1; }
+grep -q '"index":"tile-0-0"' "$TMP/pm.json" || { say "sharded /v1/path lost its member name: $(cat "$TMP/pm.json")"; exit 1; }
+PMV="$(field "$TMP/pm.json" vertices)"
+[ "${PMV:-0}" -ge 2 ] 2>/dev/null || { say "sharded /v1/path has $PMV vertices, want >= 2"; exit 1; }
+say "sharded path tile-0-0 d(0,1): $PMV vertices"
 
 # Unknown member names are 404s.
 CODE="$(curl -s -o /dev/null -w '%{http_code}' "http://127.0.0.1:$PORT/v1/query?index=nope&s=0&t=1")"

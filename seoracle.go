@@ -71,6 +71,18 @@ type DistanceIndex = core.DistanceIndex
 // queries (implemented by A2AOracle).
 type PointIndex = core.PointIndex
 
+// PathIndex is a DistanceIndex that also reports the surface path behind a
+// query (QueryPath) as a polyline of surface points whose summed length
+// equals the returned distance. Implemented by every engine: the SE and
+// dynamic oracles report the ε-approximate highway path, the A2A oracle
+// additionally serves arbitrary points (PointPathIndex), and a sharded
+// index routes to its member.
+type PathIndex = core.PathIndex
+
+// PointPathIndex is a PathIndex that also reports paths between arbitrary
+// surface points and planar coordinates (implemented by A2AOracle).
+type PointPathIndex = core.PointPathIndex
+
 // IndexStats is the shared observability surface reported by
 // DistanceIndex.Stats.
 type IndexStats = core.IndexStats
@@ -208,4 +220,12 @@ func ExactDistance(t *Terrain, s, d SurfacePoint) float64 {
 func ExactDistances(t *Terrain, s SurfacePoint, targets []SurfacePoint) []float64 {
 	eng := geodesic.NewExact(t)
 	return eng.DistancesTo(s, targets, geodesic.Stop{CoverTargets: true})
+}
+
+// ExactPath computes the exact geodesic path between two surface points:
+// a polyline from s to d whose summed segment length (also returned)
+// matches ExactDistance for the same pair. For repeated path queries, build
+// an Oracle and use QueryPath.
+func ExactPath(t *Terrain, s, d SurfacePoint) ([]SurfacePoint, float64, error) {
+	return geodesic.NewExact(t).PathTo(s, d)
 }
