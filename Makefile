@@ -43,8 +43,16 @@ bench-json:
 bench-check:
 	$(GO) run ./cmd/benchjson -check -o BENCH_perf.json
 
+# DOCLINT_PKGS is the surface whose exported declarations must carry doc
+# comments (cmd/doclint). Grows with the codebase; keep new packages clean.
+DOCLINT_PKGS = . ./internal/core ./internal/server ./internal/terrain \
+	./internal/geodesic ./internal/btree ./internal/perfecthash \
+	./internal/baseline ./internal/gen ./internal/geom ./internal/steiner \
+	./cmd/sequery ./cmd/seserve ./cmd/benchjson ./cmd/doclint
+
 lint:
 	$(GO) vet ./...
+	$(GO) run ./cmd/doclint $(DOCLINT_PKGS)
 
 fmt:
 	gofmt -w .

@@ -213,6 +213,48 @@ func BenchmarkQueryPath(b *testing.B) {
 	}
 }
 
+// BenchmarkQueryMatrix drives the many-to-many workload: one 32×32
+// QueryMatrix call per iteration into a preallocated destination — the
+// /v1/matrix serving shape. Rows are computed in parallel over the pooled
+// batch scratch.
+func BenchmarkQueryMatrix(b *testing.B) {
+	w := world(b, "sf-small", exp.SFSmall)
+	o := buildSE(b, w, 0.1, core.SelectRandom)
+	rng := rand.New(rand.NewSource(8))
+	n := int32(len(w.ds.POIs))
+	sources := make([]int32, 32)
+	targets := make([]int32, 32)
+	for i := range sources {
+		sources[i] = rng.Int31n(n)
+		targets[i] = rng.Int31n(n)
+	}
+	dst := make([]float64, len(sources)*len(targets))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.QueryMatrix(sources, targets, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(sources)*len(targets)), "cells/op")
+}
+
+// BenchmarkNearestK drives the k-nearest workload at k=8: the B+-tree
+// candidate scan over quantized planar distances plus the exact re-sort —
+// the /v1/nearest?k=N serving shape.
+func BenchmarkNearestK(b *testing.B) {
+	w := world(b, "sf-small", exp.SFSmall)
+	o := buildSE(b, w, 0.1, core.SelectRandom)
+	rng := rand.New(rand.NewSource(8))
+	pts := o.Points()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pts[rng.Intn(len(pts))]
+		if _, err := o.NearestK(p.P.X+1, p.P.Y-1, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkFig8_QueryKAlgo(b *testing.B) {
 	w := world(b, "sf-small", exp.SFSmall)
 	k, err := baseline.NewKAlgo(w.ds.Mesh, 0.1)

@@ -3,7 +3,11 @@
 // from the command line by endpoint id or planar coordinates, as a batch
 // from stdin ("s t" id pairs, one per line), or as an in-process throughput
 // benchmark over random pairs. With -path it reports the surface path
-// behind the answer as a GeoJSON LineString Feature on stdout.
+// behind the answer as a GeoJSON LineString Feature on stdout. The PR 6
+// workload modes mirror the serving layer's endpoints: -matrix prints a
+// many-to-many distance matrix, -k lists the k nearest endpoints to a
+// planar point, and -isochrone lists every endpoint within a surface
+// distance budget (as GeoJSON with -geojson, contour included).
 //
 // Usage:
 //
@@ -14,6 +18,10 @@
 //	sequery -oracle index.sedx -batch < pairs.txt
 //	sequery -oracle index.sedx -bench 100000
 //	sequery -oracle multi.sedx -index tile-0-0 -s 3 -t 17      (multi kinds)
+//	sequery -oracle index.sedx -matrix -sources 0,1,2 -targets 3,4
+//	sequery -oracle index.sedx -k 5 -sx 10 -sy 20              (k nearest)
+//	sequery -oracle index.sedx -isochrone 150 -s 3             (reachability)
+//	sequery -oracle index.sedx -isochrone 150 -s 3 -geojson    (with contour)
 //
 // A multi (sharded) container holds several member indexes with
 // member-local ids; pick one with -index (running without it lists the
@@ -50,6 +58,12 @@ func main() {
 		naive      = flag.Bool("naive", false, "use the O(h^2) naive query (se kind)")
 		benchN     = flag.Int("bench", 0, "benchmark: time QueryBatch over this many random pairs")
 		benchSeed  = flag.Int64("bench-seed", 1, "random seed for -bench pair generation")
+		matrix     = flag.Bool("matrix", false, "print the row-major -sources × -targets distance matrix")
+		sources    = flag.String("sources", "", "comma-separated source ids for -matrix")
+		targets    = flag.String("targets", "", "comma-separated target ids for -matrix")
+		k          = flag.Int("k", 0, "list the k nearest endpoints to (-sx, -sy)")
+		isoD       = flag.Float64("isochrone", -1, "list endpoints within this surface distance of -s")
+		geojson    = flag.Bool("geojson", false, "emit -isochrone as a GeoJSON FeatureCollection with its convex-hull contour")
 	)
 	flag.Parse()
 
@@ -84,6 +98,21 @@ func main() {
 
 	if *benchN > 0 {
 		bench(idx, *benchN, *benchSeed, *naive)
+		return
+	}
+	if *matrix {
+		runMatrix(idx, *sources, *targets)
+		return
+	}
+	if *k > 0 {
+		runNearestK(idx, *sx, *sy, *k)
+		return
+	}
+	if *isoD >= 0 {
+		if *s < 0 {
+			fatal("-isochrone needs a source id (-s)")
+		}
+		runIsochrone(idx, int32(*s), *isoD, *geojson)
 		return
 	}
 	if *path {
@@ -233,6 +262,145 @@ func bench(idx core.DistanceIndex, n int, seed int64, naive bool) {
 	fmt.Printf("mode=%s pairs=%d passes=%d elapsed=%v\n", mode, len(pairs), passes, el.Round(time.Millisecond))
 	fmt.Printf("%.1f ns/query, %.0f queries/sec (kind=%s, eps=%g, h=%d, points=%d)\n",
 		perQuery, 1e9/perQuery, st.Kind, st.Epsilon, st.Height, st.Points)
+}
+
+// parseIDs splits a comma-separated id list ("0,1,2") into int32 ids.
+func parseIDs(flagName, list string) []int32 {
+	if list == "" {
+		fatal("-matrix needs -sources and -targets (comma-separated ids); -%s is empty", flagName)
+	}
+	parts := strings.Split(list, ",")
+	ids := make([]int32, len(parts))
+	for i, p := range parts {
+		var id int32
+		if _, err := fmt.Sscan(strings.TrimSpace(p), &id); err != nil {
+			fatal("bad id %q in -%s: %v", p, flagName, err)
+		}
+		ids[i] = id
+	}
+	return ids
+}
+
+// runMatrix prints the sources × targets distance matrix, one row per
+// source, tab-separated — the CLI twin of /v1/matrix.
+func runMatrix(idx core.DistanceIndex, sourceList, targetList string) {
+	mi, ok := idx.(core.MatrixIndex)
+	if !ok {
+		fatal("index kind %s cannot answer matrix queries", idx.Stats().Kind)
+	}
+	srcs := parseIDs("sources", sourceList)
+	tgts := parseIDs("targets", targetList)
+	dst, err := mi.QueryMatrix(srcs, tgts, nil)
+	if err != nil {
+		fatal("matrix: %v", err)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for i := range srcs {
+		for j := range tgts {
+			if j > 0 {
+				fmt.Fprint(w, "\t")
+			}
+			fmt.Fprintf(w, "%g", dst[i*len(tgts)+j])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(os.Stderr, "matrix: %d×%d cells (kind=%s, eps=%g)\n",
+		len(srcs), len(tgts), idx.Stats().Kind, idx.Stats().Epsilon)
+}
+
+// runNearestK lists the k nearest indexed endpoints to a planar point in
+// ascending (distance, id) order — the CLI twin of /v1/nearest?k=N.
+func runNearestK(idx core.DistanceIndex, x, y float64, k int) {
+	nk, ok := idx.(core.NearestKFinder)
+	if !ok {
+		fatal("index kind %s cannot answer nearest-k queries", idx.Stats().Kind)
+	}
+	ns, err := nk.NearestK(x, y, k)
+	if err != nil {
+		fatal("nearest: %v", err)
+	}
+	for _, n := range ns {
+		fmt.Printf("id=%d d=%g at=(%g,%g,%g)\n", n.ID, n.Planar, n.At.P.X, n.At.P.Y, n.At.P.Z)
+	}
+	fmt.Fprintf(os.Stderr, "nearest: %d of k=%d endpoints to (%g,%g) (kind=%s)\n",
+		len(ns), k, x, y, idx.Stats().Kind)
+}
+
+// runIsochrone lists every indexed endpoint within surface distance d of
+// src — plain "id distance x y z" lines, or (with -geojson) the same
+// FeatureCollection /v1/isochrone serves: a convex-hull contour feature
+// followed by one Point feature per reached endpoint.
+func runIsochrone(idx core.DistanceIndex, src int32, d float64, geojson bool) {
+	ri, ok := idx.(core.Reachability)
+	if !ok {
+		fatal("index kind %s cannot answer reachability queries", idx.Stats().Kind)
+	}
+	reached, err := ri.Reachable(src, d)
+	if err != nil {
+		fatal("isochrone: %v", err)
+	}
+	if geojson {
+		if err := writeIsochroneGeoJSON(os.Stdout, src, d, reached); err != nil {
+			fatal("encoding isochrone: %v", err)
+		}
+	} else {
+		w := bufio.NewWriter(os.Stdout)
+		defer w.Flush()
+		for _, rc := range reached {
+			fmt.Fprintf(w, "%d %g %g %g %g\n", rc.ID, rc.Distance, rc.At.P.X, rc.At.P.Y, rc.At.P.Z)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "isochrone: %d endpoints within %g of %d (kind=%s)\n",
+		len(reached), d, src, idx.Stats().Kind)
+}
+
+// writeIsochroneGeoJSON emits the FeatureCollection shape /v1/isochrone
+// serves: the planar convex hull of the reached endpoints as the contour
+// (Polygon ≥ 3 hull vertices, LineString for 2, Point for 1) plus one
+// Point feature per reached endpoint.
+func writeIsochroneGeoJSON(w *os.File, src int32, d float64, reached []core.Reached) error {
+	pts := make([]terrain.SurfacePoint, len(reached))
+	for i, rc := range reached {
+		pts[i] = rc.At
+	}
+	hull := core.PlanarHull(pts)
+	coord := func(p terrain.SurfacePoint) [3]float64 { return [3]float64{p.P.X, p.P.Y, p.P.Z} }
+	var geom map[string]any
+	switch {
+	case len(hull) >= 3:
+		ring := make([][3]float64, 0, len(hull)+1)
+		for _, h := range hull {
+			ring = append(ring, coord(h))
+		}
+		ring = append(ring, ring[0])
+		geom = map[string]any{"type": "Polygon", "coordinates": [][][3]float64{ring}}
+	case len(hull) == 2:
+		geom = map[string]any{"type": "LineString", "coordinates": [][3]float64{coord(hull[0]), coord(hull[1])}}
+	case len(hull) == 1:
+		geom = map[string]any{"type": "Point", "coordinates": coord(hull[0])}
+	default:
+		geom = map[string]any{"type": "GeometryCollection", "geometries": []any{}}
+	}
+	features := []any{map[string]any{
+		"type":       "Feature",
+		"geometry":   geom,
+		"properties": map[string]any{"role": "contour", "hull_vertices": len(hull)},
+	}}
+	for _, rc := range reached {
+		features = append(features, map[string]any{
+			"type":       "Feature",
+			"geometry":   map[string]any{"type": "Point", "coordinates": coord(rc.At)},
+			"properties": map[string]any{"id": rc.ID, "distance": rc.Distance},
+		})
+	}
+	return json.NewEncoder(w).Encode(map[string]any{
+		"type":     "FeatureCollection",
+		"features": features,
+		"properties": map[string]any{
+			"source": src, "max_distance": d, "count": len(reached),
+		},
+	})
 }
 
 // writeGeoJSON emits one GeoJSON Feature whose geometry is the path as a

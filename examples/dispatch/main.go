@@ -1,0 +1,162 @@
+// Fleet-dispatch example (paper §1.1, application 3 territory): a delivery
+// fleet roams a terrain where travel cost is geodesic surface distance, not
+// straight-line distance. One SE oracle answers every workload the dispatch
+// loop needs:
+//
+//   - QueryMatrix prices all drivers against all open pickups in one call
+//     (rows computed in parallel) and a greedy assignment reads the matrix.
+//   - NearestK staffs a surge site: the k closest idle drivers to a planar
+//     point, in deterministic (distance, id) order.
+//   - Reachable + PlanarHull draw the service isochrone around the depot —
+//     everything a driver can reach within the shift budget — exported as
+//     dispatch.geojson for any map viewer.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+
+	"seoracle"
+)
+
+func main() {
+	// A hilly service area at 10 m resolution.
+	mesh, err := seoracle.GenerateFractalTerrain(seoracle.FractalSpec{
+		NX: 41, NY: 41, CellDX: 10, Amp: 160, Seed: 51,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 24 sites on the surface: the depot, 12 drivers (odd ids), 11 pickups.
+	sites, err := seoracle.SampleUniformPOIs(mesh, 24, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const depot = 0
+	drivers := make([]int32, 0, 12)
+	pickups := make([]int32, 0, 11)
+	for id := 1; id < len(sites); id++ {
+		if id%2 == 1 {
+			drivers = append(drivers, int32(id))
+		} else {
+			pickups = append(pickups, int32(id))
+		}
+	}
+
+	oracle, err := seoracle.Build(mesh, sites, seoracle.Options{Epsilon: 0.1, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- 1. Price the fleet: one drivers × pickups matrix call. ----------
+	cost, err := oracle.QueryMatrix(drivers, pickups, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cols := len(pickups)
+
+	// Greedy assignment over the matrix: repeatedly take the globally
+	// cheapest unassigned (driver, pickup) cell. O(n³) worst case, but the
+	// matrix is already priced — no further oracle calls.
+	type job struct {
+		driver, pickup int32
+		dist           float64
+	}
+	assigned := make([]job, 0, min(len(drivers), cols))
+	usedD := make([]bool, len(drivers))
+	usedP := make([]bool, cols)
+	for len(assigned) < min(len(drivers), cols) {
+		best, bi, bj := -1.0, -1, -1
+		for i := range drivers {
+			if usedD[i] {
+				continue
+			}
+			for j := range pickups {
+				if usedP[j] {
+					continue
+				}
+				if d := cost[i*cols+j]; bi < 0 || d < best {
+					best, bi, bj = d, i, j
+				}
+			}
+		}
+		usedD[bi], usedP[bj] = true, true
+		assigned = append(assigned, job{drivers[bi], pickups[bj], best})
+	}
+	fmt.Printf("greedy dispatch over a %d×%d surface-distance matrix:\n", len(drivers), cols)
+	var total float64
+	for _, a := range assigned {
+		fmt.Printf("  driver %2d -> pickup %2d  %7.1f m on the surface\n", a.driver, a.pickup, a.dist)
+		total += a.dist
+	}
+	fmt.Printf("  total assigned travel: %.1f m\n\n", total)
+
+	// --- 2. Staff a surge: the 3 nearest drivers to a hot corner. ---------
+	surgeX, surgeY := 300.0, 100.0
+	near, err := oracle.NearestK(surgeX, surgeY, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("3 nearest sites to the surge at (%g, %g):\n", surgeX, surgeY)
+	for _, n := range near {
+		fmt.Printf("  site %2d at %7.1f m (planar)\n", n.ID, n.Planar)
+	}
+	fmt.Println()
+
+	// --- 3. Draw the depot's service isochrone. ---------------------------
+	const shiftBudget = 300.0 // meters of surface travel per shift
+	reached, err := oracle.Reachable(depot, shiftBudget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d of %d sites within %.0f m of the depot\n", len(reached), len(sites), shiftBudget)
+
+	// Export the isochrone as GeoJSON: the convex-hull contour of the
+	// reachable sites plus one Point per site — the same shape the serving
+	// layer's /v1/isochrone endpoint returns.
+	pts := make([]seoracle.SurfacePoint, len(reached))
+	for i, rc := range reached {
+		pts[i] = rc.At
+	}
+	hull := seoracle.PlanarHull(pts)
+	coord := func(p seoracle.SurfacePoint) [3]float64 { return [3]float64{p.P.X, p.P.Y, p.P.Z} }
+	ring := make([][3]float64, 0, len(hull)+1)
+	for _, h := range hull {
+		ring = append(ring, coord(h))
+	}
+	if len(ring) > 0 {
+		ring = append(ring, ring[0])
+	}
+	features := []any{map[string]any{
+		"type":       "Feature",
+		"geometry":   map[string]any{"type": "Polygon", "coordinates": [][][3]float64{ring}},
+		"properties": map[string]any{"role": "contour", "hull_vertices": len(hull)},
+	}}
+	for _, rc := range reached {
+		features = append(features, map[string]any{
+			"type":       "Feature",
+			"geometry":   map[string]any{"type": "Point", "coordinates": coord(rc.At)},
+			"properties": map[string]any{"id": rc.ID, "distance": rc.Distance},
+		})
+	}
+	out, err := os.Create("dispatch.geojson")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := json.NewEncoder(out).Encode(map[string]any{
+		"type":     "FeatureCollection",
+		"features": features,
+		"properties": map[string]any{
+			"source": depot, "max_distance": shiftBudget, "count": len(reached),
+		},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := out.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("service-area isochrone (%d hull vertices) -> dispatch.geojson\n", len(hull))
+}

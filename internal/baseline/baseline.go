@@ -175,7 +175,16 @@ func (f *FullMaterialization) Stats() core.IndexStats {
 // to be ruled out (§2); it has no container serialization.
 func (f *FullMaterialization) EncodeTo(io.Writer) error { return core.ErrNotEncodable }
 
+// QueryMatrix fills dst with the row-major sources×targets distance matrix
+// from the precomputed table. Part of the core.MatrixIndex interface.
+func (f *FullMaterialization) QueryMatrix(sources, targets []int32, dst []float64) ([]float64, error) {
+	return core.MatrixViaBatch(f, sources, targets, dst)
+}
+
 // The naive baseline serves through the same interface as the real
 // engines — the evaluation harness and the serving layer treat it
 // uniformly.
-var _ core.DistanceIndex = (*FullMaterialization)(nil)
+var (
+	_ core.DistanceIndex = (*FullMaterialization)(nil)
+	_ core.MatrixIndex   = (*FullMaterialization)(nil)
+)

@@ -28,6 +28,8 @@ const (
 	KindMulti Kind = 4
 )
 
+// String returns the kind's human-readable name ("se", "a2a", "dynamic",
+// "multi"), the form the CLI and the serving layer print.
 func (k Kind) String() string {
 	switch k {
 	case KindSE:
@@ -185,6 +187,17 @@ var (
 	_ NearestFinder  = (*Oracle)(nil)
 	_ NearestFinder  = (*SiteOracle)(nil)
 	_ NearestFinder  = (*DynamicOracle)(nil)
+	_ MatrixIndex    = (*Oracle)(nil)
+	_ MatrixIndex    = (*SiteOracle)(nil)
+	_ MatrixIndex    = (*DynamicOracle)(nil)
+	_ MatrixIndex    = (*ShardedIndex)(nil)
+	_ NearestKFinder = (*Oracle)(nil)
+	_ NearestKFinder = (*SiteOracle)(nil)
+	_ NearestKFinder = (*DynamicOracle)(nil)
+	_ Reachability   = (*Oracle)(nil)
+	_ Reachability   = (*SiteOracle)(nil)
+	_ Reachability   = (*DynamicOracle)(nil)
+	_ Reachability   = (*ShardedIndex)(nil)
 )
 
 // BatchViaQuery is the shared QueryBatch implementation for indexes whose

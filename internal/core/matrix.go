@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// matrix.go — the many-to-many distance-matrix workload. A fleet-dispatch
+// request ("which of my N drivers is closest to each of these M pickups?")
+// is N×M point-to-point queries over one index; QueryMatrix answers them as
+// one call, row-parallel over the same bounded worker pool the construction
+// phases use, into a caller-owned row-major destination.
+
+// MatrixIndex is a DistanceIndex that answers many-to-many distance
+// matrices (the serving layer's /v1/matrix): QueryMatrix fills dst with the
+// row-major len(sources)×len(targets) matrix of pairwise distances.
+// Implemented by every engine; a sharded index delegates through its sole
+// member (with more members, endpoint ids are member-local and a member
+// must be addressed first).
+type MatrixIndex interface {
+	DistanceIndex
+	// QueryMatrix returns dst filled row-major: dst[i*len(targets)+j] is
+	// the distance from sources[i] to targets[j]. When cap(dst) >=
+	// len(sources)*len(targets) the destination is reused. The first
+	// failing cell returns an error naming its row and column.
+	QueryMatrix(sources, targets []int32, dst []float64) ([]float64, error)
+}
+
+// matrixPairPool recycles the per-row pair scratch of MatrixViaBatch, so a
+// steady matrix workload allocates only its destination.
+var matrixPairPool = sync.Pool{New: func() any { return new([][2]int32) }}
+
+// MatrixViaBatch is the shared QueryMatrix implementation: one QueryBatch
+// call per source row, rows fanned out across the bounded worker pool
+// (engines are safe for concurrent queries once built or loaded, and each
+// row writes a disjoint dst slice, so the result is identical for any
+// worker count). Row errors surface in row-major order: the first failing
+// row wins, wrapped with its row index and the batch's column index.
+func MatrixViaBatch(idx DistanceIndex, sources, targets []int32, dst []float64) ([]float64, error) {
+	rows, cols := len(sources), len(targets)
+	if rows == 0 || cols == 0 {
+		return nil, fmt.Errorf("core: matrix needs at least one source and one target (got %d×%d)", rows, cols)
+	}
+	if cap(dst) < rows*cols {
+		dst = make([]float64, rows*cols)
+	}
+	dst = dst[:rows*cols]
+	errs := make([]error, rows)
+	parfor(defaultWorkers(), rows, func(i int) {
+		pairs := matrixPairPool.Get().(*[][2]int32)
+		if cap(*pairs) < cols {
+			*pairs = make([][2]int32, cols)
+		}
+		*pairs = (*pairs)[:cols]
+		for j, t := range targets {
+			(*pairs)[j] = [2]int32{sources[i], t}
+		}
+		_, errs[i] = idx.QueryBatch(*pairs, dst[i*cols:(i+1)*cols])
+		matrixPairPool.Put(pairs)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: matrix row %d: %w", i, err)
+		}
+	}
+	return dst, nil
+}
+
+// QueryMatrix fills dst with the row-major sources×targets distance matrix
+// through the zero-allocation QueryBatch path, one row per worker. Part of
+// the MatrixIndex interface.
+func (o *Oracle) QueryMatrix(sources, targets []int32, dst []float64) ([]float64, error) {
+	return MatrixViaBatch(o, sources, targets, dst)
+}
+
+// QueryMatrix fills dst with the row-major site-id distance matrix through
+// the inner SE oracle. Part of the MatrixIndex interface.
+func (so *SiteOracle) QueryMatrix(sources, targets []int32, dst []float64) ([]float64, error) {
+	return MatrixViaBatch(so.oracle, sources, targets, dst)
+}
+
+// QueryMatrix fills dst with the row-major distance matrix over live public
+// ids (tombstoned ids fail their row, like Query). Part of the MatrixIndex
+// interface; rows touching overflow POIs are exact.
+func (d *DynamicOracle) QueryMatrix(sources, targets []int32, dst []float64) ([]float64, error) {
+	return MatrixViaBatch(d, sources, targets, dst)
+}
+
+// QueryMatrix answers through the sole member when exactly one exists; with
+// more, endpoint ids are member-local and the caller must address a member
+// (by name or bbox) first. Part of the MatrixIndex interface.
+func (sh *ShardedIndex) QueryMatrix(sources, targets []int32, dst []float64) ([]float64, error) {
+	if len(sh.members) == 1 {
+		if mi, ok := sh.members[0].Index.(MatrixIndex); ok {
+			return mi.QueryMatrix(sources, targets, dst)
+		}
+		return MatrixViaBatch(sh.members[0].Index, sources, targets, dst)
+	}
+	return nil, fmt.Errorf("core: multi index holds %d members; address one by name (ids are member-local)", len(sh.members))
+}

@@ -31,6 +31,8 @@ const (
 	SelectGreedy
 )
 
+// String returns the strategy's name as the paper writes it ("random",
+// "greedy").
 func (s Selection) String() string {
 	if s == SelectGreedy {
 		return "greedy"

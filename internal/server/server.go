@@ -7,12 +7,14 @@
 //
 // Endpoints:
 //
-//	GET/POST /v1/query    one distance: ids (s, t) or planar coords (sx, sy, tx, ty)
-//	GET/POST /v1/path     the surface path behind a query, as a GeoJSON LineString
-//	POST     /v1/batch    bulk id pairs through QueryBatch
-//	GET/POST /v1/nearest  nearest indexed endpoint to planar coords (x, y)
-//	GET      /healthz     liveness + index kind (+ member names for multi)
-//	GET      /statsz      IndexStats + per-endpoint, per-index and cache counters
+//	GET/POST /v1/query      one distance: ids (s, t) or planar coords (sx, sy, tx, ty)
+//	GET/POST /v1/path       the surface path behind a query, as a GeoJSON LineString
+//	POST     /v1/batch      bulk id pairs through QueryBatch
+//	GET/POST /v1/nearest    nearest indexed endpoint to planar coords (x, y); k=N for the k nearest
+//	POST     /v1/matrix     many-to-many distance matrix (ids or coords, row-major)
+//	GET/POST /v1/isochrone  endpoints within surface distance d of source s, as GeoJSON
+//	GET      /healthz       liveness + index kind (+ member names for multi)
+//	GET      /statsz        IndexStats + per-endpoint, per-index and cache counters
 //
 // Multi-container routing: an explicit index name (?index= or the JSON
 // "index" field) always wins; without one, coordinate-addressed requests
@@ -58,8 +60,11 @@ type target struct {
 	idx     core.DistanceIndex
 	pt      core.PointIndex     // non-nil when the index answers arbitrary points
 	nf      core.NearestFinder  // non-nil when the index can scan for nearest endpoints
+	nk      core.NearestKFinder // non-nil when it answers k-nearest queries
 	pi      core.PathIndex      // non-nil when the index reports id-addressed paths
 	pp      core.PointPathIndex // non-nil when it reports coordinate-addressed paths
+	mi      core.MatrixIndex    // non-nil when it answers row-parallel matrices
+	ri      core.Reachability   // non-nil when it answers reachability queries
 	kind    core.Kind           // cached at attach: Stats() can be O(index) per call
 	queries atomic.Int64        // requests routed to this index
 }
@@ -72,11 +77,20 @@ func newTarget(name string, idx core.DistanceIndex) *target {
 	if nf, ok := idx.(core.NearestFinder); ok {
 		t.nf = nf
 	}
+	if nk, ok := idx.(core.NearestKFinder); ok {
+		t.nk = nk
+	}
 	if pi, ok := idx.(core.PathIndex); ok {
 		t.pi = pi
 	}
 	if pp, ok := idx.(core.PointPathIndex); ok {
 		t.pp = pp
+	}
+	if mi, ok := idx.(core.MatrixIndex); ok {
+		t.mi = mi
+	}
+	if ri, ok := idx.(core.Reachability); ok {
+		t.ri = ri
 	}
 	return t
 }
@@ -90,10 +104,11 @@ type Server struct {
 	targets []*target          // routable indexes, manifest order
 	byName  map[string]*target
 
-	cache           *queryCache // nil when disabled
-	encodeFailures  atomic.Int64
-	coordRejections atomic.Int64 // non-finite coordinates rejected before routing
-	encodeLogOnce   sync.Once
+	cache              *queryCache // nil when disabled
+	encodeFailures     atomic.Int64
+	coordRejections    atomic.Int64 // non-finite coordinates rejected before routing
+	oversizeRejections atomic.Int64 // requests over a size cap (batch pairs, matrix cells, k)
+	encodeLogOnce      sync.Once
 
 	start   time.Time
 	mux     *http.ServeMux
@@ -156,6 +171,8 @@ func NewWithOptions(idx core.DistanceIndex, opt Options) *Server {
 	s.route("/v1/path", s.handlePath, http.MethodGet, http.MethodPost)
 	s.route("/v1/batch", s.handleBatch, http.MethodPost)
 	s.route("/v1/nearest", s.handleNearest, http.MethodGet, http.MethodPost)
+	s.route("/v1/matrix", s.handleMatrix, http.MethodPost)
+	s.route("/v1/isochrone", s.handleIsochrone, http.MethodGet, http.MethodPost)
 	s.route("/healthz", s.handleHealthz, http.MethodGet)
 	s.route("/statsz", s.handleStatsz, http.MethodGet)
 	return s
@@ -509,6 +526,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) int {
 		return s.writeError(w, http.StatusBadRequest, "empty pair list")
 	}
 	if len(req.Pairs) > MaxBatchPairs {
+		s.oversizeRejections.Add(1)
 		return s.writeError(w, http.StatusRequestEntityTooLarge,
 			"batch of %d pairs exceeds the %d limit", len(req.Pairs), MaxBatchPairs)
 	}
@@ -531,6 +549,7 @@ func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) int {
 		Index string   `json:"index,omitempty"`
 		X     *float64 `json:"x"`
 		Y     *float64 `json:"y"`
+		K     *int32   `json:"k,omitempty"`
 	}
 	if r.Method == http.MethodGet {
 		q := r.URL.Query()
@@ -542,6 +561,9 @@ func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) int {
 		if req.Y, err = formFloat(q.Get("y"), req.Y); err != nil {
 			return s.writeError(w, http.StatusBadRequest, "bad y: %v", err)
 		}
+		if req.K, err = formInt32(q.Get("k"), req.K); err != nil {
+			return s.writeError(w, http.StatusBadRequest, "bad k: %v", err)
+		}
 	} else if status := s.readJSON(w, r, &req); status != 0 {
 		return status
 	} else if req.Index == "" {
@@ -552,6 +574,14 @@ func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) int {
 	}
 	if req.X == nil || req.Y == nil {
 		return s.writeError(w, http.StatusBadRequest, "need planar coordinates (x, y)")
+	}
+	if req.K != nil {
+		// An explicit k switches to the k-nearest response shape (k=1 is the
+		// same answer as the legacy form, as a one-element list).
+		if *req.K < 1 {
+			return s.writeError(w, http.StatusBadRequest, "k must be >= 1, got %d", *req.K)
+		}
+		return s.handleNearestK(w, req.Index, *req.X, *req.Y, int(*req.K))
 	}
 	var (
 		name   string
@@ -629,12 +659,13 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) int {
 		}
 	}
 	body := map[string]interface{}{
-		"index":            s.root.Stats(),
-		"endpoints":        eps,
-		"cache":            s.cache.snapshot(),
-		"encode_failures":  s.encodeFailures.Load(),
-		"coord_rejections": s.coordRejections.Load(),
-		"uptime_seconds":   uptime,
+		"index":               s.root.Stats(),
+		"endpoints":           eps,
+		"cache":               s.cache.snapshot(),
+		"encode_failures":     s.encodeFailures.Load(),
+		"coord_rejections":    s.coordRejections.Load(),
+		"oversize_rejections": s.oversizeRejections.Load(),
+		"uptime_seconds":      uptime,
 	}
 	if s.sharded != nil {
 		members := map[string]interface{}{}

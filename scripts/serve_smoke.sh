@@ -7,12 +7,15 @@
 #      (sebuild -kind=a2a) and a 2-shard multi container (sebuild -shards=2)
 #   3. answer a query offline with sequery
 #   4. start seserve on the same container, hit /healthz, /v1/query,
-#      /v1/path, /v1/nearest and /statsz with curl
+#      /v1/path, /v1/nearest (single and k=3), /v1/matrix, /v1/isochrone
+#      and /statsz with curl
 #   5. assert the served distance equals sequery's answer, for every kind;
 #      assert /v1/path returns a GeoJSON LineString on the single and the
-#      2-shard containers; for the multi container also assert routing by
-#      member name and by coordinates, and that the query cache reports
-#      hits in /statsz
+#      2-shard containers; assert a 1x1 /v1/matrix cell equals the scalar
+#      answer (single and named-member); for the multi container also
+#      assert routing by member name and by coordinates, the unnamed
+#      k-nearest fan-out with member tags, and that the query cache
+#      reports hits in /statsz
 #
 # Requires: go, curl, awk. Exits non-zero on any mismatch.
 set -eu
@@ -82,8 +85,31 @@ say "seserve path d(0,5) = $PDIST over $PVERTS vertices"
 grep -q '"LineString"' "$TMP/pcli.json" || { say "sequery -path produced no LineString"; exit 1; }
 
 curl_json "http://127.0.0.1:$PORT/v1/nearest?x=40&y=40" >/dev/null
+
+# The matrix endpoint: a 1x1 sources×targets matrix must equal the scalar
+# answer, served and via the CLI.
+curl -fsS -X POST -H 'Content-Type: application/json' \
+    -d '{"sources":[0],"targets":[5]}' "http://127.0.0.1:$PORT/v1/matrix" >"$TMP/m.json"
+GOT_MX="$(field "$TMP/m.json" distances)"
+say "seserve matrix cell (0,5) = $GOT_MX"
+[ "$GOT_MX" = "$WANT_SE" ] || { say "matrix cell mismatch: scalar=$WANT_SE matrix=$GOT_MX"; exit 1; }
+CLI_MX="$("$TMP/sequery" -oracle "$TMP/se.sedx" -matrix -sources 0 -targets 5 2>/dev/null)"
+[ "$CLI_MX" = "$WANT_SE" ] || { say "sequery -matrix mismatch: scalar=$WANT_SE matrix=$CLI_MX"; exit 1; }
+
+# k-nearest: three neighbors, in ascending distance order.
+curl_json "http://127.0.0.1:$PORT/v1/nearest?x=40&y=40&k=3" >"$TMP/k.json"
+grep -q '"k":3' "$TMP/k.json" || { say "nearest k=3 reply lacks k: $(cat "$TMP/k.json")"; exit 1; }
+KCOUNT="$(field "$TMP/k.json" count)"
+[ "${KCOUNT:-0}" = "3" ] || { say "nearest k=3 returned count=$KCOUNT"; exit 1; }
+
+# Isochrone: a GeoJSON FeatureCollection with a contour.
+curl_json "http://127.0.0.1:$PORT/v1/isochrone?s=0&d=500" >"$TMP/iso.json"
+grep -q '"FeatureCollection"' "$TMP/iso.json" || { say "/v1/isochrone is not a FeatureCollection"; exit 1; }
+grep -q '"contour"' "$TMP/iso.json" || { say "/v1/isochrone has no contour feature"; exit 1; }
+
 curl_json "http://127.0.0.1:$PORT/statsz" >"$TMP/stats.json"
 grep -q '"/v1/query"' "$TMP/stats.json" || { say "statsz missing endpoint metrics"; exit 1; }
+grep -q '"/v1/matrix"' "$TMP/stats.json" || { say "statsz missing /v1/matrix metrics"; exit 1; }
 
 kill "$SERVER_PID" && wait "$SERVER_PID" 2>/dev/null || true
 SERVER_PID=""
@@ -151,6 +177,21 @@ grep -q '"index":"tile-0-0"' "$TMP/pm.json" || { say "sharded /v1/path lost its 
 PMV="$(field "$TMP/pm.json" vertices)"
 [ "${PMV:-0}" -ge 2 ] 2>/dev/null || { say "sharded /v1/path has $PMV vertices, want >= 2"; exit 1; }
 say "sharded path tile-0-0 d(0,1): $PMV vertices"
+
+# Matrix on the sharded container: member-name routing, cell equals the
+# scalar answer of the same member-local pair.
+curl -fsS -X POST -H 'Content-Type: application/json' \
+    -d '{"index":"tile-0-0","sources":[0],"targets":[1]}' "http://127.0.0.1:$PORT/v1/matrix" >"$TMP/mm.json"
+GOT_MM="$(field "$TMP/mm.json" distances)"
+say "seserve matrix tile-0-0 cell (0,1) = $GOT_MM"
+[ "$GOT_MM" = "$WANT_M" ] || { say "sharded matrix mismatch: scalar=$WANT_M matrix=$GOT_MM"; exit 1; }
+
+# Unnamed k-nearest fans out across every member and tags each neighbor
+# with the member that owns its id.
+curl_json "http://127.0.0.1:$PORT/v1/nearest?x=60&y=60&k=3" >"$TMP/km.json"
+KMC="$(field "$TMP/km.json" count)"
+[ "${KMC:-0}" = "3" ] || { say "sharded nearest k=3 returned count=$KMC"; exit 1; }
+grep -q '"index":"tile-' "$TMP/km.json" || { say "sharded nearest k=3 lost member tags: $(cat "$TMP/km.json")"; exit 1; }
 
 # Unknown member names are 404s.
 CODE="$(curl -s -o /dev/null -w '%{http_code}' "http://127.0.0.1:$PORT/v1/query?index=nope&s=0&t=1")"

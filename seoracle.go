@@ -33,6 +33,12 @@
 // implements the DistanceIndex interface, serializes itself with EncodeTo
 // into a self-describing container file, and is restored (as the right
 // concrete type) with Load. cmd/seserve serves any such file over HTTP.
+//
+// Beyond scalar distances, every engine answers three bulk workloads:
+// many-to-many distance matrices (MatrixIndex), k-nearest-endpoint
+// queries (NearestKFinder) and reachability isochrones (Reachability,
+// with PlanarHull for contours). See docs/API.md for the HTTP surface and
+// docs/ARCHITECTURE.md for the layer map.
 package seoracle
 
 import (
@@ -82,6 +88,48 @@ type PathIndex = core.PathIndex
 // PointPathIndex is a PathIndex that also reports paths between arbitrary
 // surface points and planar coordinates (implemented by A2AOracle).
 type PointPathIndex = core.PointPathIndex
+
+// MatrixIndex is a DistanceIndex that answers many-to-many distance
+// matrices in one call: QueryMatrix fills a row-major sources×targets
+// matrix, computing rows in parallel. Implemented by every engine;
+// cmd/seserve exposes it as /v1/matrix.
+type MatrixIndex = core.MatrixIndex
+
+// NearestFinder is a DistanceIndex that answers planar nearest-endpoint
+// queries (ties break toward the lower id).
+type NearestFinder = core.NearestFinder
+
+// NearestKFinder is a NearestFinder that returns the k nearest indexed
+// endpoints to a planar point, in ascending (distance, id) order. The
+// ordering is exact and deterministic — NearestK(x, y, 1) always agrees
+// with Nearest(x, y) — and survives an EncodeTo/Load round trip.
+type NearestKFinder = core.NearestKFinder
+
+// Neighbor is one answer of NearestKFinder.NearestK: an endpoint id, its
+// surface location, and its planar distance from the query point.
+type Neighbor = core.Neighbor
+
+// MemberNeighbor is one answer of ShardedIndex.NearestKAcross: a Neighbor
+// tagged with the member that owns its (member-local) id.
+type MemberNeighbor = core.MemberNeighbor
+
+// Reachability is a DistanceIndex that answers isochrone queries: Reachable
+// lists every indexed endpoint within a surface-distance budget of a
+// source, in ascending id order. Membership agrees exactly with Query —
+// an endpoint is included iff Query(src, id) ≤ d.
+type Reachability = core.Reachability
+
+// Reached is one answer of Reachability.Reachable: an endpoint id, its
+// surface location, and its surface distance from the source.
+type Reached = core.Reached
+
+// PlanarHull returns the convex hull of the points' planar (x, y)
+// projections in counter-clockwise order, starting from the
+// lexicographically smallest point. Collinear boundary points are dropped;
+// degenerate inputs yield the distinct endpoints (2), the single distinct
+// point (1), or nil. Useful for drawing an isochrone contour around
+// Reachable's answer.
+func PlanarHull(pts []SurfacePoint) []SurfacePoint { return core.PlanarHull(pts) }
 
 // IndexStats is the shared observability surface reported by
 // DistanceIndex.Stats.

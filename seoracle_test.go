@@ -187,3 +187,71 @@ func TestPublicAPIClusteredGreedy(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// The PR 6 workload exports: one oracle answers matrices, k-nearest and
+// isochrones through the root package, consistently with scalar Query.
+func TestPublicAPIWorkloads(t *testing.T) {
+	mesh := testTerrain(t, 91)
+	pois, err := SampleUniformPOIs(mesh, 20, 92)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := Build(mesh, pois, Options{Epsilon: 0.2, Seed: 93})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mi MatrixIndex = oracle
+	sources, targets := []int32{0, 1}, []int32{2, 3, 4}
+	cells, err := mi.QueryMatrix(sources, targets, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sources {
+		for j, tgt := range targets {
+			want, err := oracle.Query(s, tgt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cells[i*len(targets)+j] != want {
+				t.Errorf("matrix cell (%d,%d) disagrees with Query", i, j)
+			}
+		}
+	}
+
+	var nk NearestKFinder = oracle
+	ns, err := nk.NearestK(pois[5].P.X, pois[5].P.Y, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _, _, err := oracle.Nearest(pois[5].P.X, pois[5].P.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 1 || ns[0].ID != id {
+		t.Errorf("NearestK(1) = %v, Nearest says id %d", ns, id)
+	}
+
+	var ri Reachability = oracle
+	far, err := oracle.Query(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reached, err := ri.Reachable(0, far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	pts := make([]SurfacePoint, len(reached))
+	for i, rc := range reached {
+		if rc.ID == 10 {
+			found = true
+		}
+		pts[i] = rc.At
+	}
+	if !found {
+		t.Errorf("Reachable(0, d(0,10)) misses POI 10")
+	}
+	if hull := PlanarHull(pts); len(reached) >= 3 && len(hull) < 1 {
+		t.Errorf("PlanarHull empty over %d reached points", len(reached))
+	}
+}
