@@ -8,7 +8,7 @@ GO ?= go
 BENCHTIME ?= 0.3s
 BENCH_LABEL ?= local
 
-.PHONY: all build test race bench bench-smoke bench-json bench-check lint fmt fmt-check fuzz-smoke serve-smoke ci
+.PHONY: all build test race bench bench-smoke bench-json bench-check lint fmt fmt-check fuzz-smoke serve-smoke chaos-smoke ci
 
 all: build
 
@@ -19,10 +19,11 @@ test:
 	$(GO) test ./...
 
 # Race-detect the packages with concurrent construction, query and serving
-# paths (the server's cache/single-flight machinery is lock-based and must
-# stay race-clean).
+# paths (the server's cache/single-flight machinery is lock-based, the
+# hot-reload epoch swap and the chaos injector run under concurrent load,
+# and all must stay race-clean).
 race:
-	$(GO) test -race ./internal/core/... ./internal/geodesic/... ./internal/server/...
+	$(GO) test -race ./internal/core/... ./internal/geodesic/... ./internal/server/... ./internal/chaos/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
@@ -48,7 +49,8 @@ bench-check:
 DOCLINT_PKGS = . ./internal/core ./internal/server ./internal/terrain \
 	./internal/geodesic ./internal/btree ./internal/perfecthash \
 	./internal/baseline ./internal/gen ./internal/geom ./internal/steiner \
-	./cmd/sequery ./cmd/seserve ./cmd/benchjson ./cmd/doclint
+	./internal/chaos \
+	./cmd/sequery ./cmd/seserve ./cmd/benchjson ./cmd/doclint ./cmd/loadgen
 
 lint:
 	$(GO) vet ./...
@@ -72,4 +74,10 @@ fuzz-smoke:
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
-ci: fmt-check lint build test race bench-check
+# Robustness rehearsal: corrupt a member body, assert strict refusal vs
+# degraded quarantine + quorum behavior, fire loadgen at a chaos-injected
+# server, and recover via SIGHUP hot reload (see scripts/chaos_smoke.sh).
+chaos-smoke:
+	sh scripts/chaos_smoke.sh
+
+ci: fmt-check lint build test race bench-check chaos-smoke

@@ -1,0 +1,183 @@
+// Command loadgen is an open-loop HTTP load generator for seserve: it fires
+// requests at a fixed rate regardless of how fast responses come back (the
+// honest way to measure an overloaded server — a closed loop slows down
+// with the victim and hides the queueing) and reports the latency
+// distribution with a status-class breakdown.
+//
+// Open loop means coordinated omission cannot flatter the numbers: a
+// request scheduled for tick N is launched at tick N even if the previous
+// hundred are still in flight. Shed responses (429) and deadline 503s are
+// first-class outcomes, counted separately from transport errors — when
+// rehearsing overload, "the server shed cleanly" is the success condition.
+//
+// Usage:
+//
+//	loadgen -url http://localhost:8080/v1/query?s=0&t=1 [-rate 200] [-duration 10s]
+//	        [-timeout 2s] [-json]
+//
+// The exit status is 0 as long as the run completed; judging the numbers
+// is the caller's job (scripts/chaos_smoke.sh asserts on the JSON form).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// result is one request's outcome: its latency and HTTP status (0 for a
+// transport failure).
+type result struct {
+	latency time.Duration
+	status  int
+}
+
+// report is the machine-readable summary -json emits.
+type report struct {
+	Requests   int64   `json:"requests"`
+	Sent       int64   `json:"sent"`
+	OK         int64   `json:"ok"`          // 2xx
+	Shed       int64   `json:"shed"`        // 429
+	Unavail    int64   `json:"unavailable"` // 503
+	ClientErr  int64   `json:"client_errors"`
+	ServerErr  int64   `json:"server_errors"` // 5xx except 503
+	Transport  int64   `json:"transport_errors"`
+	P50Ms      float64 `json:"p50_ms"`
+	P95Ms      float64 `json:"p95_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	MaxMs      float64 `json:"max_ms"`
+	DurationS  float64 `json:"duration_s"`
+	TargetRate float64 `json:"target_rate"`
+}
+
+func main() {
+	var (
+		url      = flag.String("url", "http://localhost:8080/healthz", "target URL (GET)")
+		rate     = flag.Float64("rate", 100, "requests per second (open loop)")
+		duration = flag.Duration("duration", 5*time.Second, "how long to fire")
+		timeout  = flag.Duration("timeout", 2*time.Second, "per-request client timeout")
+		asJSON   = flag.Bool("json", false, "emit the summary as one JSON object")
+	)
+	flag.Parse()
+	if *rate <= 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: -rate must be > 0")
+		os.Exit(1)
+	}
+
+	client := &http.Client{
+		Timeout: *timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        1024,
+			MaxIdleConnsPerHost: 1024,
+		},
+	}
+
+	interval := time.Duration(float64(time.Second) / *rate)
+	total := int64(float64(*duration) / float64(interval))
+	if total < 1 {
+		total = 1
+	}
+
+	var (
+		mu      sync.Mutex
+		results []result
+		wg      sync.WaitGroup
+		sent    atomic.Int64
+	)
+	start := time.Now()
+	ticker := time.NewTicker(interval)
+	for i := int64(0); i < total; i++ {
+		<-ticker.C
+		wg.Add(1)
+		sent.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			status := 0
+			resp, err := client.Get(*url)
+			if err == nil {
+				status = resp.StatusCode
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			r := result{latency: time.Since(t0), status: status}
+			mu.Lock()
+			results = append(results, r)
+			mu.Unlock()
+		}()
+	}
+	ticker.Stop()
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := summarize(results, sent.Load(), elapsed, *rate)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: encoding report: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("loadgen: %d requests in %v (target %.0f/s)\n", rep.Sent, elapsed.Round(time.Millisecond), *rate)
+	fmt.Printf("  2xx %d | 429 shed %d | 503 unavailable %d | 4xx %d | 5xx %d | transport %d\n",
+		rep.OK, rep.Shed, rep.Unavail, rep.ClientErr, rep.ServerErr, rep.Transport)
+	fmt.Printf("  latency p50 %.2fms  p95 %.2fms  p99 %.2fms  max %.2fms\n",
+		rep.P50Ms, rep.P95Ms, rep.P99Ms, rep.MaxMs)
+}
+
+// summarize folds raw results into the report: counts by status class and
+// the latency percentiles over every completed request (shed and failed
+// ones included — their latency is the client's experienced latency).
+func summarize(results []result, sent int64, elapsed time.Duration, rate float64) report {
+	rep := report{Sent: sent, Requests: int64(len(results)), DurationS: elapsed.Seconds(), TargetRate: rate}
+	lats := make([]time.Duration, 0, len(results))
+	for _, r := range results {
+		lats = append(lats, r.latency)
+		switch {
+		case r.status == 0:
+			rep.Transport++
+		case r.status >= 200 && r.status < 300:
+			rep.OK++
+		case r.status == http.StatusTooManyRequests:
+			rep.Shed++
+		case r.status == http.StatusServiceUnavailable:
+			rep.Unavail++
+		case r.status >= 400 && r.status < 500:
+			rep.ClientErr++
+		default:
+			rep.ServerErr++
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+	if len(lats) > 0 {
+		rep.P50Ms = ms(percentile(lats, 0.50))
+		rep.P95Ms = ms(percentile(lats, 0.95))
+		rep.P99Ms = ms(percentile(lats, 0.99))
+		rep.MaxMs = ms(lats[len(lats)-1])
+	}
+	return rep
+}
+
+// percentile picks the nearest-rank percentile from sorted latencies.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

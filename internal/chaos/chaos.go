@@ -1,0 +1,96 @@
+// Package chaos is flag-gated fault injection for the serving layer: added
+// latency, deterministic error responses, and member-body corruption for
+// rehearsing degraded-mode loading. Nothing in this package activates
+// unless an operator passes a chaos flag to seserve (or a test constructs
+// an Injector directly) — the zero Injector is a no-op — and the injection
+// points sit outside the query engines, so chaos never changes an answer,
+// only whether and when one arrives.
+//
+// Determinism is a design requirement, not an accident: an error rate of
+// 0.1 fails exactly every 10th request (by the evenly-spaced integer
+// sequence below), so a smoke test asserting "the server survives 10%
+// failures" sees the same failures on every run. No randomness, no seeds,
+// no flaky CI.
+package chaos
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Injector injects faults into an HTTP serving path. The zero value
+// injects nothing.
+type Injector struct {
+	// Latency is added to every non-exempt request before the handler
+	// runs, simulating a slow disk / saturated peer so deadline handling
+	// can be rehearsed. 0 adds nothing.
+	Latency time.Duration
+	// ErrorRate in [0, 1] fails that fraction of non-exempt requests with
+	// a 503 before the handler runs. Failures are evenly spaced and
+	// deterministic: rate 0.25 fails requests 4, 8, 12, … exactly.
+	ErrorRate float64
+
+	seen     atomic.Int64 // non-exempt requests observed
+	injected atomic.Int64 // requests failed by ErrorRate
+	delayed  atomic.Int64 // requests delayed by Latency
+}
+
+// Active reports whether the injector would ever do anything — seserve
+// uses it to log loudly when chaos is on.
+func (in *Injector) Active() bool {
+	return in != nil && (in.Latency > 0 || in.ErrorRate > 0)
+}
+
+// shouldFail reports whether request number n (1-based) is one of the
+// evenly spaced failures for rate: the n-th request fails iff the integer
+// part of n·rate advanced past (n-1)·rate. The long-run failure fraction
+// is exactly rate, with no bursts and no randomness.
+func shouldFail(n int64, rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	if rate >= 1 {
+		return true
+	}
+	return int64(float64(n)*rate) > int64(float64(n-1)*rate)
+}
+
+// Counts reports how many non-exempt requests the injector has seen,
+// delayed, and failed.
+func (in *Injector) Counts() (seen, delayed, injected int64) {
+	return in.seen.Load(), in.delayed.Load(), in.injected.Load()
+}
+
+// Middleware wraps next with the configured faults. Paths in exempt bypass
+// injection — observability and admin endpoints must stay usable while the
+// serving path burns.
+func (in *Injector) Middleware(next http.Handler, exempt map[string]bool) http.Handler {
+	if !in.Active() {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if exempt[r.URL.Path] {
+			next.ServeHTTP(w, r)
+			return
+		}
+		n := in.seen.Add(1)
+		if in.Latency > 0 {
+			in.delayed.Add(1)
+			select {
+			case <-time.After(in.Latency):
+			case <-r.Context().Done():
+				// The request died while we were stalling it; deliver it
+				// anyway and let the handler's own ctx checks answer 503.
+			}
+		}
+		if shouldFail(n, in.ErrorRate) {
+			in.injected.Add(1)
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_, _ = w.Write([]byte(`{"error":"chaos: injected failure"}` + "\n"))
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}

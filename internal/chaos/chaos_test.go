@@ -1,0 +1,214 @@
+package chaos
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"seoracle/internal/core"
+)
+
+func TestShouldFailExactRate(t *testing.T) {
+	for _, tc := range []struct {
+		rate float64
+		n    int64
+		want int64
+	}{
+		{0, 1000, 0},
+		{1, 1000, 1000},
+		{0.25, 1000, 250},
+		{0.1, 1000, 100},
+		{0.5, 1000, 500},
+		{0.01, 1000, 10},
+	} {
+		var failed int64
+		maxRun := int64(0)
+		run := int64(0)
+		for n := int64(1); n <= tc.n; n++ {
+			if shouldFail(n, tc.rate) {
+				failed++
+				run++
+				if run > maxRun {
+					maxRun = run
+				}
+			} else {
+				run = 0
+			}
+		}
+		if failed != tc.want {
+			t.Errorf("rate %g over %d requests: %d failures, want %d", tc.rate, tc.n, failed, tc.want)
+		}
+		if tc.rate > 0 && tc.rate < 1 && maxRun > 1 {
+			t.Errorf("rate %g produced a burst of %d consecutive failures", tc.rate, maxRun)
+		}
+	}
+}
+
+func TestShouldFailDeterministic(t *testing.T) {
+	for n := int64(1); n <= 100; n++ {
+		if shouldFail(n, 0.25) != shouldFail(n, 0.25) {
+			t.Fatalf("request %d: shouldFail is not a pure function", n)
+		}
+	}
+	// Rate 0.25 fails exactly every 4th request.
+	for n := int64(1); n <= 100; n++ {
+		want := n%4 == 0
+		if got := shouldFail(n, 0.25); got != want {
+			t.Fatalf("request %d at rate 0.25: fail=%v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestMiddlewareErrorRate(t *testing.T) {
+	var served int
+	next := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served++
+		w.WriteHeader(http.StatusOK)
+	})
+	in := &Injector{ErrorRate: 0.5}
+	h := in.Middleware(next, map[string]bool{"/healthz": true})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	var ok, unavailable int
+	for i := 0; i < 20; i++ {
+		resp, err := http.Get(ts.URL + "/v1/query")
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			ok++
+		case http.StatusServiceUnavailable:
+			unavailable++
+		default:
+			t.Fatalf("unexpected status %d", resp.StatusCode)
+		}
+	}
+	if ok != 10 || unavailable != 10 {
+		t.Fatalf("rate 0.5 over 20 requests: %d ok, %d injected (want 10/10)", ok, unavailable)
+	}
+	// Exempt paths see no injection.
+	for i := 0; i < 5; i++ {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("exempt path got %d", resp.StatusCode)
+		}
+	}
+	seen, _, injected := in.Counts()
+	if seen != 20 || injected != 10 {
+		t.Fatalf("counts: seen %d (want 20), injected %d (want 10)", seen, injected)
+	}
+}
+
+func TestMiddlewareLatency(t *testing.T) {
+	next := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(http.StatusOK) })
+	in := &Injector{Latency: 30 * time.Millisecond}
+	ts := httptest.NewServer(in.Middleware(next, nil))
+	defer ts.Close()
+	t0 := time.Now()
+	resp, err := http.Get(ts.URL + "/v1/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(t0); elapsed < 30*time.Millisecond {
+		t.Fatalf("request finished in %v, injector promised >= 30ms", elapsed)
+	}
+	if _, delayed, _ := in.Counts(); delayed != 1 {
+		t.Fatalf("delayed count %d, want 1", delayed)
+	}
+}
+
+func TestInactiveInjectorIsPassthrough(t *testing.T) {
+	next := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(http.StatusOK) })
+	var in Injector
+	if in.Active() {
+		t.Fatal("zero injector reports active")
+	}
+	ts := httptest.NewServer(in.Middleware(next, nil))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("passthrough got %d", resp.StatusCode)
+	}
+	if seen, delayed, injected := in.Counts(); seen+delayed+injected != 0 {
+		t.Fatalf("inactive injector counted traffic: %d/%d/%d", seen, delayed, injected)
+	}
+}
+
+// stubIdx is a minimal DistanceIndex for FailMembers tests.
+type stubIdx struct{ kind core.Kind }
+
+func (s stubIdx) Query(a, b int32) (float64, error) { return float64(a + b), nil }
+func (s stubIdx) QueryBatch(pairs [][2]int32, dst []float64) ([]float64, error) {
+	return core.BatchViaQuery(s.Query, pairs, dst)
+}
+func (s stubIdx) MemoryBytes() int64         { return 0 }
+func (s stubIdx) Stats() core.IndexStats     { return core.IndexStats{Kind: s.kind} }
+func (s stubIdx) EncodeTo(w io.Writer) error { return core.ErrNotEncodable }
+
+func testSharded(t *testing.T, names ...string) *core.ShardedIndex {
+	t.Helper()
+	members := make([]core.ShardMember, len(names))
+	for i, n := range names {
+		members[i] = core.ShardMember{
+			Name:  n,
+			BBox:  core.BBox2D{MinX: float64(i), MinY: 0, MaxX: float64(i + 1), MaxY: 1},
+			Index: stubIdx{kind: core.KindSE},
+		}
+	}
+	sh, err := core.NewShardedIndex(members)
+	if err != nil {
+		t.Fatalf("NewShardedIndex: %v", err)
+	}
+	return sh
+}
+
+func TestFailMembers(t *testing.T) {
+	sh := testSharded(t, "tile-0", "tile-1", "tile-2")
+	idx, quarantined, err := FailMembers(sh, []string{"tile-1"})
+	if err != nil {
+		t.Fatalf("FailMembers: %v", err)
+	}
+	out := idx.(*core.ShardedIndex)
+	if out.NumMembers() != 2 {
+		t.Fatalf("survivors: %d members, want 2", out.NumMembers())
+	}
+	if _, ok := out.Member("tile-1"); ok {
+		t.Fatal("failed member still routable")
+	}
+	if len(quarantined) != 1 || quarantined[0].Name != "tile-1" || quarantined[0].Err == nil {
+		t.Fatalf("quarantine list %+v, want one entry for tile-1", quarantined)
+	}
+}
+
+func TestFailMembersErrors(t *testing.T) {
+	sh := testSharded(t, "tile-0", "tile-1")
+	if _, _, err := FailMembers(sh, []string{"nope"}); err == nil {
+		t.Error("unknown member name accepted")
+	}
+	if _, _, err := FailMembers(sh, []string{"tile-0", "tile-1"}); err == nil {
+		t.Error("failing every member accepted")
+	}
+	if _, _, err := FailMembers(stubIdx{kind: core.KindSE}, []string{"x"}); err == nil {
+		t.Error("single index accepted")
+	}
+	// No names: identity.
+	idx, quarantined, err := FailMembers(sh, nil)
+	if err != nil || idx != core.DistanceIndex(sh) || quarantined != nil {
+		t.Errorf("no-op call: idx %v, quarantined %v, err %v", idx, quarantined, err)
+	}
+}

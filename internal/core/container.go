@@ -184,58 +184,77 @@ func readBounded(r io.Reader, n uint64) ([]byte, error) {
 // readContainer parses the envelope, verifies the CRC footer, and returns
 // the kind tag with the section map.
 func readContainer(br *bufio.Reader) (Kind, map[uint32][]byte, error) {
+	kind, secs, crcErr, err := readContainerLenient(br)
+	if err != nil {
+		return 0, nil, err
+	}
+	if crcErr != nil {
+		return 0, nil, crcErr
+	}
+	return kind, secs, nil
+}
+
+// readContainerLenient parses the envelope like readContainer but reports a
+// CRC-footer mismatch separately from structural failures: a degraded
+// (fault-tolerant) load of a multi container falls back to the members' own
+// inner CRCs to localize the corruption, so the outer mismatch must not
+// abort the parse. Structural damage — bad magic, unreadable headers,
+// truncation — is still fatal: without intact section framing there is
+// nothing to degrade to.
+func readContainerLenient(br *bufio.Reader) (Kind, map[uint32][]byte, error, error) {
 	cr := &crcReader{r: br}
 	var magic [4]byte
 	if _, err := io.ReadFull(cr, magic[:]); err != nil {
-		return 0, nil, fmt.Errorf("core: reading container magic: %w", err)
+		return 0, nil, nil, fmt.Errorf("core: reading container magic: %w", err)
 	}
 	if string(magic[:]) != containerMagic {
-		return 0, nil, fmt.Errorf("core: bad container magic %q", magic[:])
+		return 0, nil, nil, fmt.Errorf("core: bad container magic %q", magic[:])
 	}
 	var version, kind uint16
 	var nsect uint32
 	if err := binary.Read(cr, binary.LittleEndian, &version); err != nil {
-		return 0, nil, fmt.Errorf("core: reading container header: %w", err)
+		return 0, nil, nil, fmt.Errorf("core: reading container header: %w", err)
 	}
 	if version != containerVersion {
-		return 0, nil, fmt.Errorf("core: unsupported container version %d (this build reads %d)", version, containerVersion)
+		return 0, nil, nil, fmt.Errorf("core: unsupported container version %d (this build reads %d)", version, containerVersion)
 	}
 	if err := binary.Read(cr, binary.LittleEndian, &kind); err != nil {
-		return 0, nil, fmt.Errorf("core: reading container header: %w", err)
+		return 0, nil, nil, fmt.Errorf("core: reading container header: %w", err)
 	}
 	if err := binary.Read(cr, binary.LittleEndian, &nsect); err != nil {
-		return 0, nil, fmt.Errorf("core: reading container header: %w", err)
+		return 0, nil, nil, fmt.Errorf("core: reading container header: %w", err)
 	}
 	if nsect > maxContainerSections {
-		return 0, nil, fmt.Errorf("core: container declares %d sections (max %d)", nsect, maxContainerSections)
+		return 0, nil, nil, fmt.Errorf("core: container declares %d sections (max %d)", nsect, maxContainerSections)
 	}
 	secs := make(map[uint32][]byte, nsect)
 	for i := uint32(0); i < nsect; i++ {
 		var id uint32
 		var length uint64
 		if err := binary.Read(cr, binary.LittleEndian, &id); err != nil {
-			return 0, nil, fmt.Errorf("core: reading section %d header: %w", i, err)
+			return 0, nil, nil, fmt.Errorf("core: reading section %d header: %w", i, err)
 		}
 		if err := binary.Read(cr, binary.LittleEndian, &length); err != nil {
-			return 0, nil, fmt.Errorf("core: reading section %d header: %w", i, err)
+			return 0, nil, nil, fmt.Errorf("core: reading section %d header: %w", i, err)
 		}
 		if _, dup := secs[id]; dup {
-			return 0, nil, fmt.Errorf("core: duplicate container section %d", id)
+			return 0, nil, nil, fmt.Errorf("core: duplicate container section %d", id)
 		}
 		payload, err := readBounded(cr, length)
 		if err != nil {
-			return 0, nil, fmt.Errorf("core: reading section %d (%d bytes declared): %w", id, length, err)
+			return 0, nil, nil, fmt.Errorf("core: reading section %d (%d bytes declared): %w", id, length, err)
 		}
 		secs[id] = payload
 	}
 	var stored uint32
 	if err := binary.Read(br, binary.LittleEndian, &stored); err != nil {
-		return 0, nil, fmt.Errorf("core: reading container CRC footer: %w", err)
+		return 0, nil, nil, fmt.Errorf("core: reading container CRC footer: %w", err)
 	}
+	var crcErr error
 	if stored != cr.crc {
-		return 0, nil, fmt.Errorf("core: container CRC mismatch (stored %#x, computed %#x): file truncated or corrupt", stored, cr.crc)
+		crcErr = fmt.Errorf("core: container CRC mismatch (stored %#x, computed %#x): file truncated or corrupt", stored, cr.crc)
 	}
-	return Kind(kind), secs, nil
+	return Kind(kind), secs, crcErr, nil
 }
 
 // Load reads any serialized index container and returns the concrete type
@@ -281,6 +300,84 @@ func LoadFile(path string) (DistanceIndex, error) {
 	}
 	defer f.Close()
 	return Load(f)
+}
+
+// Quarantined describes one member of a multi container that a degraded
+// load could not decode: its manifest identity (name, kind, bbox — the
+// manifest survived, only the member body is damaged) and the decode error.
+// The serving layer answers requests addressing a quarantined member with
+// 503 and reports the names through /readyz and /statsz.
+type Quarantined struct {
+	Name string
+	Kind Kind
+	BBox BBox2D
+	Err  error
+}
+
+// LoadDegraded reads an index container like Load but, for a multi
+// container, degrades instead of failing when member bodies are corrupt:
+// members whose own inner container fails to decode (CRC mismatch, kind
+// confusion, malformed payload) are quarantined and the healthy rest are
+// served. The outer CRC footer is advisory in this mode — a mismatch is
+// expected when a member body holds flipped bits — but a mismatch that NO
+// quarantined member explains means the corruption sits in unverified
+// shared state (manifest, shared mesh), and the load fails rather than
+// serve silently wrong routing. Degradation granularity is the member
+// body: damage to the envelope framing, the manifest or the shared mesh is
+// fatal. Non-multi containers have no members to degrade to, so
+// LoadDegraded behaves exactly like Load for them.
+func LoadDegraded(r io.Reader) (DistanceIndex, []Quarantined, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(4)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: reading index header: %w", err)
+	}
+	if isLegacyMagic(head) {
+		o, err := decodeLegacy(br)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: legacy (pre-container) oracle stream: %w", err)
+		}
+		return o, nil, nil
+	}
+	if string(head) != containerMagic {
+		return nil, nil, fmt.Errorf("core: bad index magic %q: not an index container (and not a legacy %q oracle stream)", head, "SEO1")
+	}
+	kind, secs, crcErr, err := readContainerLenient(br)
+	if err != nil {
+		return nil, nil, err
+	}
+	if Kind(kind) != KindMulti {
+		if crcErr != nil {
+			return nil, nil, crcErr
+		}
+		dec, ok := kindRegistry[kind]
+		if !ok {
+			return nil, nil, fmt.Errorf("core: unknown index kind tag %d (known: se=1, a2a=2, dynamic=3, multi=4)", uint16(kind))
+		}
+		idx, err := dec(secs)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: decoding %s container: %w", kind, err)
+		}
+		return idx, nil, nil
+	}
+	idx, quarantined, err := decodeMulti(secs, true)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: decoding multi container: %w", err)
+	}
+	if crcErr != nil && len(quarantined) == 0 {
+		return nil, nil, fmt.Errorf("core: %w (corruption outside any member body; refusing to serve)", crcErr)
+	}
+	return idx, quarantined, nil
+}
+
+// LoadDegradedFile opens path and LoadDegraded-s the index it contains.
+func LoadDegradedFile(path string) (DistanceIndex, []Quarantined, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return LoadDegraded(f)
 }
 
 // expectDrained enforces that a section decoder consumed its whole payload:

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"seoracle/internal/terrain"
+)
+
+// ctx.go — context-aware variants of the expensive bulk query paths. The
+// serving layer enforces per-request deadlines; these variants let a
+// deadline actually stop the work instead of only abandoning the response,
+// so an overloaded server sheds cancelled computations at pair / row /
+// member granularity. Every variant answers identically to its plain
+// counterpart under context.Background().
+
+// ctxCheckStride is how many pairs QueryBatchCtx answers between
+// cancellation checks: ctx.Err() takes a lock on timer-backed contexts, so
+// checking per pair would serialize a 70 ns query loop, while a 64-pair
+// stride bounds the post-cancellation work to a few microseconds.
+const ctxCheckStride = 64
+
+// IsContextErr reports whether err is (or wraps) a context cancellation or
+// deadline expiry — the serving layer maps these to 503, everything else to
+// a client error.
+func IsContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// QueryBatchCtx answers pairs like idx.QueryBatch but checks ctx every
+// ctxCheckStride pairs, returning the filled prefix and a wrapped ctx error
+// once the deadline expires or the caller cancels. Error reporting matches
+// BatchViaQuery: a failing pair wraps its batch-wide index.
+func QueryBatchCtx(ctx context.Context, idx DistanceIndex, pairs [][2]int32, dst []float64) ([]float64, error) {
+	if cap(dst) < len(pairs) {
+		dst = make([]float64, len(pairs))
+	}
+	dst = dst[:len(pairs)]
+	for i, p := range pairs {
+		if i%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return dst[:i], fmt.Errorf("core: batch cancelled at pair %d of %d: %w", i, len(pairs), err)
+			}
+		}
+		d, err := idx.Query(p[0], p[1])
+		if err != nil {
+			return dst[:i], fmt.Errorf("core: batch pair %d: %w", i, err)
+		}
+		dst[i] = d
+	}
+	return dst, nil
+}
+
+// QueryMatrixCtx fills dst with the row-major sources×targets distance
+// matrix like MatrixViaBatch — row-parallel over the bounded worker pool —
+// but each row checks ctx before computing, so cancelling stops the matrix
+// at row granularity. The first failing row in row-major order wins, ctx
+// errors wrapped as "matrix cancelled at row N".
+func QueryMatrixCtx(ctx context.Context, idx DistanceIndex, sources, targets []int32, dst []float64) ([]float64, error) {
+	return matrixViaBatch(ctx, idx, sources, targets, dst)
+}
+
+// QueryPathCtx answers pi.QueryPath under a context: an already-expired ctx
+// short-circuits before any geodesic work, and an expiry during the
+// computation discards the result (the caller's deadline governs whether
+// the answer may still be used).
+func QueryPathCtx(ctx context.Context, pi PathIndex, s, t int32) ([]terrain.SurfacePoint, float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, fmt.Errorf("core: path query cancelled: %w", err)
+	}
+	path, d, err := pi.QueryPath(s, t)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, 0, fmt.Errorf("core: path query cancelled: %w", err)
+	}
+	return path, d, nil
+}
+
+// QueryPathXYCtx answers pp.QueryPathXY under a context, mirroring
+// QueryPathCtx for the coordinate-addressed path form.
+func QueryPathXYCtx(ctx context.Context, pp PointPathIndex, sx, sy, tx, ty float64) ([]terrain.SurfacePoint, float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, fmt.Errorf("core: path query cancelled: %w", err)
+	}
+	path, d, err := pp.QueryPathXY(sx, sy, tx, ty)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, 0, fmt.Errorf("core: path query cancelled: %w", err)
+	}
+	return path, d, nil
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -37,6 +38,14 @@ var matrixPairPool = sync.Pool{New: func() any { return new([][2]int32) }}
 // worker count). Row errors surface in row-major order: the first failing
 // row wins, wrapped with its row index and the batch's column index.
 func MatrixViaBatch(idx DistanceIndex, sources, targets []int32, dst []float64) ([]float64, error) {
+	return matrixViaBatch(context.Background(), idx, sources, targets, dst)
+}
+
+// matrixViaBatch is the ctx-threaded implementation behind MatrixViaBatch
+// and QueryMatrixCtx: every row checks cancellation before computing, so a
+// cancelled matrix stops at row granularity (context.Background makes the
+// check free for the plain entry point).
+func matrixViaBatch(ctx context.Context, idx DistanceIndex, sources, targets []int32, dst []float64) ([]float64, error) {
 	rows, cols := len(sources), len(targets)
 	if rows == 0 || cols == 0 {
 		return nil, fmt.Errorf("core: matrix needs at least one source and one target (got %d×%d)", rows, cols)
@@ -47,6 +56,10 @@ func MatrixViaBatch(idx DistanceIndex, sources, targets []int32, dst []float64) 
 	dst = dst[:rows*cols]
 	errs := make([]error, rows)
 	parfor(defaultWorkers(), rows, func(i int) {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			return
+		}
 		pairs := matrixPairPool.Get().(*[][2]int32)
 		if cap(*pairs) < cols {
 			*pairs = make([][2]int32, cols)
@@ -60,6 +73,9 @@ func MatrixViaBatch(idx DistanceIndex, sources, targets []int32, dst []float64) 
 	})
 	for i, err := range errs {
 		if err != nil {
+			if IsContextErr(err) {
+				return nil, fmt.Errorf("core: matrix cancelled at row %d: %w", i, err)
+			}
 			return nil, fmt.Errorf("core: matrix row %d: %w", i, err)
 		}
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -144,12 +145,22 @@ type MemberNeighbor struct {
 // encode → load unchanged. Members that cannot answer are skipped; an error
 // is returned only when no member produced an answer.
 func (sh *ShardedIndex) NearestKAcross(x, y float64, k int) ([]MemberNeighbor, error) {
+	return sh.NearestKAcrossCtx(context.Background(), x, y, k)
+}
+
+// NearestKAcrossCtx answers NearestKAcross under a context, checking
+// cancellation before each member's scan — the fan-out stops at member
+// granularity once the serving layer's request deadline expires.
+func (sh *ShardedIndex) NearestKAcrossCtx(ctx context.Context, x, y float64, k int) ([]MemberNeighbor, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("core: nearest-k needs k >= 1 (got %d)", k)
 	}
 	var all []MemberNeighbor
 	answered := false
 	for _, m := range sh.members {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: nearest-k cancelled at member %q: %w", m.Name, err)
+		}
 		nf, ok := m.Index.(NearestKFinder)
 		if !ok {
 			continue

@@ -336,16 +336,29 @@ func (sh *ShardedIndex) EncodeTo(w io.Writer) error {
 // kind that disagrees with a member's body, duplicate or malformed names,
 // and invalid bboxes are all corruption, not slack.
 func decodeMultiContainer(secs map[uint32][]byte) (DistanceIndex, error) {
+	idx, _, err := decodeMulti(secs, false)
+	return idx, err
+}
+
+// decodeMulti is decodeMultiContainer with an optional tolerant mode (the
+// LoadDegraded path): member-level failures — a missing or undecodable
+// member body, a manifest/body kind mismatch, a member that fails shared-
+// mesh validation — quarantine the member instead of failing the load, and
+// the healthy rest are assembled. Manifest and shared-mesh damage stays
+// fatal in both modes: without a trustworthy manifest there is no member
+// identity to quarantine under. Tolerant loads fail only when every member
+// is damaged.
+func decodeMulti(secs map[uint32][]byte, tolerant bool) (DistanceIndex, []Quarantined, error) {
 	if err := requireSections(secs, secManifest); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	r := bytes.NewReader(secs[secManifest])
 	var count int64
 	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
-		return nil, fmt.Errorf("multi manifest header: %w", err)
+		return nil, nil, fmt.Errorf("multi manifest header: %w", err)
 	}
 	if count < 1 || count > maxShardMembers {
-		return nil, fmt.Errorf("multi manifest declares %d members (want 1..%d)", count, maxShardMembers)
+		return nil, nil, fmt.Errorf("multi manifest declares %d members (want 1..%d)", count, maxShardMembers)
 	}
 	type entry struct {
 		name string
@@ -356,37 +369,37 @@ func decodeMultiContainer(secs map[uint32][]byte) (DistanceIndex, error) {
 	for i := int64(0); i < count; i++ {
 		var kindTag, nameLen uint16
 		if err := binary.Read(r, binary.LittleEndian, &kindTag); err != nil {
-			return nil, fmt.Errorf("multi manifest entry %d: %w", i, err)
+			return nil, nil, fmt.Errorf("multi manifest entry %d: %w", i, err)
 		}
 		if err := binary.Read(r, binary.LittleEndian, &nameLen); err != nil {
-			return nil, fmt.Errorf("multi manifest entry %d: %w", i, err)
+			return nil, nil, fmt.Errorf("multi manifest entry %d: %w", i, err)
 		}
 		if nameLen == 0 || nameLen > maxShardNameLen {
-			return nil, fmt.Errorf("multi manifest entry %d: name length %d (want 1..%d)", i, nameLen, maxShardNameLen)
+			return nil, nil, fmt.Errorf("multi manifest entry %d: name length %d (want 1..%d)", i, nameLen, maxShardNameLen)
 		}
 		name := make([]byte, nameLen)
 		if _, err := io.ReadFull(r, name); err != nil {
-			return nil, fmt.Errorf("multi manifest entry %d: %w", i, err)
+			return nil, nil, fmt.Errorf("multi manifest entry %d: %w", i, err)
 		}
 		if err := validShardName(string(name)); err != nil {
-			return nil, fmt.Errorf("multi manifest entry %d: %v", i, err)
+			return nil, nil, fmt.Errorf("multi manifest entry %d: %v", i, err)
 		}
 		var bb [4]float64
 		if err := binary.Read(r, binary.LittleEndian, &bb); err != nil {
-			return nil, fmt.Errorf("multi manifest entry %d (%q): %w", i, name, err)
+			return nil, nil, fmt.Errorf("multi manifest entry %d (%q): %w", i, name, err)
 		}
 		e := entry{name: string(name), kind: Kind(kindTag), bbox: BBox2D{MinX: bb[0], MinY: bb[1], MaxX: bb[2], MaxY: bb[3]}}
 		if err := e.bbox.validate(); err != nil {
-			return nil, fmt.Errorf("multi manifest entry %d (%q): %v", i, name, err)
+			return nil, nil, fmt.Errorf("multi manifest entry %d (%q): %v", i, name, err)
 		}
 		entries = append(entries, e)
 	}
 	if err := expectDrained(r, "multi manifest"); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for id := range secs {
 		if id >= secMemberBase && id < secMemberBase+maxShardMembers && int64(id-secMemberBase) >= count {
-			return nil, fmt.Errorf("container holds member section %d beyond the %d the manifest declares", id-secMemberBase, count)
+			return nil, nil, fmt.Errorf("container holds member section %d beyond the %d the manifest declares", id-secMemberBase, count)
 		}
 	}
 	// An optional shared mesh section carries the terrain the SE members
@@ -396,41 +409,78 @@ func decodeMultiContainer(secs map[uint32][]byte) (DistanceIndex, error) {
 	if payload, ok := secs[secMesh]; ok {
 		m, err := decodeMesh(payload)
 		if err != nil {
-			return nil, fmt.Errorf("shared mesh section: %w", err)
+			return nil, nil, fmt.Errorf("shared mesh section: %w", err)
 		}
 		shared = m
 	}
+	var quarantined []Quarantined
 	members := make([]ShardMember, 0, count)
 	for i, e := range entries {
+		// quarantine diverts a member-level failure into the quarantine list
+		// in tolerant mode; in strict mode the first failure aborts the load.
+		quarantine := func(err error) {
+			quarantined = append(quarantined, Quarantined{Name: e.name, Kind: e.kind, BBox: e.bbox, Err: err})
+		}
 		payload, ok := secs[secMemberBase+uint32(i)]
 		if !ok {
-			return nil, fmt.Errorf("manifest declares %d members, member %d (%q) has no section", count, i, e.name)
+			err := fmt.Errorf("manifest declares %d members, member %d (%q) has no section", count, i, e.name)
+			if !tolerant {
+				return nil, nil, err
+			}
+			quarantine(err)
+			continue
 		}
 		idx, err := Load(bytes.NewReader(payload))
 		if err != nil {
-			return nil, fmt.Errorf("member %q: %w", e.name, err)
+			if !tolerant {
+				return nil, nil, fmt.Errorf("member %q: %w", e.name, err)
+			}
+			quarantine(err)
+			continue
 		}
 		if _, nested := idx.(*ShardedIndex); nested {
-			return nil, fmt.Errorf("member %q is itself a multi index (nesting unsupported)", e.name)
+			err := fmt.Errorf("member %q is itself a multi index (nesting unsupported)", e.name)
+			if !tolerant {
+				return nil, nil, err
+			}
+			quarantine(err)
+			continue
 		}
 		if got := idx.Stats().Kind; got != e.kind {
-			return nil, fmt.Errorf("member %q: manifest says kind %s, body holds %s", e.name, e.kind, got)
+			err := fmt.Errorf("member %q: manifest says kind %s, body holds %s", e.name, e.kind, got)
+			if !tolerant {
+				return nil, nil, err
+			}
+			quarantine(err)
+			continue
 		}
 		if o, ok := idx.(*Oracle); ok && o.mesh == nil && shared != nil {
+			meshErr := error(nil)
 			for j, p := range o.pts {
 				if err := checkMeshPoint(p, shared); err != nil {
-					return nil, fmt.Errorf("member %q POI %d against the shared mesh: %w", e.name, j, err)
+					meshErr = fmt.Errorf("member %q POI %d against the shared mesh: %w", e.name, j, err)
+					break
 				}
+			}
+			if meshErr != nil {
+				if !tolerant {
+					return nil, nil, meshErr
+				}
+				quarantine(meshErr)
+				continue
 			}
 			o.mesh = shared
 		}
 		members = append(members, ShardMember{Name: e.name, BBox: e.bbox, Index: idx})
 	}
+	if len(members) == 0 {
+		return nil, nil, fmt.Errorf("every member of the multi container failed to decode (first: %v)", quarantined[0].Err)
+	}
 	sh, err := NewShardedIndex(members)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return sh, nil
+	return sh, quarantined, nil
 }
 
 // --- tiled construction -----------------------------------------------------

@@ -41,3 +41,32 @@ func LoadIndexFile(path string, useMmap bool) (core.DistanceIndex, error) {
 	defer f.Close()
 	return core.Load(bufio.NewReaderSize(f, 1<<20))
 }
+
+// LoadDegradedFile is LoadIndexFile's fault-tolerant form: a multi
+// container with corrupt member bodies loads with those members
+// quarantined instead of failing outright (core.LoadDegraded), through
+// the same mmap-or-stream plumbing.
+func LoadDegradedFile(path string, useMmap bool) (core.DistanceIndex, []core.Quarantined, error) {
+	if useMmap {
+		data, closer, err := mmapFile(path)
+		if err == nil {
+			idx, quarantined, derr := core.LoadDegraded(bytes.NewReader(data))
+			if cerr := closer(); derr == nil && cerr != nil {
+				derr = fmt.Errorf("server: releasing mapping of %s: %w", path, cerr)
+			}
+			if derr != nil {
+				return nil, nil, derr
+			}
+			return idx, quarantined, nil
+		}
+		if err != errMmapUnsupported {
+			return nil, nil, fmt.Errorf("server: mmap %s: %w", path, err)
+		}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return core.LoadDegraded(bufio.NewReaderSize(f, 1<<20))
+}

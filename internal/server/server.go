@@ -14,7 +14,9 @@
 //	POST     /v1/matrix     many-to-many distance matrix (ids or coords, row-major)
 //	GET/POST /v1/isochrone  endpoints within surface distance d of source s, as GeoJSON
 //	GET      /healthz       liveness + index kind (+ member names for multi)
-//	GET      /statsz        IndexStats + per-endpoint, per-index and cache counters
+//	GET      /readyz        readiness: 503 while draining or degraded below quorum
+//	GET      /statsz        IndexStats + per-endpoint, per-index, cache and ops counters
+//	POST     /admin/reload  atomically reload the index from its source (when a loader is configured)
 //
 // Multi-container routing: an explicit index name (?index= or the JSON
 // "index" field) always wins; without one, coordinate-addressed requests
@@ -22,17 +24,32 @@
 // planar bbox contains the source point, and id-addressed requests are
 // rejected as ambiguous (member ids are local to each member).
 //
+// Robustness: the serving path is built to stay predictable under overload
+// and partial failure. A bounded in-flight limit sheds excess load with
+// counted 429s before any work is queued; a per-request deadline propagates
+// a context into the bulk query paths so expired work stops computing (503,
+// counted); a panic in any handler is recovered to a counted 500 without
+// killing the process. A server loaded in degraded mode serves the healthy
+// members of a partially corrupt multi container and answers requests
+// addressing a quarantined member with 503. The index behind the handlers
+// is an atomically swapped epoch, so a SIGHUP / POST /admin/reload replaces
+// it mid-traffic without torn reads: every request snapshots one epoch and
+// the query cache is invalidated by generation.
+//
 // The indexes are never mutated by a request, so the handlers share them
 // without locking; a DynamicOracle is served read-only.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
 	"math"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync"
@@ -47,10 +64,33 @@ import (
 // commit unbounded memory on the server.
 const MaxBatchPairs = 1 << 20
 
+// DefaultMaxBodyBytes caps a request body when Options.MaxBodyBytes is
+// unset: large enough for a MaxBatchPairs batch, small enough that one
+// client cannot buffer the process into the ground.
+const DefaultMaxBodyBytes = 64 << 20
+
 // Options configures a Server beyond its index.
 type Options struct {
 	// CacheSize bounds the LRU query cache (entries); 0 disables caching.
 	CacheSize int
+	// MaxInFlight bounds concurrently served requests (observability and
+	// admin endpoints are exempt); excess requests are shed with a counted
+	// 429 + Retry-After. 0 means unlimited.
+	MaxInFlight int
+	// Deadline is the per-request budget; its context reaches the bulk
+	// query paths, which stop computing once it expires (counted 503).
+	// 0 means no deadline.
+	Deadline time.Duration
+	// MaxBodyBytes caps a request body; beyond it the read fails with a
+	// counted 413. 0 means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+	// Quarantined lists the members a degraded load could not decode;
+	// requests addressing them answer 503 and /readyz reports them.
+	Quarantined []core.Quarantined
+	// Loader, when set, re-loads the index from its source for SIGHUP /
+	// POST /admin/reload hot reloads. It runs outside any request lock and
+	// its result is swapped in atomically.
+	Loader func() (core.DistanceIndex, []core.Quarantined, error)
 }
 
 // target is one routable index: the sole index of a single-container
@@ -95,20 +135,80 @@ func newTarget(name string, idx core.DistanceIndex) *target {
 	return t
 }
 
+// epoch is one immutable generation of the served index: the routing tables
+// a request resolves against, plus the quarantine list of the load that
+// produced it. A hot reload builds a fresh epoch and swaps the pointer; a
+// request snapshots exactly one epoch at entry and never observes a mix of
+// old and new state.
+type epoch struct {
+	root        core.DistanceIndex
+	kindTag     core.Kind
+	sharded     *core.ShardedIndex // non-nil when serving a multi container
+	single      *target            // non-nil when serving one index
+	targets     []*target          // routable indexes, manifest order
+	byName      map[string]*target
+	quarantined []core.Quarantined
+	gen         uint64
+	genPrefix   string // cache-key prefix "g<gen>|": a swap strands the old generation's entries
+}
+
+func newEpoch(idx core.DistanceIndex, quarantined []core.Quarantined, gen uint64) *epoch {
+	ep := &epoch{
+		root:        idx,
+		kindTag:     idx.Stats().Kind,
+		byName:      map[string]*target{},
+		quarantined: quarantined,
+		gen:         gen,
+		genPrefix:   "g" + strconv.FormatUint(gen, 10) + "|",
+	}
+	if sh, ok := idx.(*core.ShardedIndex); ok {
+		ep.sharded = sh
+		for _, m := range sh.Members() {
+			tgt := newTarget(m.Name, m.Index)
+			ep.targets = append(ep.targets, tgt)
+			ep.byName[m.Name] = tgt
+		}
+	} else {
+		ep.single = newTarget("", idx)
+		ep.targets = []*target{ep.single}
+	}
+	return ep
+}
+
+func (ep *epoch) memberNames() []string {
+	if ep.sharded == nil {
+		return nil
+	}
+	return ep.sharded.MemberNames()
+}
+
+func (ep *epoch) quarantinedNames() []string {
+	names := make([]string, len(ep.quarantined))
+	for i, q := range ep.quarantined {
+		names[i] = q.Name
+	}
+	return names
+}
+
 // Server serves one index container over HTTP.
 type Server struct {
-	root    core.DistanceIndex
-	kindTag core.Kind
-	sharded *core.ShardedIndex // non-nil when serving a multi container
-	single  *target            // non-nil when serving one index
-	targets []*target          // routable indexes, manifest order
-	byName  map[string]*target
+	ep  atomic.Pointer[epoch]
+	opt Options
+
+	reloadMu sync.Mutex // serializes Swap generation bumps, not requests
 
 	cache              *queryCache // nil when disabled
 	encodeFailures     atomic.Int64
 	coordRejections    atomic.Int64 // non-finite coordinates rejected before routing
-	oversizeRejections atomic.Int64 // requests over a size cap (batch pairs, matrix cells, k)
+	oversizeRejections atomic.Int64 // requests over a size cap (batch pairs, matrix cells, k, body bytes)
 	encodeLogOnce      sync.Once
+
+	inFlight         atomic.Int64 // requests currently inside the limiter
+	shed             atomic.Int64 // 429s from the in-flight limit
+	panics           atomic.Int64 // recovered handler panics (500s)
+	deadlineExceeded atomic.Int64 // 503s from an expired request context
+	reloads          atomic.Int64 // successful epoch swaps
+	draining         atomic.Bool  // SIGTERM received: /readyz fails, in-flight work finishes
 
 	start   time.Time
 	mux     *http.ServeMux
@@ -139,7 +239,8 @@ func (m *endpointMetrics) observe(d time.Duration, failed bool) {
 	}
 }
 
-// New builds a Server around idx with default options (no query cache).
+// New builds a Server around idx with default options (no query cache, no
+// limits).
 func New(idx core.DistanceIndex) *Server { return NewWithOptions(idx, Options{}) }
 
 // NewWithOptions builds a Server around idx. The optional point/nearest
@@ -148,25 +249,13 @@ func New(idx core.DistanceIndex) *Server { return NewWithOptions(idx, Options{})
 // path. A *core.ShardedIndex fans out into one routable target per member.
 func NewWithOptions(idx core.DistanceIndex, opt Options) *Server {
 	s := &Server{
-		root:    idx,
-		kindTag: idx.Stats().Kind,
+		opt:     opt,
 		start:   time.Now(),
 		mux:     http.NewServeMux(),
 		metrics: map[string]*endpointMetrics{},
-		byName:  map[string]*target{},
 		cache:   newQueryCache(opt.CacheSize),
 	}
-	if sh, ok := idx.(*core.ShardedIndex); ok {
-		s.sharded = sh
-		for _, m := range sh.Members() {
-			tgt := newTarget(m.Name, m.Index)
-			s.targets = append(s.targets, tgt)
-			s.byName[m.Name] = tgt
-		}
-	} else {
-		s.single = newTarget("", idx)
-		s.targets = []*target{s.single}
-	}
+	s.ep.Store(newEpoch(idx, opt.Quarantined, 0))
 	s.route("/v1/query", s.handleQuery, http.MethodGet, http.MethodPost)
 	s.route("/v1/path", s.handlePath, http.MethodGet, http.MethodPost)
 	s.route("/v1/batch", s.handleBatch, http.MethodPost)
@@ -174,12 +263,161 @@ func NewWithOptions(idx core.DistanceIndex, opt Options) *Server {
 	s.route("/v1/matrix", s.handleMatrix, http.MethodPost)
 	s.route("/v1/isochrone", s.handleIsochrone, http.MethodGet, http.MethodPost)
 	s.route("/healthz", s.handleHealthz, http.MethodGet)
+	s.route("/readyz", s.handleReadyz, http.MethodGet)
 	s.route("/statsz", s.handleStatsz, http.MethodGet)
+	s.route("/admin/reload", s.handleAdminReload, http.MethodPost)
 	return s
 }
 
-// Handler returns the HTTP handler serving all endpoints.
-func (s *Server) Handler() http.Handler { return s.mux }
+// epoch returns the current index generation. Each request calls this once
+// and carries the snapshot; a concurrent swap never mixes generations
+// within one request.
+func (s *Server) epoch() *epoch { return s.ep.Load() }
+
+// Handler returns the HTTP handler serving all endpoints, wrapped in the
+// robustness middleware: panic recovery outermost (it must also cover the
+// limiter), then admission control + the per-request deadline.
+func (s *Server) Handler() http.Handler {
+	return s.recoverPanics(s.limitAndDeadline(s.mux))
+}
+
+// --- middleware -------------------------------------------------------------
+
+// exemptPaths lists the endpoints that bypass admission control and the
+// request deadline: observability must stay reachable exactly when the
+// serving path is saturated, and an operator's reload must not be shed by
+// the overload it is trying to fix.
+var exemptPaths = map[string]bool{
+	"/healthz":      true,
+	"/readyz":       true,
+	"/statsz":       true,
+	"/admin/reload": true,
+}
+
+// admit reserves an in-flight slot with a CAS loop, so the limit is exact:
+// at most max requests ever run concurrently, however many race for the
+// last slot.
+func (s *Server) admit(max int64) bool {
+	for {
+		cur := s.inFlight.Load()
+		if cur >= max {
+			return false
+		}
+		if s.inFlight.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+// limitAndDeadline is the admission-control + deadline middleware. Shed
+// requests answer 429 with Retry-After before any handler work happens;
+// admitted requests carry a deadline context the bulk query paths honor.
+func (s *Server) limitAndDeadline(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if exemptPaths[r.URL.Path] {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if max := s.opt.MaxInFlight; max > 0 {
+			if !s.admit(int64(max)) {
+				s.shed.Add(1)
+				w.Header().Set("Retry-After", "1")
+				s.writeError(w, http.StatusTooManyRequests,
+					"server at capacity (%d requests in flight); retry shortly", max)
+				return
+			}
+		} else {
+			s.inFlight.Add(1) // still tracked: /statsz reports the gauge either way
+		}
+		defer s.inFlight.Add(-1)
+		if d := s.opt.Deadline; d > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), d)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// statusCapture records whether a response has started, so the panic
+// recovery knows if a 500 can still be written.
+type statusCapture struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (sc *statusCapture) WriteHeader(code int) {
+	sc.wrote = true
+	sc.ResponseWriter.WriteHeader(code)
+}
+
+func (sc *statusCapture) Write(b []byte) (int, error) {
+	sc.wrote = true
+	return sc.ResponseWriter.Write(b)
+}
+
+// recoverPanics converts a handler panic into a counted, logged 500 —
+// one poisoned request must not take down the thousands sharing the
+// process. When the response already started streaming, the connection is
+// left to die instead (the client sees a truncated body, which is the
+// honest signal at that point).
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sc := &statusCapture{ResponseWriter: w}
+		defer func() {
+			if v := recover(); v != nil {
+				s.panics.Add(1)
+				log.Printf("server: panic serving %s %s (counted in /statsz ops.panics): %v\n%s",
+					r.Method, r.URL.Path, v, debug.Stack())
+				if !sc.wrote {
+					s.writeError(sc, http.StatusInternalServerError, "internal error")
+				}
+			}
+		}()
+		next.ServeHTTP(sc, r)
+	})
+}
+
+// --- lifecycle --------------------------------------------------------------
+
+// Swap atomically replaces the served index: requests in flight finish on
+// the epoch they snapshotted, new requests see only the new one, and the
+// query cache is invalidated by generation (old keys become unreachable and
+// age out of the LRU).
+func (s *Server) Swap(idx core.DistanceIndex, quarantined []core.Quarantined) uint64 {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	gen := s.ep.Load().gen + 1
+	s.ep.Store(newEpoch(idx, quarantined, gen))
+	s.reloads.Add(1)
+	return gen
+}
+
+// Reload re-loads the index through the configured Options.Loader and swaps
+// it in. It returns the new generation, or an error (the old epoch keeps
+// serving untouched — a failed reload never degrades a healthy server).
+func (s *Server) Reload() (uint64, error) {
+	if s.opt.Loader == nil {
+		return 0, errors.New("server: no loader configured; reload unsupported")
+	}
+	idx, quarantined, err := s.opt.Loader()
+	if err != nil {
+		return 0, fmt.Errorf("server: reload failed, keeping the current index: %w", err)
+	}
+	return s.Swap(idx, quarantined), nil
+}
+
+// SetDraining flips the drain flag: /readyz answers 503 so load balancers
+// stop routing here, while in-flight and still-arriving requests are served
+// normally until the listener shuts down.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Generation reports the current epoch's generation (0 at startup, +1 per
+// swap).
+func (s *Server) Generation() uint64 { return s.epoch().gen }
+
+// QuarantinedMembers reports the current epoch's quarantine list.
+func (s *Server) QuarantinedMembers() []core.Quarantined { return s.epoch().quarantined }
 
 // route registers an instrumented handler. Handlers return the status code
 // they wrote so the wrapper can count errors without re-parsing responses.
@@ -204,53 +442,72 @@ func (s *Server) route(path string, h func(w http.ResponseWriter, r *http.Reques
 
 // --- routing ----------------------------------------------------------------
 
-func (s *Server) memberNames() []string {
-	if s.sharded == nil {
-		return nil
-	}
-	return s.sharded.MemberNames()
+// bboxContains is closed containment for quarantine attribution: a
+// coordinate on a quarantined tile's boundary answers 503, not a wrong
+// member.
+func bboxContains(b core.BBox2D, x, y float64) bool {
+	return x >= b.MinX && x <= b.MaxX && y >= b.MinY && y <= b.MaxY
 }
 
-// resolve picks the index a request addresses: an explicit name always
-// wins; a single-index server falls back to its index; a multi server
-// routes by the planar source coordinates (when given) through the member
-// bboxes. On failure it returns a nil target with the status and message to
-// write.
-func (s *Server) resolve(name string, x, y *float64) (*target, int, string) {
+// resolve picks the index a request addresses within one epoch: an explicit
+// name always wins; a single-index server falls back to its index; a multi
+// server routes by the planar source coordinates (when given) through the
+// member bboxes. Requests addressing a quarantined member — by name, or by
+// a coordinate only a quarantined tile contains — answer 503: the data
+// exists but this process cannot serve it until the container is repaired.
+// On failure it returns a nil target with the status and message to write.
+func (s *Server) resolve(ep *epoch, name string, x, y *float64) (*target, int, string) {
 	if name != "" {
-		if tgt, ok := s.byName[name]; ok {
+		if tgt, ok := ep.byName[name]; ok {
 			return tgt, 0, ""
 		}
-		if s.sharded == nil {
+		for _, q := range ep.quarantined {
+			if q.Name == name {
+				return nil, http.StatusServiceUnavailable,
+					fmt.Sprintf("index %q is quarantined (degraded load: %v)", name, q.Err)
+			}
+		}
+		if ep.sharded == nil {
 			return nil, http.StatusNotFound,
-				fmt.Sprintf("no index named %q: this server holds one unnamed %s index", name, s.kindTag)
+				fmt.Sprintf("no index named %q: this server holds one unnamed %s index", name, ep.kindTag)
 		}
 		return nil, http.StatusNotFound,
-			fmt.Sprintf("no index named %q (members: %s)", name, strings.Join(s.memberNames(), ", "))
+			fmt.Sprintf("no index named %q (members: %s)", name, strings.Join(ep.memberNames(), ", "))
 	}
-	if s.single != nil {
-		return s.single, 0, ""
+	if ep.single != nil {
+		return ep.single, 0, ""
 	}
 	if x != nil && y != nil {
 		// Locate is total: containment first, else the planar-closest member
 		// bbox — so a coordinate a single un-sharded index would answer never
 		// strands between tiles. Off-terrain points still fail inside the
 		// member (e.g. Project errors), exactly as on a single-index server.
-		m, _ := s.sharded.Locate(*x, *y)
-		return s.byName[m.Name], 0, ""
+		m, contained := ep.sharded.Locate(*x, *y)
+		if !contained {
+			// No healthy member owns the point; if a quarantined tile does,
+			// the honest answer is "unavailable", not the nearest survivor.
+			for _, q := range ep.quarantined {
+				if bboxContains(q.BBox, *x, *y) {
+					return nil, http.StatusServiceUnavailable, fmt.Sprintf(
+						"the tile owning (%g,%g) (%q) is quarantined (degraded load: %v)", *x, *y, q.Name, q.Err)
+				}
+			}
+		}
+		return ep.byName[m.Name], 0, ""
 	}
 	return nil, http.StatusBadRequest, fmt.Sprintf(
 		"multi index: ids are member-local, address one with index= (members: %s)",
-		strings.Join(s.memberNames(), ", "))
+		strings.Join(ep.memberNames(), ", "))
 }
 
 // cachedQuery answers a distance through the LRU + single-flight cache
-// when enabled.
-func (s *Server) cachedQuery(key string, fn func() (float64, error)) (float64, error) {
+// when enabled. Keys are scoped to the epoch's generation, so a reload
+// invalidates every cached answer at once.
+func (s *Server) cachedQuery(ep *epoch, key string, fn func() (float64, error)) (float64, error) {
 	if s.cache == nil {
 		return fn()
 	}
-	v, _, err := s.cache.do(key, func() (any, error) { return fn() })
+	v, _, err := s.cache.do(ep.genPrefix+key, func() (any, error) { return fn() })
 	if err != nil {
 		return 0, err
 	}
@@ -258,13 +515,13 @@ func (s *Server) cachedQuery(key string, fn func() (float64, error)) (float64, e
 }
 
 // cachedValue answers an arbitrary response value (e.g. a path response)
-// through the same cache. Cached values are shared across requests and must
-// be immutable.
-func (s *Server) cachedValue(key string, fn func() (any, error)) (any, error) {
+// through the same generation-scoped cache. Cached values are shared across
+// requests and must be immutable.
+func (s *Server) cachedValue(ep *epoch, key string, fn func() (any, error)) (any, error) {
 	if s.cache == nil {
 		return fn()
 	}
-	v, _, err := s.cache.do(key, fn)
+	v, _, err := s.cache.do(ep.genPrefix+key, fn)
 	return v, err
 }
 
@@ -412,14 +669,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) int {
 	if status != 0 {
 		return status
 	}
+	ep := s.epoch()
 	switch {
 	case req.S != nil && req.T != nil:
-		tgt, status, msg := s.resolve(req.Index, nil, nil)
+		tgt, status, msg := s.resolve(ep, req.Index, nil, nil)
 		if tgt == nil {
 			return s.writeError(w, status, "%s", msg)
 		}
 		tgt.queries.Add(1)
-		d, err := s.cachedQuery(idKey("", tgt.name, *req.S, *req.T), func() (float64, error) {
+		d, err := s.cachedQuery(ep, idKey("", tgt.name, *req.S, *req.T), func() (float64, error) {
 			return tgt.idx.Query(*req.S, *req.T)
 		})
 		if err != nil {
@@ -427,7 +685,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) int {
 		}
 		return s.writeJSON(w, http.StatusOK, queryResponse{Distance: d, Kind: tgt.kind, Index: tgt.name})
 	case req.SX != nil && req.SY != nil && req.TX != nil && req.TY != nil:
-		tgt, status, msg := s.resolve(req.Index, req.SX, req.SY)
+		tgt, status, msg := s.resolve(ep, req.Index, req.SX, req.SY)
 		if tgt == nil {
 			return s.writeError(w, status, "%s", msg)
 		}
@@ -436,7 +694,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) int {
 				"index kind %s answers id queries only; coordinate queries need an a2a index", tgt.kind)
 		}
 		tgt.queries.Add(1)
-		d, err := s.cachedQuery(xyKey("", tgt.name, *req.SX, *req.SY, *req.TX, *req.TY), func() (float64, error) {
+		d, err := s.cachedQuery(ep, xyKey("", tgt.name, *req.SX, *req.SY, *req.TX, *req.TY), func() (float64, error) {
 			return tgt.pt.QueryXY(*req.SX, *req.SY, *req.TX, *req.TY)
 		})
 		if err != nil {
@@ -457,9 +715,11 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) int {
 	if status != 0 {
 		return status
 	}
+	ep := s.epoch()
+	ctx := r.Context()
 	switch {
 	case req.S != nil && req.T != nil:
-		tgt, status, msg := s.resolve(req.Index, nil, nil)
+		tgt, status, msg := s.resolve(ep, req.Index, nil, nil)
 		if tgt == nil {
 			return s.writeError(w, status, "%s", msg)
 		}
@@ -467,8 +727,8 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) int {
 			return s.writeError(w, http.StatusNotImplemented, "index kind %s cannot report paths", tgt.kind)
 		}
 		tgt.queries.Add(1)
-		v, err := s.cachedValue(idKey("p", tgt.name, *req.S, *req.T), func() (any, error) {
-			path, d, err := tgt.pi.QueryPath(*req.S, *req.T)
+		v, err := s.cachedValue(ep, idKey("p", tgt.name, *req.S, *req.T), func() (any, error) {
+			path, d, err := core.QueryPathCtx(ctx, tgt.pi, *req.S, *req.T)
 			if err != nil {
 				return nil, err
 			}
@@ -479,7 +739,7 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) int {
 		}
 		return s.writeJSON(w, http.StatusOK, v)
 	case req.SX != nil && req.SY != nil && req.TX != nil && req.TY != nil:
-		tgt, status, msg := s.resolve(req.Index, req.SX, req.SY)
+		tgt, status, msg := s.resolve(ep, req.Index, req.SX, req.SY)
 		if tgt == nil {
 			return s.writeError(w, status, "%s", msg)
 		}
@@ -488,8 +748,8 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) int {
 				"index kind %s reports id paths only; coordinate paths need an a2a index", tgt.kind)
 		}
 		tgt.queries.Add(1)
-		v, err := s.cachedValue(xyKey("p", tgt.name, *req.SX, *req.SY, *req.TX, *req.TY), func() (any, error) {
-			path, d, err := tgt.pp.QueryPathXY(*req.SX, *req.SY, *req.TX, *req.TY)
+		v, err := s.cachedValue(ep, xyKey("p", tgt.name, *req.SX, *req.SY, *req.TX, *req.TY), func() (any, error) {
+			path, d, err := core.QueryPathXYCtx(ctx, tgt.pp, *req.SX, *req.SY, *req.TX, *req.TY)
 			if err != nil {
 				return nil, err
 			}
@@ -505,13 +765,25 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) int {
 }
 
 // pathErrorStatus maps a QueryPath failure to its HTTP status: an index
-// that structurally cannot report paths (no embedded mesh) is 501, a bad
-// request (out-of-range id, off-terrain point) is 400.
+// that structurally cannot report paths (no embedded mesh) is 501, an
+// expired request deadline a counted 503, a bad request (out-of-range id,
+// off-terrain point) 400.
 func (s *Server) pathErrorStatus(err error) int {
 	if errors.Is(err, core.ErrNoPathGeometry) {
 		return http.StatusNotImplemented
 	}
-	return http.StatusBadRequest
+	return s.queryFailStatus(err, http.StatusBadRequest)
+}
+
+// queryFailStatus maps a query-path error to its HTTP status: a context
+// cancellation / deadline expiry is a counted 503 (the request was valid;
+// the server ran out of budget), anything else keeps the caller's fallback.
+func (s *Server) queryFailStatus(err error, fallback int) int {
+	if core.IsContextErr(err) {
+		s.deadlineExceeded.Add(1)
+		return http.StatusServiceUnavailable
+	}
+	return fallback
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) int {
@@ -530,16 +802,18 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) int {
 		return s.writeError(w, http.StatusRequestEntityTooLarge,
 			"batch of %d pairs exceeds the %d limit", len(req.Pairs), MaxBatchPairs)
 	}
-	tgt, status, msg := s.resolve(req.Index, nil, nil)
+	ep := s.epoch()
+	tgt, status, msg := s.resolve(ep, req.Index, nil, nil)
 	if tgt == nil {
 		return s.writeError(w, status, "%s", msg)
 	}
 	tgt.queries.Add(1)
-	// QueryBatch implementations wrap a failing pair's error with its index
-	// ("batch pair N: ..."), so the client can tell which pair was bad.
-	dst, err := tgt.idx.QueryBatch(req.Pairs, make([]float64, len(req.Pairs)))
+	// QueryBatchCtx wraps a failing pair's error with its batch-wide index
+	// ("batch pair N: ..."), so the client can tell which pair was bad, and
+	// stops computing once the request deadline expires.
+	dst, err := core.QueryBatchCtx(r.Context(), tgt.idx, req.Pairs, make([]float64, len(req.Pairs)))
 	if err != nil {
-		return s.writeError(w, http.StatusBadRequest, "batch: %v", err)
+		return s.writeError(w, s.queryFailStatus(err, http.StatusBadRequest), "batch: %v", err)
 	}
 	return s.writeJSON(w, http.StatusOK, batchResponse{Distances: dst, Count: len(dst), Index: tgt.name})
 }
@@ -575,13 +849,14 @@ func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) int {
 	if req.X == nil || req.Y == nil {
 		return s.writeError(w, http.StatusBadRequest, "need planar coordinates (x, y)")
 	}
+	ep := s.epoch()
 	if req.K != nil {
 		// An explicit k switches to the k-nearest response shape (k=1 is the
 		// same answer as the legacy form, as a one-element list).
 		if *req.K < 1 {
 			return s.writeError(w, http.StatusBadRequest, "k must be >= 1, got %d", *req.K)
 		}
-		return s.handleNearestK(w, req.Index, *req.X, *req.Y, int(*req.K))
+		return s.handleNearestK(w, r, ep, req.Index, *req.X, *req.Y, int(*req.K))
 	}
 	var (
 		name   string
@@ -590,20 +865,20 @@ func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) int {
 		planar float64
 		err    error
 	)
-	if s.sharded != nil && req.Index == "" {
+	if ep.sharded != nil && req.Index == "" {
 		// Unnamed nearest on a multi server is GLOBAL: the answer must match
 		// what one un-sharded index would return, and a boundary-adjacent
 		// query's true nearest can sit in the tile next door — so every
 		// member is scanned, not just the bbox-routed one.
 		var m core.ShardMember
-		m, id, at, planar, err = s.sharded.NearestAcross(*req.X, *req.Y)
+		m, id, at, planar, err = ep.sharded.NearestAcross(*req.X, *req.Y)
 		if err != nil {
 			return s.writeError(w, http.StatusNotImplemented, "nearest: %v", err)
 		}
 		name = m.Name
-		s.byName[name].queries.Add(1)
+		ep.byName[name].queries.Add(1)
 	} else {
-		tgt, status, msg := s.resolve(req.Index, req.X, req.Y)
+		tgt, status, msg := s.resolve(ep, req.Index, req.X, req.Y)
 		if tgt == nil {
 			return s.writeError(w, status, "%s", msg)
 		}
@@ -629,18 +904,78 @@ func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) int {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) int {
+	ep := s.epoch()
 	body := map[string]interface{}{
 		"status":         "ok",
-		"kind":           s.kindTag,
+		"kind":           ep.kindTag,
 		"uptime_seconds": time.Since(s.start).Seconds(),
 	}
-	if s.sharded != nil {
-		body["indexes"] = s.memberNames()
+	if ep.sharded != nil {
+		body["indexes"] = ep.memberNames()
+	}
+	if len(ep.quarantined) > 0 {
+		body["degraded"] = true
+		body["quarantined"] = ep.quarantinedNames()
 	}
 	return s.writeJSON(w, http.StatusOK, body)
 }
 
+// handleReadyz is readiness, split from /healthz liveness: a draining
+// server and a degraded server below quorum (healthy members not a strict
+// majority of the manifest) answer 503 so load balancers route around the
+// process, while /healthz keeps reporting the process alive. A degraded
+// server AT quorum stays ready — serving most of the terrain beats serving
+// none of it.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) int {
+	ep := s.epoch()
+	healthy := len(ep.targets)
+	total := healthy + len(ep.quarantined)
+	draining := s.draining.Load()
+	quorum := healthy*2 > total
+	body := map[string]interface{}{
+		"ready":           quorum && !draining,
+		"draining":        draining,
+		"healthy_members": healthy,
+		"total_members":   total,
+		"generation":      ep.gen,
+	}
+	if len(ep.quarantined) > 0 {
+		body["quarantined"] = ep.quarantinedNames()
+	}
+	status := http.StatusOK
+	if draining || !quorum {
+		status = http.StatusServiceUnavailable
+	}
+	return s.writeJSON(w, status, body)
+}
+
+// handleAdminReload swaps in a freshly loaded index (POST /admin/reload,
+// the same path a SIGHUP takes). Without a configured loader it answers
+// 501; a failed load answers 500 and leaves the serving epoch untouched.
+func (s *Server) handleAdminReload(w http.ResponseWriter, _ *http.Request) int {
+	gen, err := s.Reload()
+	if err != nil {
+		status := http.StatusInternalServerError
+		if s.opt.Loader == nil {
+			status = http.StatusNotImplemented
+		}
+		return s.writeError(w, status, "reload: %v", err)
+	}
+	ep := s.epoch()
+	body := map[string]interface{}{
+		"status":     "reloaded",
+		"generation": gen,
+		"kind":       ep.kindTag,
+	}
+	if len(ep.quarantined) > 0 {
+		body["quarantined"] = ep.quarantinedNames()
+	}
+	log.Printf("server: reloaded index (generation %d, %d quarantined)", gen, len(ep.quarantined))
+	return s.writeJSON(w, http.StatusOK, body)
+}
+
 func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) int {
+	ep := s.epoch()
 	uptime := time.Since(s.start).Seconds()
 	eps := map[string]interface{}{}
 	for path, m := range s.metrics {
@@ -659,17 +994,31 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) int {
 		}
 	}
 	body := map[string]interface{}{
-		"index":               s.root.Stats(),
+		"index":               ep.root.Stats(),
 		"endpoints":           eps,
 		"cache":               s.cache.snapshot(),
 		"encode_failures":     s.encodeFailures.Load(),
 		"coord_rejections":    s.coordRejections.Load(),
 		"oversize_rejections": s.oversizeRejections.Load(),
 		"uptime_seconds":      uptime,
+		"ops": map[string]interface{}{
+			"uptime_seconds":    uptime,
+			"goroutines":        runtime.NumGoroutine(),
+			"in_flight":         s.inFlight.Load(),
+			"max_in_flight":     s.opt.MaxInFlight,
+			"shed":              s.shed.Load(),
+			"panics":            s.panics.Load(),
+			"deadline_exceeded": s.deadlineExceeded.Load(),
+			"deadline_ms":       s.opt.Deadline.Milliseconds(),
+			"generation":        ep.gen,
+			"reloads":           s.reloads.Load(),
+			"draining":          s.draining.Load(),
+			"quarantined":       ep.quarantinedNames(),
+		},
 	}
-	if s.sharded != nil {
+	if ep.sharded != nil {
 		members := map[string]interface{}{}
-		for _, tgt := range s.targets {
+		for _, tgt := range ep.targets {
 			members[tgt.name] = map[string]interface{}{
 				"stats":   tgt.idx.Stats(),
 				"queries": tgt.queries.Load(),
@@ -723,10 +1072,22 @@ func (s *Server) checkCoords(w http.ResponseWriter, vals ...*float64) int {
 }
 
 // readJSON decodes a request body, returning 0 on success or the error
-// status it already wrote.
+// status it already wrote. A body over the configured cap fails with a
+// counted 413 (folded into oversize_rejections with the other size caps)
+// instead of a shapeless 400.
 func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, dst interface{}) int {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	maxBody := s.opt.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = DefaultMaxBodyBytes
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
 	if err := dec.Decode(dst); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.oversizeRejections.Add(1)
+			return s.writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds the %d-byte limit", mbe.Limit)
+		}
 		return s.writeError(w, http.StatusBadRequest, "bad JSON body: %v", err)
 	}
 	return 0

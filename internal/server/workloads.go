@@ -9,6 +9,7 @@ package server
 // family, and the per-endpoint /statsz counters route() attaches.
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -119,22 +120,24 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) int {
 		return s.writeError(w, http.StatusRequestEntityTooLarge,
 			"matrix of %d×%d = %d cells exceeds the %d limit", rows, cols, rows*cols, MaxMatrixCells)
 	}
+	ep := s.epoch()
+	ctx := r.Context()
 	if byIDs {
-		tgt, status, msg := s.resolve(req.Index, nil, nil)
+		tgt, status, msg := s.resolve(ep, req.Index, nil, nil)
 		if tgt == nil {
 			return s.writeError(w, status, "%s", msg)
 		}
 		tgt.queries.Add(1)
-		compute := func() (any, error) { return s.computeIDMatrix(tgt, req.Sources, req.Targets), nil }
+		compute := func() (any, error) { return s.computeIDMatrix(ctx, tgt, req.Sources, req.Targets) }
 		var v any
 		var err error
 		if rows*cols <= maxCachedMatrixCells {
-			v, err = s.cachedValue(matrixIDKey(tgt.name, req.Sources, req.Targets), compute)
+			v, err = s.cachedValue(ep, matrixIDKey(tgt.name, req.Sources, req.Targets), compute)
 		} else {
 			v, err = compute()
 		}
 		if err != nil {
-			return s.writeError(w, http.StatusBadRequest, "matrix: %v", err)
+			return s.writeError(w, s.queryFailStatus(err, http.StatusBadRequest), "matrix: %v", err)
 		}
 		return s.writeJSON(w, http.StatusOK, v)
 	}
@@ -145,7 +148,7 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) int {
 	}
 	// Coordinate matrices route by the first source point (like /v1/query's
 	// coordinate form); every cell is then answered within that one member.
-	tgt, status, msg := s.resolve(req.Index, &req.SourceCoords[0][0], &req.SourceCoords[0][1])
+	tgt, status, msg := s.resolve(ep, req.Index, &req.SourceCoords[0][0], &req.SourceCoords[0][1])
 	if tgt == nil {
 		return s.writeError(w, status, "%s", msg)
 	}
@@ -154,29 +157,35 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) int {
 			"index kind %s answers id matrices only; coordinate matrices need an a2a index", tgt.kind)
 	}
 	tgt.queries.Add(1)
-	compute := func() (any, error) { return s.computeXYMatrix(tgt, req.SourceCoords, req.TargetCoords), nil }
+	compute := func() (any, error) { return s.computeXYMatrix(ctx, tgt, req.SourceCoords, req.TargetCoords) }
 	var v any
 	var err error
 	if rows*cols <= maxCachedMatrixCells {
-		v, err = s.cachedValue(matrixXYKey(tgt.name, req.SourceCoords, req.TargetCoords), compute)
+		v, err = s.cachedValue(ep, matrixXYKey(tgt.name, req.SourceCoords, req.TargetCoords), compute)
 	} else {
 		v, err = compute()
 	}
 	if err != nil {
-		return s.writeError(w, http.StatusBadRequest, "matrix: %v", err)
+		return s.writeError(w, s.queryFailStatus(err, http.StatusBadRequest), "matrix: %v", err)
 	}
 	return s.writeJSON(w, http.StatusOK, v)
 }
 
 // computeIDMatrix answers an id-addressed matrix: the engine's row-parallel
-// QueryMatrix when every cell is valid, else a per-cell Query sweep that
-// fills one error slot per failing cell.
-func (s *Server) computeIDMatrix(tgt *target, sources, targets []int32) matrixResponse {
+// ctx-aware QueryMatrixCtx when every cell is valid, else a per-cell Query
+// sweep that fills one error slot per failing cell. A cancelled request
+// context aborts either path with the (counted-by-the-caller) ctx error —
+// expired work must stop computing, not fall through to the sweep.
+func (s *Server) computeIDMatrix(ctx context.Context, tgt *target, sources, targets []int32) (matrixResponse, error) {
 	res := matrixResponse{Rows: len(sources), Cols: len(targets), Kind: tgt.kind, Index: tgt.name}
 	if tgt.mi != nil {
-		if dst, err := tgt.mi.QueryMatrix(sources, targets, nil); err == nil {
+		dst, err := core.QueryMatrixCtx(ctx, tgt.idx, sources, targets, nil)
+		if err == nil {
 			res.Distances = dst
-			return res
+			return res, nil
+		}
+		if core.IsContextErr(err) {
+			return matrixResponse{}, err
 		}
 	}
 	cols := len(targets)
@@ -184,6 +193,9 @@ func (s *Server) computeIDMatrix(tgt *target, sources, targets []int32) matrixRe
 	errs := make([]string, len(sources)*cols)
 	failed := false
 	for i, src := range sources {
+		if err := ctx.Err(); err != nil {
+			return matrixResponse{}, fmt.Errorf("matrix cancelled at row %d: %w", i, err)
+		}
 		for j, dst := range targets {
 			d, err := tgt.idx.Query(src, dst)
 			if err != nil {
@@ -197,14 +209,15 @@ func (s *Server) computeIDMatrix(tgt *target, sources, targets []int32) matrixRe
 	if failed {
 		res.Errors = errs
 	}
-	return res
+	return res, nil
 }
 
 // computeXYMatrix answers a coordinate-addressed matrix on a point-capable
 // index: each endpoint is projected onto the surface once, then cells are
 // answered with QueryPoints. A point off the terrain fails its row or
-// column, not the request.
-func (s *Server) computeXYMatrix(tgt *target, sources, targets [][2]float64) matrixResponse {
+// column, not the request; a cancelled request context aborts at row
+// granularity.
+func (s *Server) computeXYMatrix(ctx context.Context, tgt *target, sources, targets [][2]float64) (matrixResponse, error) {
 	cols := len(targets)
 	res := matrixResponse{
 		Rows: len(sources), Cols: cols, Kind: tgt.kind, Index: tgt.name,
@@ -228,6 +241,9 @@ func (s *Server) computeXYMatrix(tgt *target, sources, targets [][2]float64) mat
 	srcPts, srcErr := project(sources)
 	dstPts, dstErr := project(targets)
 	for i := range sources {
+		if err := ctx.Err(); err != nil {
+			return matrixResponse{}, fmt.Errorf("matrix cancelled at row %d: %w", i, err)
+		}
 		for j := range targets {
 			cell := i*cols + j
 			switch {
@@ -248,7 +264,7 @@ func (s *Server) computeXYMatrix(tgt *target, sources, targets [][2]float64) mat
 	if failed {
 		res.Errors = errs
 	}
-	return res
+	return res, nil
 }
 
 // --- k-nearest --------------------------------------------------------------
@@ -274,21 +290,23 @@ func nearestKKey(name string, x, y float64, k int) string {
 
 // handleNearestK answers /v1/nearest with an explicit k: the named (or
 // single) index's NearestK, or the global cross-member merge on an unnamed
-// multi server.
-func (s *Server) handleNearestK(w http.ResponseWriter, index string, x, y float64, k int) int {
+// multi server. The merge honors the request deadline at member
+// granularity (a counted 503 once it expires).
+func (s *Server) handleNearestK(w http.ResponseWriter, r *http.Request, ep *epoch, index string, x, y float64, k int) int {
 	if k > MaxNearestK {
 		s.oversizeRejections.Add(1)
 		return s.writeError(w, http.StatusRequestEntityTooLarge, "k=%d exceeds the %d limit", k, MaxNearestK)
 	}
-	if s.sharded != nil && index == "" {
+	if ep.sharded != nil && index == "" {
 		// Global semantics, like unnamed k=1: every member is scanned and the
 		// merge ties break by (distance, member name, id).
-		v, err := s.cachedValue(nearestKKey("*", x, y, k), func() (any, error) {
-			ns, err := s.sharded.NearestKAcross(x, y, k)
+		ctx := r.Context()
+		v, err := s.cachedValue(ep, nearestKKey("*", x, y, k), func() (any, error) {
+			ns, err := ep.sharded.NearestKAcrossCtx(ctx, x, y, k)
 			if err != nil {
 				return nil, err
 			}
-			res := nearestKResponse{K: k, Count: len(ns), Kind: s.kindTag, Neighbors: make([]nearestResponse, len(ns))}
+			res := nearestKResponse{K: k, Count: len(ns), Kind: ep.kindTag, Neighbors: make([]nearestResponse, len(ns))}
 			for i, n := range ns {
 				res.Neighbors[i] = nearestResponse{
 					ID: n.ID, X: n.At.P.X, Y: n.At.P.Y, Z: n.At.P.Z, Distance: n.Planar, Index: n.Member,
@@ -297,7 +315,7 @@ func (s *Server) handleNearestK(w http.ResponseWriter, index string, x, y float6
 			return res, nil
 		})
 		if err != nil {
-			return s.writeError(w, http.StatusNotImplemented, "nearest: %v", err)
+			return s.writeError(w, s.queryFailStatus(err, http.StatusNotImplemented), "nearest: %v", err)
 		}
 		// The answering members' routing counters move even on a cache hit:
 		// the request was still logically routed to them.
@@ -305,14 +323,14 @@ func (s *Server) handleNearestK(w http.ResponseWriter, index string, x, y float6
 		for _, n := range v.(nearestKResponse).Neighbors {
 			if !seen[n.Index] {
 				seen[n.Index] = true
-				if tgt := s.byName[n.Index]; tgt != nil {
+				if tgt := ep.byName[n.Index]; tgt != nil {
 					tgt.queries.Add(1)
 				}
 			}
 		}
 		return s.writeJSON(w, http.StatusOK, v)
 	}
-	tgt, status, msg := s.resolve(index, &x, &y)
+	tgt, status, msg := s.resolve(ep, index, &x, &y)
 	if tgt == nil {
 		return s.writeError(w, status, "%s", msg)
 	}
@@ -320,7 +338,7 @@ func (s *Server) handleNearestK(w http.ResponseWriter, index string, x, y float6
 		return s.writeError(w, http.StatusNotImplemented, "index kind %s cannot answer nearest-k queries", tgt.kind)
 	}
 	tgt.queries.Add(1)
-	v, err := s.cachedValue(nearestKKey(tgt.name, x, y, k), func() (any, error) {
+	v, err := s.cachedValue(ep, nearestKKey(tgt.name, x, y, k), func() (any, error) {
 		ns, err := tgt.nk.NearestK(x, y, k)
 		if err != nil {
 			return nil, err
@@ -396,7 +414,8 @@ func (s *Server) handleIsochrone(w http.ResponseWriter, r *http.Request) int {
 	if status := s.checkCoords(w, req.D); status != 0 {
 		return status // a non-finite budget is rejected and counted like a bad coordinate
 	}
-	tgt, status, msg := s.resolve(req.Index, nil, nil) // id-addressed: unnamed multi is ambiguous
+	ep := s.epoch()
+	tgt, status, msg := s.resolve(ep, req.Index, nil, nil) // id-addressed: unnamed multi is ambiguous
 	if tgt == nil {
 		return s.writeError(w, status, "%s", msg)
 	}
@@ -404,7 +423,7 @@ func (s *Server) handleIsochrone(w http.ResponseWriter, r *http.Request) int {
 		return s.writeError(w, http.StatusNotImplemented, "index kind %s cannot answer reachability queries", tgt.kind)
 	}
 	tgt.queries.Add(1)
-	v, err := s.cachedValue(isochroneKey(tgt.name, *req.S, *req.D), func() (any, error) {
+	v, err := s.cachedValue(ep, isochroneKey(tgt.name, *req.S, *req.D), func() (any, error) {
 		reached, err := tgt.ri.Reachable(*req.S, *req.D)
 		if err != nil {
 			return nil, err
