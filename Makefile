@@ -50,7 +50,8 @@ DOCLINT_PKGS = . ./internal/core ./internal/server ./internal/terrain \
 	./internal/geodesic ./internal/btree ./internal/perfecthash \
 	./internal/baseline ./internal/gen ./internal/geom ./internal/steiner \
 	./internal/chaos \
-	./cmd/sequery ./cmd/seserve ./cmd/benchjson ./cmd/doclint ./cmd/loadgen
+	./cmd/sequery ./cmd/seserve ./cmd/benchjson ./cmd/doclint ./cmd/loadgen \
+	./cmd/seconvert
 
 lint:
 	$(GO) vet ./...

@@ -9,6 +9,14 @@
 //
 //	go test -bench=. -benchmem -run='^$' . | benchjson -label pr2 -o BENCH_perf.json
 //	benchjson -check -o BENCH_perf.json   # CI gate: fail when missing/invalid
+//
+// -check also runs a benchstat-style comparison of the last two recorded
+// runs: samples sharing a benchmark name within a run (go test -count=N)
+// are pooled into mean ± 95% confidence interval, and a benchmark is
+// flagged as a regression only when the intervals are disjoint AND the
+// mean moved by more than -margin AND both runs came from the same CPU —
+// cross-machine runs differ by ~2× from hardware alone (see ROADMAP), so
+// they are compared for information, never gated on.
 package main
 
 import (
@@ -16,8 +24,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/exec"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -56,14 +66,15 @@ const schema = "seoracle-bench/v1"
 
 func main() {
 	var (
-		label = flag.String("label", "local", "label for this run (e.g. the PR name)")
-		out   = flag.String("o", "BENCH_perf.json", "trajectory file to append to")
-		check = flag.Bool("check", false, "validate the trajectory file and exit non-zero when it is missing, unparsable or empty")
+		label  = flag.String("label", "local", "label for this run (e.g. the PR name)")
+		out    = flag.String("o", "BENCH_perf.json", "trajectory file to append to")
+		check  = flag.Bool("check", false, "validate the trajectory file, compare the last two runs, and exit non-zero when the file is missing, unparsable, empty — or records a statistically significant regression")
+		margin = flag.Float64("margin", 0.30, "check: minimum relative ns/op increase to call a regression (on top of disjoint confidence intervals)")
 	)
 	flag.Parse()
 
 	if *check {
-		checkTrajectory(*out)
+		checkTrajectory(*out, *margin)
 		return
 	}
 
@@ -175,10 +186,119 @@ func parseBenchLine(line string) (Benchmark, bool) {
 	return b, true
 }
 
+// summary is the pooled statistic for one benchmark name within one run:
+// sample count, mean and the 95% confidence-interval half-width (Student's
+// t for small n). With go test -count=1 every name has one sample and the
+// interval collapses to zero width — callers must treat n==1 as
+// "no spread information", not "perfectly precise".
+type summary struct {
+	N    int
+	Mean float64
+	CI   float64
+}
+
+// tValue95 approximates the two-sided 95% Student's t critical value for
+// n-1 degrees of freedom — exact for the tiny n values -count produces,
+// asymptoting to the normal 1.96 above ten samples.
+func tValue95(n int) float64 {
+	t := []float64{0, 0, 12.71, 4.30, 3.18, 2.78, 2.57, 2.45, 2.36, 2.31, 2.26}
+	if n < len(t) {
+		return t[n]
+	}
+	return 1.96 + 9.6/float64(n) // 2.23 at n=11 tapering toward 1.96
+}
+
+// summarize pools one run's samples for a single benchmark name.
+func summarize(samples []float64) summary {
+	n := len(samples)
+	var sum float64
+	for _, s := range samples {
+		sum += s
+	}
+	mean := sum / float64(n)
+	if n < 2 {
+		return summary{N: n, Mean: mean}
+	}
+	var sq float64
+	for _, s := range samples {
+		sq += (s - mean) * (s - mean)
+	}
+	sd := math.Sqrt(sq / float64(n-1))
+	return summary{N: n, Mean: mean, CI: tValue95(n) * sd / math.Sqrt(float64(n))}
+}
+
+// poolRun groups a run's benchmark lines by name (go test -count=N emits
+// one line per repetition) and summarizes each name's ns/op samples.
+func poolRun(run Run) map[string]summary {
+	byName := map[string][]float64{}
+	for _, b := range run.Benchmarks {
+		byName[b.Name] = append(byName[b.Name], b.NsPerOp)
+	}
+	pooled := make(map[string]summary, len(byName))
+	for name, samples := range byName {
+		pooled[name] = summarize(samples)
+	}
+	return pooled
+}
+
+// compareRuns prints a benchstat-style ns/op comparison of the two most
+// recent runs and returns the names that regressed: mean slower by more
+// than margin with disjoint confidence intervals. When gate is false
+// (single-sample runs or runs from different CPUs, where ~2× differences
+// are pure hardware) the table still prints but nothing can regress.
+func compareRuns(prev, last Run, margin float64, gate bool) []string {
+	old, cur := poolRun(prev), poolRun(last)
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		if _, ok := old[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Printf("benchjson: runs %q and %q share no benchmarks; nothing to compare\n", prev.Label, last.Label)
+		return nil
+	}
+	mode := "gating"
+	if !gate {
+		mode = "informational"
+	}
+	fmt.Printf("benchjson: %s vs %s ns/op (%s, margin %.0f%%)\n", prev.Label, last.Label, mode, margin*100)
+	var regressed []string
+	for _, name := range names {
+		o, c := old[name], cur[name]
+		delta := (c.Mean - o.Mean) / o.Mean
+		// Disjoint intervals: the closest plausible means still disagree.
+		disjoint := o.Mean+o.CI < c.Mean-c.CI || c.Mean+c.CI < o.Mean-o.CI
+		verdict := "~"
+		switch {
+		case gate && c.N > 1 && o.N > 1 && disjoint && delta > margin:
+			verdict = "REGRESSION"
+			regressed = append(regressed, name)
+		case disjoint && delta < -margin:
+			verdict = "improved"
+		case c.N == 1 || o.N == 1:
+			verdict = "n=1"
+		}
+		fmt.Printf("  %-46s %s -> %s  %+6.1f%%  %s\n",
+			name, formatStat(o), formatStat(c), delta*100, verdict)
+	}
+	return regressed
+}
+
+// formatStat renders "mean ±ci (n=K)" with the interval omitted at n=1.
+func formatStat(s summary) string {
+	if s.N < 2 {
+		return fmt.Sprintf("%.4g", s.Mean)
+	}
+	return fmt.Sprintf("%.4g ±%.2g (n=%d)", s.Mean, s.CI, s.N)
+}
+
 // checkTrajectory is the CI gate for the committed perf trajectory: a
 // missing, unparsable, wrong-schema or empty file fails loudly — a corrupt
-// BENCH_perf.json must never pass silently.
-func checkTrajectory(path string) {
+// BENCH_perf.json must never pass silently — and the last two runs are
+// compared statistically (see compareRuns).
+func checkTrajectory(path string, margin float64) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fatal("trajectory %s unreadable: %v", path, err)
@@ -199,6 +319,15 @@ func checkTrajectory(path string) {
 		}
 		if len(run.Benchmarks) == 0 {
 			fatal("trajectory %s: run %q records no benchmarks", path, run.Label)
+		}
+	}
+	if len(file.Runs) >= 2 {
+		prev, last := file.Runs[len(file.Runs)-2], file.Runs[len(file.Runs)-1]
+		// Gate only same-machine runs: across CPUs the suite moves ~2× on
+		// hardware alone (ROADMAP), which no per-benchmark margin absorbs.
+		gate := prev.CPU != "" && prev.CPU == last.CPU
+		if regressed := compareRuns(prev, last, margin, gate); len(regressed) > 0 {
+			fatal("run %q regressed vs %q on: %s", last.Label, prev.Label, strings.Join(regressed, ", "))
 		}
 	}
 	labels := make([]string, len(file.Runs))

@@ -8,6 +8,7 @@
 //	sebuild -terrain terrain.off -pois pois.txt -out index.sedx
 //	        [-kind se|a2a|dynamic] [-eps 0.1] [-greedy] [-naive]
 //	        [-seed 1] [-check] [-workers 0] [-sites-per-edge 0] [-shards 1]
+//	        [-layout flat]
 //
 // -kind=a2a indexes the terrain itself (every vertex plus per-edge Steiner
 // sites), so -pois is not required; se and dynamic index the POI file.
@@ -17,6 +18,11 @@
 // one multi container ("tile-<col>-<row>" members with their tile bboxes)
 // that seserve routes across by name or coordinates. Output is
 // byte-identical for any -workers value.
+//
+// -layout=flat (se kind, sharded or not) re-lays the built index into the
+// zero-parse flat container: seserve then queries it straight from the
+// memory-mapped file with O(1) cold start (see seconvert to upgrade
+// already-written containers).
 package main
 
 import (
@@ -46,6 +52,7 @@ func main() {
 		workers      = flag.Int("workers", 0, "construction worker goroutines (0 = all CPUs; output is identical for any value)")
 		sitesPerEdge = flag.Int("sites-per-edge", 0, "a2a: Steiner sites per mesh edge (0 = derive from eps)")
 		shards       = flag.Int("shards", 1, "se: tile the terrain into this many shards and write a multi container")
+		layout       = flag.String("layout", "", "container layout: \"\" (decoded sections) or \"flat\" (zero-parse mmap layout; se kind)")
 	)
 	flag.Parse()
 
@@ -132,6 +139,18 @@ func main() {
 	}
 	elapsed := time.Since(start)
 
+	switch *layout {
+	case "":
+	case "flat":
+		flat, err := core.ConvertFlat(idx)
+		if err != nil {
+			fatal("converting to the flat layout: %v", err)
+		}
+		idx = flat
+	default:
+		fatal("unknown -layout %q (want \"\" or \"flat\")", *layout)
+	}
+
 	fo, err := os.Create(*out)
 	if err != nil {
 		fatal("%v", err)
@@ -165,7 +184,11 @@ func main() {
 		elapsed.Round(time.Millisecond), b.TreeTime.Round(time.Millisecond),
 		b.EdgeTime.Round(time.Millisecond), b.PairTime.Round(time.Millisecond),
 		b.HashTime.Round(time.Millisecond), b.SSADCalls, nw)
-	fmt.Printf("size: %d node pairs, %.3f MB\n", st.Pairs, float64(st.MemoryBytes)/(1<<20))
+	// Flat indexes hold their weight in the zero-parse body (reported as
+	// mapped bytes), not the Go heap — count both so -layout=flat doesn't
+	// print a near-zero size.
+	fmt.Printf("size: %d node pairs, %.3f MB\n", st.Pairs,
+		float64(st.MemoryBytes+core.MappedBytesOf(idx))/(1<<20))
 }
 
 func fatal(format string, args ...interface{}) {

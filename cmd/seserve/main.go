@@ -127,9 +127,11 @@ func main() {
 		fatal("loading index: %v", err)
 	}
 	st := idx.Stats()
-	fmt.Printf("seserve: loaded %s index from %s in %v (%d points, eps=%g, %.3f MB)\n",
+	// Flat indexes live in the mapping, not the heap; report both sides so
+	// a zero-parse load doesn't log as a near-empty index.
+	fmt.Printf("seserve: loaded %s index from %s in %v (%d points, eps=%g, %.3f MB heap + %.3f MB mapped)\n",
 		st.Kind, *indexPath, time.Since(t0).Round(time.Millisecond),
-		st.Points, st.Epsilon, float64(st.MemoryBytes)/(1<<20))
+		st.Points, st.Epsilon, float64(st.MemoryBytes)/(1<<20), float64(st.MappedBytes)/(1<<20))
 	if sh, ok := idx.(*core.ShardedIndex); ok {
 		fmt.Printf("seserve: %d members: %s\n", sh.NumMembers(), strings.Join(sh.MemberNames(), ", "))
 	}

@@ -50,6 +50,7 @@ const (
 	secSiteMeta  uint32 = 6 // local-regime threshold / spacing / density (KindA2A)
 	secDynState  uint32 = 7 // dynamic oracle state: POIs, tombstones, overflow
 	secManifest  uint32 = 8 // multi-index member manifest (KindMulti)
+	secFlat      uint32 = 9 // flat zero-parse oracle body (KindFlat; see flat.go)
 
 	// secMemberBase is the first member-body section id of a KindMulti
 	// container: member i's own tagged container bytes live in section
@@ -78,6 +79,7 @@ func init() {
 	RegisterKind(KindA2A, decodeA2AContainer)
 	RegisterKind(KindDynamic, decodeDynamicContainer)
 	RegisterKind(KindMulti, decodeMultiContainer)
+	RegisterKind(KindFlat, decodeFlatContainer)
 }
 
 // section is one length-framed payload queued for writing. Payloads are
@@ -283,7 +285,7 @@ func Load(r io.Reader) (DistanceIndex, error) {
 	}
 	dec, ok := kindRegistry[kind]
 	if !ok {
-		return nil, fmt.Errorf("core: unknown index kind tag %d (known: se=1, a2a=2, dynamic=3, multi=4)", uint16(kind))
+		return nil, fmt.Errorf("core: unknown index kind tag %d (known: se=1, a2a=2, dynamic=3, multi=4, flat=5)", uint16(kind))
 	}
 	idx, err := dec(secs)
 	if err != nil {
@@ -352,7 +354,7 @@ func LoadDegraded(r io.Reader) (DistanceIndex, []Quarantined, error) {
 		}
 		dec, ok := kindRegistry[kind]
 		if !ok {
-			return nil, nil, fmt.Errorf("core: unknown index kind tag %d (known: se=1, a2a=2, dynamic=3, multi=4)", uint16(kind))
+			return nil, nil, fmt.Errorf("core: unknown index kind tag %d (known: se=1, a2a=2, dynamic=3, multi=4, flat=5)", uint16(kind))
 		}
 		idx, err := dec(secs)
 		if err != nil {
@@ -360,7 +362,7 @@ func LoadDegraded(r io.Reader) (DistanceIndex, []Quarantined, error) {
 		}
 		return idx, nil, nil
 	}
-	idx, quarantined, err := decodeMulti(secs, true)
+	idx, quarantined, err := decodeMulti(secs, true, nil)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: decoding multi container: %w", err)
 	}
@@ -378,6 +380,139 @@ func LoadDegradedFile(path string) (DistanceIndex, []Quarantined, error) {
 	}
 	defer f.Close()
 	return LoadDegraded(f)
+}
+
+// --- zero-copy byte-image loading --------------------------------------------
+
+// sliceContainer parses the envelope from an in-memory image without copying
+// payloads (the returned sections alias data) and without touching the CRC
+// footer — the caller decides, per kind, whether an O(n) checksum is worth
+// paying (see LoadBytes).
+func sliceContainer(data []byte) (Kind, map[uint32][]byte, error) {
+	if len(data) < 16 {
+		return 0, nil, fmt.Errorf("core: container image truncated (%d bytes)", len(data))
+	}
+	if string(data[:4]) != containerMagic {
+		return 0, nil, fmt.Errorf("core: bad container magic %q", data[:4])
+	}
+	if version := binary.LittleEndian.Uint16(data[4:]); version != containerVersion {
+		return 0, nil, fmt.Errorf("core: unsupported container version %d (this build reads %d)", version, containerVersion)
+	}
+	kind := Kind(binary.LittleEndian.Uint16(data[6:]))
+	nsect := binary.LittleEndian.Uint32(data[8:])
+	if nsect > maxContainerSections {
+		return 0, nil, fmt.Errorf("core: container declares %d sections (max %d)", nsect, maxContainerSections)
+	}
+	secs := make(map[uint32][]byte, nsect)
+	off := uint64(12)
+	end := uint64(len(data) - 4) // the CRC footer
+	for i := uint32(0); i < nsect; i++ {
+		if off+12 > end {
+			return 0, nil, fmt.Errorf("core: section %d header exceeds the %d-byte image", i, len(data))
+		}
+		id := binary.LittleEndian.Uint32(data[off:])
+		length := binary.LittleEndian.Uint64(data[off+4:])
+		if length > end-(off+12) {
+			return 0, nil, fmt.Errorf("core: section %d (%d bytes declared) exceeds the %d-byte image", id, length, len(data))
+		}
+		if _, dup := secs[id]; dup {
+			return 0, nil, fmt.Errorf("core: duplicate container section %d", id)
+		}
+		secs[id] = data[off+12 : off+12+length]
+		off += 12 + length
+	}
+	if off != end {
+		return 0, nil, fmt.Errorf("core: container has %d bytes of trailing garbage before the CRC footer", end-off)
+	}
+	return kind, secs, nil
+}
+
+// verifyImageCRC checks the envelope CRC footer of an in-memory container
+// image.
+func verifyImageCRC(data []byte) error {
+	stored := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if computed := crc32.ChecksumIEEE(data[:len(data)-4]); stored != computed {
+		return fmt.Errorf("core: container CRC mismatch (stored %#x, computed %#x): file truncated or corrupt", stored, computed)
+	}
+	return nil
+}
+
+// LoadBytes decodes an index from an in-memory container image — typically a
+// memory-mapped file — slicing instead of copying wherever the kind allows.
+// keep is an arbitrary value retained by any zero-copy index that aliases
+// data (a mapping owner carrying a finalizer, say), so the backing memory
+// outlives every index reading it; pass nil for plain heap buffers.
+//
+// CRC policy, per kind: a flat container skips the whole-file CRC — paying
+// an O(n) checksum would re-linearize the O(1) cold start the layout exists
+// for; its header CRC plus structural validation (flat.go) stand in. Other
+// scalar kinds decode every byte anyway, so the footer is verified as in
+// Load. A multi container skips the outer footer and applies the same rule
+// member-wise, so flat members stay O(1).
+func LoadBytes(data []byte, keep any) (DistanceIndex, error) {
+	idx, _, err := loadBytes(data, keep, false)
+	return idx, err
+}
+
+// LoadBytesDegraded is LoadBytes with LoadDegraded's multi-container
+// fault tolerance: corrupt member bodies are quarantined, the healthy rest
+// served. Since the byte path never checks the outer footer, there is no
+// "corruption outside any member body" distinction — shared-state damage
+// surfaces as a structural decode failure instead.
+func LoadBytesDegraded(data []byte, keep any) (DistanceIndex, []Quarantined, error) {
+	return loadBytes(data, keep, true)
+}
+
+func loadBytes(data []byte, keep any, tolerant bool) (DistanceIndex, []Quarantined, error) {
+	if len(data) >= 4 && isLegacyMagic(data[:4]) {
+		o, err := decodeLegacy(bufio.NewReader(bytes.NewReader(data)))
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: legacy (pre-container) oracle stream: %w", err)
+		}
+		return o, nil, nil
+	}
+	kind, secs, err := sliceContainer(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch kind {
+	case KindFlat:
+		f, err := decodeFlatSecs(secs, keep)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: decoding %s container: %w", kind, err)
+		}
+		return f, nil, nil
+	case KindMulti:
+		idx, quarantined, err := decodeMulti(secs, tolerant, keep)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: decoding multi container: %w", err)
+		}
+		return idx, quarantined, nil
+	default:
+		if err := verifyImageCRC(data); err != nil {
+			return nil, nil, err
+		}
+		dec, ok := kindRegistry[kind]
+		if !ok {
+			return nil, nil, fmt.Errorf("core: unknown index kind tag %d (known: se=1, a2a=2, dynamic=3, multi=4, flat=5)", uint16(kind))
+		}
+		idx, err := dec(secs)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: decoding %s container: %w", kind, err)
+		}
+		return idx, nil, nil
+	}
+}
+
+// MappedBytesOf reports how many bytes idx serves in place from a retained
+// container image — 0 for fully decoded kinds. Callers deciding whether a
+// mapping must outlive an index (finalizer or immediate munmap) key off
+// this.
+func MappedBytesOf(idx DistanceIndex) int64 {
+	if m, ok := idx.(MappedIndex); ok {
+		return m.MappedBytes()
+	}
+	return 0
 }
 
 // expectDrained enforces that a section decoder consumed its whole payload:

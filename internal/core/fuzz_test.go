@@ -114,7 +114,27 @@ func FuzzDecode(f *testing.F) {
 	if err := sh.EncodeTo(&multiCont); err != nil {
 		f.Fatal(err)
 	}
-	for _, seed := range [][]byte{legacy.Bytes(), seCont.Bytes(), a2aCont.Bytes(), dynCont.Bytes(), multiCont.Bytes()} {
+	// Flat containers: the scalar flat oracle, a multi of flat members
+	// (shared mesh hoisted), and a flat body with slab *content* flipped —
+	// the byte-path loader skips the whole-file CRC, so content damage must
+	// surface as query errors, never faults, and the fuzzer should start
+	// one mutation away from every slab.
+	var flatCont bytes.Buffer
+	if err := o.EncodeFlatTo(&flatCont); err != nil {
+		f.Fatal(err)
+	}
+	fsh, err := ConvertFlat(sh)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var flatMulti bytes.Buffer
+	if err := fsh.EncodeTo(&flatMulti); err != nil {
+		f.Fatal(err)
+	}
+	flatFlip := append([]byte(nil), flatCont.Bytes()...)
+	flatFlip[len(flatFlip)/2] ^= 0x10
+	for _, seed := range [][]byte{legacy.Bytes(), seCont.Bytes(), a2aCont.Bytes(), dynCont.Bytes(),
+		multiCont.Bytes(), flatCont.Bytes(), flatMulti.Bytes(), flatFlip} {
 		f.Add(seed)
 		f.Add(seed[:len(seed)/2])
 		// Kind-tag flip without CRC repair: must die at the footer check.
@@ -126,6 +146,30 @@ func FuzzDecode(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// The zero-copy byte path skips whole-file CRCs (flat members
+		// self-validate structurally), so it sees more of the input space
+		// than Load; whatever it accepts must answer queries — including
+		// invalid ids — with errors, never faults.
+		if bidx, err := LoadBytes(append([]byte(nil), data...), nil); err == nil {
+			n := int32(bidx.Stats().Points)
+			for _, pair := range [][2]int32{{0, 0}, {0, n - 1}, {n - 1, 1}, {-1, 0}, {0, n}} {
+				_, _ = bidx.Query(pair[0], pair[1])
+			}
+			if fo, ok := bidx.(*FlatOracle); ok && n >= 1 {
+				// Walk every slab family cheaply: queryPair (paths, disp,
+				// slots), centerSequence (leaf, nodes), Nearest (the lazy
+				// point slab). Geodesic path extraction is parity-tested
+				// elsewhere; here the point is that corrupt slab content
+				// errors instead of faulting.
+				if _, na, nb, err := fo.queryPair(0, n-1); err == nil {
+					_, _ = fo.centerSequence(0, n-1, na, nb)
+				}
+				if n <= 64 {
+					_ = fo.CheckInvariants()
+				}
+				_, _, _, _ = fo.Nearest(0, 0)
+			}
+		}
 		idx, err := Load(bytes.NewReader(data))
 		if err != nil {
 			return

@@ -26,6 +26,10 @@ const (
 	// manifest of named members (each with a planar bbox) bundling several
 	// indexes of the other kinds into one serving unit.
 	KindMulti Kind = 4
+	// KindFlat is the zero-parse flat layout of the SE oracle
+	// (*FlatOracle): a pointer-free slab image queried in place from the
+	// loaded bytes — typically a memory mapping — with no decode pass.
+	KindFlat Kind = 5
 )
 
 // String returns the kind's human-readable name ("se", "a2a", "dynamic",
@@ -40,6 +44,8 @@ func (k Kind) String() string {
 		return "dynamic"
 	case KindMulti:
 		return "multi"
+	case KindFlat:
+		return "flat"
 	}
 	return fmt.Sprintf("kind(%d)", uint16(k))
 }
@@ -65,6 +71,13 @@ type IndexStats struct {
 	Height      int     `json:"height"`
 	Pairs       int     `json:"pairs"`
 	MemoryBytes int64   `json:"memory_bytes"`
+
+	// MappedBytes is the slice of the index served in place from a retained
+	// container image (a memory-mapped file) rather than decoded onto the
+	// heap; zero for fully decoded kinds. MemoryBytes and MappedBytes
+	// together are the index's resident footprint — the split /statsz
+	// reports so operators can see what the flat layout saves.
+	MappedBytes int64 `json:"mapped_bytes,omitempty"`
 
 	// Build carries the construction-phase statistics; zero for indexes
 	// loaded from a container (construction happened in another process).
@@ -171,6 +184,16 @@ type NearestFinder interface {
 	Nearest(x, y float64) (id int32, at terrain.SurfacePoint, planar float64, err error)
 }
 
+// MappedIndex is implemented by indexes that serve some of their state in
+// place from a retained container image instead of decoded heap structures
+// (the flat layout). Loaders use it — via MappedBytesOf — to decide whether
+// the backing memory must outlive the index.
+type MappedIndex interface {
+	// MappedBytes reports how many bytes of retained container image the
+	// index reads in place.
+	MappedBytes() int64
+}
+
 // Compile-time checks: every engine implements the shared interface, and
 // the site oracle additionally serves arbitrary points.
 var (
@@ -198,6 +221,14 @@ var (
 	_ Reachability   = (*SiteOracle)(nil)
 	_ Reachability   = (*DynamicOracle)(nil)
 	_ Reachability   = (*ShardedIndex)(nil)
+	_ DistanceIndex  = (*FlatOracle)(nil)
+	_ PathIndex      = (*FlatOracle)(nil)
+	_ NearestFinder  = (*FlatOracle)(nil)
+	_ MatrixIndex    = (*FlatOracle)(nil)
+	_ NearestKFinder = (*FlatOracle)(nil)
+	_ Reachability   = (*FlatOracle)(nil)
+	_ MappedIndex    = (*FlatOracle)(nil)
+	_ MappedIndex    = (*ShardedIndex)(nil)
 )
 
 // BatchViaQuery is the shared QueryBatch implementation for indexes whose

@@ -234,6 +234,16 @@ func (sh *ShardedIndex) MemoryBytes() int64 {
 	return b
 }
 
+// MappedBytes sums the members' in-place container image bytes (flat
+// members; zero for decoded kinds). Part of the MappedIndex interface.
+func (sh *ShardedIndex) MappedBytes() int64 {
+	var b int64
+	for _, m := range sh.members {
+		b += MappedBytesOf(m.Index)
+	}
+	return b
+}
+
 // Stats aggregates the members: point/pair/memory sums, the maximum height
 // and epsilon (the conservative error bound across shards), and the member
 // count.
@@ -244,6 +254,7 @@ func (sh *ShardedIndex) Stats() IndexStats {
 		st.Points += ms.Points
 		st.Pairs += ms.Pairs
 		st.MemoryBytes += ms.MemoryBytes
+		st.MappedBytes += ms.MappedBytes
 		st.Epsilon = math.Max(st.Epsilon, ms.Epsilon)
 		if ms.Height > st.Height {
 			st.Height = ms.Height
@@ -289,7 +300,9 @@ func (sh *ShardedIndex) manifestSection() section {
 }
 
 // sharedMesh returns the terrain mesh to hoist into the multi container's
-// one shared mesh section: the first SE member's retained mesh. The tiled
+// one shared mesh section: the first SE member's retained mesh, or the mesh
+// a flat member adopted from a previous multi load (its body carries no
+// mesh slab, so the shared section must be re-emitted for it). The tiled
 // build hands every tile the same *Mesh, so only members holding exactly
 // that mesh are stripped of their per-member copy — a hand-assembled index
 // mixing terrains keeps each member's own embedded mesh.
@@ -297,6 +310,9 @@ func (sh *ShardedIndex) sharedMesh() *terrain.Mesh {
 	for _, m := range sh.members {
 		if o, ok := m.Index.(*Oracle); ok && o.mesh != nil {
 			return o.mesh
+		}
+		if f, ok := m.Index.(*FlatOracle); ok && f.adopted != nil {
+			return f.adopted
 		}
 	}
 	return nil
@@ -336,8 +352,43 @@ func (sh *ShardedIndex) EncodeTo(w io.Writer) error {
 // kind that disagrees with a member's body, duplicate or malformed names,
 // and invalid bboxes are all corruption, not slack.
 func decodeMultiContainer(secs map[uint32][]byte) (DistanceIndex, error) {
-	idx, _, err := decodeMulti(secs, false)
+	idx, _, err := decodeMulti(secs, false, nil)
 	return idx, err
+}
+
+// loadMember decodes one member body from its in-place section bytes. Flat
+// members are sliced zero-copy with keep threaded through (their structural
+// validation stands in for a checksum — see LoadBytes); every other kind is
+// CRC-verified against its own footer before decoding, exactly as a stream
+// Load of the body would. The legacy bare-oracle stream keeps loading
+// through the stream path.
+func loadMember(payload []byte, keep any) (DistanceIndex, error) {
+	if len(payload) >= 4 && isLegacyMagic(payload[:4]) {
+		return Load(bytes.NewReader(payload))
+	}
+	kind, secs, err := sliceContainer(payload)
+	if err != nil {
+		return nil, err
+	}
+	if kind == KindFlat {
+		f, err := decodeFlatSecs(secs, keep)
+		if err != nil {
+			return nil, fmt.Errorf("core: decoding %s container: %w", kind, err)
+		}
+		return f, nil
+	}
+	if err := verifyImageCRC(payload); err != nil {
+		return nil, err
+	}
+	dec, ok := kindRegistry[kind]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown index kind tag %d (known: se=1, a2a=2, dynamic=3, multi=4, flat=5)", uint16(kind))
+	}
+	idx, err := dec(secs)
+	if err != nil {
+		return nil, fmt.Errorf("core: decoding %s container: %w", kind, err)
+	}
+	return idx, nil
 }
 
 // decodeMulti is decodeMultiContainer with an optional tolerant mode (the
@@ -347,8 +398,9 @@ func decodeMultiContainer(secs map[uint32][]byte) (DistanceIndex, error) {
 // the healthy rest are assembled. Manifest and shared-mesh damage stays
 // fatal in both modes: without a trustworthy manifest there is no member
 // identity to quarantine under. Tolerant loads fail only when every member
-// is damaged.
-func decodeMulti(secs map[uint32][]byte, tolerant bool) (DistanceIndex, []Quarantined, error) {
+// is damaged. keep is retained by zero-copy (flat) members whose slabs
+// alias the section bytes (see LoadBytes).
+func decodeMulti(secs map[uint32][]byte, tolerant bool, keep any) (DistanceIndex, []Quarantined, error) {
 	if err := requireSections(secs, secManifest); err != nil {
 		return nil, nil, err
 	}
@@ -430,7 +482,7 @@ func decodeMulti(secs map[uint32][]byte, tolerant bool) (DistanceIndex, []Quaran
 			quarantine(err)
 			continue
 		}
-		idx, err := Load(bytes.NewReader(payload))
+		idx, err := loadMember(payload, keep)
 		if err != nil {
 			if !tolerant {
 				return nil, nil, fmt.Errorf("member %q: %w", e.name, err)
@@ -470,6 +522,12 @@ func decodeMulti(secs map[uint32][]byte, tolerant bool) (DistanceIndex, []Quaran
 				continue
 			}
 			o.mesh = shared
+		}
+		if fo, ok := idx.(*FlatOracle); ok && fo.meshC == nil && shared != nil {
+			// A mesh-less flat member adopts the shared terrain; its POIs are
+			// validated against it lazily, on the first path query (the flat
+			// layout defers every cold-slab decode).
+			fo.adopted = shared
 		}
 		members = append(members, ShardMember{Name: e.name, BBox: e.bbox, Index: idx})
 	}

@@ -1,0 +1,92 @@
+package perfecthash
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// probeCompact resolves key the way a reader of the flat slot slab would:
+// bucket → displacement → slot.
+func probeCompact(key, seed uint64, disp []uint16, ns int) int32 {
+	d := disp[CompactBucketOf(key, seed, len(disp))]
+	return int32(CompactSlotOf(key, seed, d, ns))
+}
+
+func TestCompactRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 5, 64, 900, 10000} {
+		rng := rand.New(rand.NewSource(int64(n) + 7))
+		keys := make([]uint64, n)
+		seen := map[uint64]bool{}
+		for i := range keys {
+			for {
+				k := rng.Uint64()
+				if !seen[k] {
+					seen[k] = true
+					keys[i] = k
+					break
+				}
+			}
+		}
+		disp, slotOf, seed, err := BuildCompact(keys, 0x5e0ac1e)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(disp) != CompactBuckets(n) {
+			t.Fatalf("n=%d: %d disp entries, want %d", n, len(disp), CompactBuckets(n))
+		}
+		ns := CompactSlots(n)
+		used := make(map[int32]int, n)
+		for i, k := range keys {
+			s := probeCompact(k, seed, disp, ns)
+			if s != slotOf[i] {
+				t.Fatalf("n=%d key %d: probe slot %d, placed at %d", n, i, s, slotOf[i])
+			}
+			if prev, dup := used[s]; dup {
+				t.Fatalf("n=%d: keys %d and %d share slot %d", n, prev, i, s)
+			}
+			used[s] = i
+		}
+	}
+}
+
+func TestCompactDeterministic(t *testing.T) {
+	keys := make([]uint64, 500)
+	rng := rand.New(rand.NewSource(3))
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	d1, s1, seed1, err1 := BuildCompact(keys, 42)
+	d2, s2, seed2, err2 := BuildCompact(keys, 42)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if seed1 != seed2 {
+		t.Fatalf("seeds differ: %#x vs %#x", seed1, seed2)
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("disp[%d] differs", i)
+		}
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("slotOf[%d] differs", i)
+		}
+	}
+}
+
+func TestCompactDuplicateKeys(t *testing.T) {
+	keys := []uint64{1, 2, 3, 2, 5}
+	if _, _, _, err := BuildCompact(keys, 1); err == nil {
+		t.Fatal("duplicate keys accepted")
+	}
+}
+
+func TestCompactSpaceBound(t *testing.T) {
+	// The whole point of the compact layout: slots stay within ~6% of n.
+	for _, n := range []int{16, 900, 50000} {
+		if ns := CompactSlots(n); float64(ns) > 1.07*float64(n)+1 {
+			t.Fatalf("n=%d: %d slots (> 1.07n)", n, ns)
+		}
+	}
+}

@@ -2,29 +2,65 @@ package server
 
 import (
 	"bufio"
-	"bytes"
 	"fmt"
 	"os"
+	"runtime"
 
 	"seoracle/internal/core"
 )
 
+// mapping owns one live memory mapping. Flat indexes decoded from it alias
+// its bytes (core.LoadBytes slices instead of copying), so the munmap must
+// wait until no index reads it: every zero-copy index retains the *mapping
+// through core's keep plumbing, and the finalizer fires after the last one
+// is collected. Mapped memory is invisible to the Go heap, so a finalizer
+// on this heap-allocated owner is the only GC hook available.
+type mapping struct {
+	data  []byte
+	close func() error
+}
+
+// release closes the mapping immediately — used when the decode produced no
+// zero-copy index (everything was copied to the heap) or failed.
+func (m *mapping) release() error {
+	if m.close == nil {
+		return nil
+	}
+	c := m.close
+	m.close = nil
+	return c()
+}
+
+// finishLoad decides the mapping's lifetime after a decode: an index that
+// reads the mapping in place (core.MappedBytesOf > 0) keeps it alive until
+// the index is collected; otherwise it is released on the spot.
+func (m *mapping) finishLoad(idx core.DistanceIndex, derr error) error {
+	if derr == nil && core.MappedBytesOf(idx) > 0 {
+		runtime.SetFinalizer(m, func(m *mapping) { _ = m.release() })
+		return derr
+	}
+	if cerr := m.release(); derr == nil && cerr != nil {
+		return fmt.Errorf("server: releasing index mapping: %w", cerr)
+	}
+	return derr
+}
+
 // LoadIndexFile loads any index container from disk, either by streaming
 // through a buffered reader or — when useMmap is set on a platform that
-// supports it — by memory-mapping the file and decoding from the mapping,
-// which keeps the load from double-buffering large containers through the
-// page cache. Every decoder copies the payloads into its own structures, so
-// the mapping is released before returning; the decoded index owns all its
-// memory either way.
+// supports it — by memory-mapping the file and decoding from the mapping
+// via core.LoadBytes. Decoded kinds copy their payloads to the heap and the
+// mapping is released before returning; the flat kind queries the mapping
+// in place (O(1) cold start, zero decode copies), so the mapping stays
+// alive, finalizer-backed, for as long as the index does. Hot reload and
+// the endpoint LRU need no special handling: an old index dropped from
+// serving keeps its mapping until the GC proves nothing queries it.
 func LoadIndexFile(path string, useMmap bool) (core.DistanceIndex, error) {
 	if useMmap {
 		data, closer, err := mmapFile(path)
 		if err == nil {
-			idx, derr := core.Load(bytes.NewReader(data))
-			if cerr := closer(); derr == nil && cerr != nil {
-				derr = fmt.Errorf("server: releasing mapping of %s: %w", path, cerr)
-			}
-			if derr != nil {
+			m := &mapping{data: data, close: closer}
+			idx, derr := core.LoadBytes(m.data, m)
+			if derr = m.finishLoad(idx, derr); derr != nil {
 				return nil, derr
 			}
 			return idx, nil
@@ -45,16 +81,14 @@ func LoadIndexFile(path string, useMmap bool) (core.DistanceIndex, error) {
 // LoadDegradedFile is LoadIndexFile's fault-tolerant form: a multi
 // container with corrupt member bodies loads with those members
 // quarantined instead of failing outright (core.LoadDegraded), through
-// the same mmap-or-stream plumbing.
+// the same mmap-or-stream plumbing, flat members staying zero-copy.
 func LoadDegradedFile(path string, useMmap bool) (core.DistanceIndex, []core.Quarantined, error) {
 	if useMmap {
 		data, closer, err := mmapFile(path)
 		if err == nil {
-			idx, quarantined, derr := core.LoadDegraded(bytes.NewReader(data))
-			if cerr := closer(); derr == nil && cerr != nil {
-				derr = fmt.Errorf("server: releasing mapping of %s: %w", path, cerr)
-			}
-			if derr != nil {
+			m := &mapping{data: data, close: closer}
+			idx, quarantined, derr := core.LoadBytesDegraded(m.data, m)
+			if derr = m.finishLoad(idx, derr); derr != nil {
 				return nil, nil, derr
 			}
 			return idx, quarantined, nil

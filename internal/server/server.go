@@ -993,9 +993,17 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) int {
 			"latency_ns": m.latencyNs.Load(),
 		}
 	}
+	rootStats := ep.root.Stats()
 	body := map[string]interface{}{
-		"index":               ep.root.Stats(),
-		"endpoints":           eps,
+		"index":     rootStats,
+		"endpoints": eps,
+		// The resident split: memory_bytes is decoded heap state,
+		// mapped_bytes the slice served in place from a mapped container
+		// (flat layout). Per-member splits sit under indexes.<name>.stats.
+		"memory": map[string]interface{}{
+			"heap_bytes":   rootStats.MemoryBytes,
+			"mapped_bytes": rootStats.MappedBytes,
+		},
 		"cache":               s.cache.snapshot(),
 		"encode_failures":     s.encodeFailures.Load(),
 		"coord_rejections":    s.coordRejections.Load(),
