@@ -8,7 +8,7 @@ GO ?= go
 BENCHTIME ?= 0.3s
 BENCH_LABEL ?= local
 
-.PHONY: all build test race bench bench-smoke bench-json bench-check lint fmt fmt-check fuzz-smoke serve-smoke chaos-smoke ci
+.PHONY: all build test race bench bench-smoke bench-json bench-check lint escape-gate vulncheck fmt fmt-check fuzz-smoke serve-smoke chaos-smoke ci
 
 all: build
 
@@ -21,9 +21,12 @@ test:
 # Race-detect the packages with concurrent construction, query and serving
 # paths (the server's cache/single-flight machinery is lock-based, the
 # hot-reload epoch swap and the chaos injector run under concurrent load,
-# and all must stay race-clean).
+# and all must stay race-clean). perfecthash and btree are included because
+# their immutable tables are probed from many goroutines in the sharded
+# index.
 race:
-	$(GO) test -race ./internal/core/... ./internal/geodesic/... ./internal/server/... ./internal/chaos/...
+	$(GO) test -race ./internal/core/... ./internal/geodesic/... ./internal/server/... ./internal/chaos/... \
+		./internal/perfecthash/... ./internal/btree/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
@@ -49,13 +52,29 @@ bench-check:
 DOCLINT_PKGS = . ./internal/core ./internal/server ./internal/terrain \
 	./internal/geodesic ./internal/btree ./internal/perfecthash \
 	./internal/baseline ./internal/gen ./internal/geom ./internal/steiner \
-	./internal/chaos \
+	./internal/chaos ./internal/exp ./internal/analysis \
 	./cmd/sequery ./cmd/seserve ./cmd/benchjson ./cmd/doclint ./cmd/loadgen \
-	./cmd/seconvert
+	./cmd/seconvert ./cmd/sebuild ./cmd/terraingen ./cmd/experiments \
+	./cmd/sealint
 
+# lint is vet + doc-comment coverage + the sealint invariant suite
+# (mapiter, hotpath, marshalfirst, ctxward, atomicfield — see
+# docs/ARCHITECTURE.md "Static invariants").
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/doclint $(DOCLINT_PKGS)
+	$(GO) run ./cmd/sealint ./...
+
+# The build-mode half of the hot-path guarantee: compile with -gcflags=-m
+# and fail if any //sealint:hotpath function gains a compiler-proved heap
+# allocation (see scripts/escape_gate.sh).
+escape-gate:
+	sh scripts/escape_gate.sh
+
+# Informational locally (skips when govulncheck is absent); CI installs the
+# tool and blocks on stdlib findings (the module has no other dependencies).
+vulncheck:
+	sh scripts/vulncheck.sh
 
 fmt:
 	gofmt -w .
@@ -81,4 +100,4 @@ serve-smoke:
 chaos-smoke:
 	sh scripts/chaos_smoke.sh
 
-ci: fmt-check lint build test race bench-check chaos-smoke
+ci: fmt-check lint build test race bench-check escape-gate chaos-smoke

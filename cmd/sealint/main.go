@@ -1,0 +1,151 @@
+// Command sealint runs the project's static-analysis suite
+// (internal/analysis): five analyzers that turn the repo's load-bearing
+// invariants into build failures —
+//
+//	mapiter      deterministic encodes: no order-sensitive state from map iteration
+//	hotpath      //sealint:hotpath functions contain no allocating constructs
+//	marshalfirst serving layer marshals JSON before committing a status
+//	ctxward      serving code calls the Ctx variants so deadlines propagate
+//	atomicfield  no mixed atomic/plain access to a field
+//
+// Usage:
+//
+//	sealint [-analyzers=a,b,...] [packages]
+//	sealint -list-hotpath [packages]
+//	sealint -escape-check=FILE [packages]
+//
+// The default package pattern is ./... and the exit status is non-zero
+// when any diagnostic survives the //sealint:ignore filter. -list-hotpath
+// prints every annotated hot function as "file\tstart\tend\tname".
+// -escape-check reads `go build -gcflags=-m` output from FILE ("-" for
+// stdin) and fails on compiler-proved heap escapes inside annotated
+// functions; scripts/escape_gate.sh is the usual driver.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"seoracle/internal/analysis"
+)
+
+func main() {
+	var (
+		names       = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		listHotpath = flag.Bool("list-hotpath", false, "print //sealint:hotpath functions and exit")
+		escapeCheck = flag.String("escape-check", "", "read `go build -gcflags=-m` output from FILE (- for stdin) and fail on hot-path escapes")
+	)
+	flag.Usage = usage
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	switch {
+	case *listHotpath:
+		os.Exit(runListHotpath(patterns))
+	case *escapeCheck != "":
+		os.Exit(runEscapeCheck(*escapeCheck, patterns))
+	default:
+		os.Exit(runCheck(*names, patterns))
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: sealint [-analyzers=a,b] [-list-hotpath] [-escape-check=FILE] [packages]\n\nanalyzers:\n")
+	for _, a := range analysis.Analyzers() {
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+	}
+	flag.PrintDefaults()
+}
+
+// runCheck loads the packages and applies the (selected) analyzer suite.
+func runCheck(names string, patterns []string) int {
+	suite := analysis.Analyzers()
+	if names != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		suite = suite[:0]
+		for _, n := range strings.Split(names, ",") {
+			a, ok := byName[strings.TrimSpace(n)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "sealint: unknown analyzer %q\n", n)
+				return 2
+			}
+			suite = append(suite, a)
+		}
+	}
+	pkgs, err := analysis.LoadPackages(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sealint: %v\n", err)
+		return 2
+	}
+	bad := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunAnalyzers(pkg, suite)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sealint: %v\n", err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		bad += len(diags)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "sealint: %d invariant violations\n", bad)
+		return 1
+	}
+	return 0
+}
+
+// runListHotpath prints the annotated hot functions as TSV.
+func runListHotpath(patterns []string) int {
+	funcs, err := analysis.HotpathFuncs(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sealint: %v\n", err)
+		return 2
+	}
+	for _, f := range funcs {
+		fmt.Printf("%s\t%d\t%d\t%s\n", f.File, f.StartLine, f.EndLine, f.Name)
+	}
+	return 0
+}
+
+// runEscapeCheck joins compiler escape output against the hotpath
+// annotations.
+func runEscapeCheck(file string, patterns []string) int {
+	var in io.Reader = os.Stdin
+	if file != "-" {
+		f, err := os.Open(file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sealint: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		in = f
+	}
+	violations, funcs, err := analysis.EscapeCheck(in, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sealint: %v\n", err)
+		return 2
+	}
+	if len(funcs) == 0 {
+		fmt.Fprintf(os.Stderr, "sealint: no //sealint:hotpath functions in %s — nothing to gate\n", strings.Join(patterns, " "))
+		return 2
+	}
+	for _, v := range violations {
+		fmt.Println(v)
+	}
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "sealint: %d heap escapes in hotpath functions (%d functions gated)\n", len(violations), len(funcs))
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "sealint: escape gate clean: %d hotpath functions, 0 escapes\n", len(funcs))
+	return 0
+}

@@ -1,0 +1,232 @@
+// Package analysis is the project's static-analysis toolkit: a small,
+// dependency-free go/analysis-style framework plus the five sealint
+// analyzers that encode the repo's load-bearing invariants (deterministic
+// encodes, allocation-free hot paths, marshal-before-status serving,
+// context propagation, atomic-field discipline) as compile-time checks.
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis —
+// Analyzer, Pass, Diagnostic — but is built on the standard library only:
+// the container has no module proxy access, so dependencies are resolved
+// from the build cache's export data via `go list -export` (see load.go)
+// instead of x/tools' package loader. Swapping to the real x/tools driver
+// later is a mechanical change; the analyzer bodies already follow its
+// conventions.
+//
+// Diagnostics are suppressed line-by-line with
+//
+//	//sealint:ignore <reason>
+//
+// on the flagged line or the line immediately above it. The reason is
+// mandatory: a bare ignore directive is itself a diagnostic, so every
+// suppression in the tree documents why the invariant does not apply.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one named invariant check. It mirrors
+// x/tools/go/analysis.Analyzer: Run inspects a single type-checked package
+// through its Pass and reports diagnostics.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the sealint
+	// command line.
+	Name string
+	// Doc is the one-paragraph description shown by `sealint -help`: the
+	// invariant the analyzer encodes and the historical bug motivating it.
+	Doc string
+	// Run performs the check over one package.
+	Run func(*Pass) error
+	// Scope, when non-nil, restricts the packages the driver applies the
+	// analyzer to (by import path). Analyzers whose invariant is specific
+	// to one layer (marshalfirst, ctxward target the serving layer) use
+	// this; a nil Scope means every package.
+	Scope func(pkgPath string) bool
+}
+
+// A Pass carries one type-checked package through an Analyzer's Run.
+type Pass struct {
+	// Analyzer is the check being run, so shared helpers can attribute
+	// diagnostics.
+	Analyzer *Analyzer
+	// Fset maps token positions of Files to file/line/column.
+	Fset *token.FileSet
+	// Files are the package's parsed non-test sources, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info holds the type-checker's expression, object and selection
+	// tables for Files.
+	Info *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding: a resolved position, the analyzer that
+// produced it, and the message.
+type Diagnostic struct {
+	// Pos is the finding's resolved source position.
+	Pos token.Position
+	// Analyzer names the check that produced the finding.
+	Analyzer string
+	// Message describes the violated invariant at Pos.
+	Message string
+}
+
+// String formats the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// ignoreDirective is the comment prefix that suppresses a diagnostic on its
+// own line or the line below.
+const ignoreDirective = "//sealint:ignore"
+
+// hotpathDirective marks a function whose body must stay allocation-free;
+// both the hotpath analyzer and the escape gate key off it.
+const hotpathDirective = "//sealint:hotpath"
+
+// RunAnalyzers applies every analyzer (honoring Scope) to pkg, filters the
+// results through the package's //sealint:ignore directives, and returns
+// the surviving diagnostics sorted by position. Malformed directives
+// (missing reason) are reported as diagnostics themselves.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return run(pkg, analyzers, true)
+}
+
+// RunIgnoringScope applies one analyzer to pkg regardless of its Scope —
+// the analysistest entry point, where fixture packages live under testdata
+// rather than the scoped import paths. Suppression directives are honored
+// exactly as in RunAnalyzers.
+func RunIgnoringScope(pkg *Package, a *Analyzer) ([]Diagnostic, error) {
+	return run(pkg, []*Analyzer{a}, false)
+}
+
+func run(pkg *Package, analyzers []*Analyzer, honorScope bool) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, a := range analyzers {
+		if honorScope && a.Scope != nil && !a.Scope(pkg.PkgPath) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+		}
+		all = append(all, pass.diags...)
+	}
+	ignored, bad := ignoreLines(pkg.Fset, pkg.Files)
+	all = append(all, bad...)
+	kept := all[:0]
+	for _, d := range all {
+		if ignored[lineKey{d.Pos.Filename, d.Pos.Line}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i].Pos, kept[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return kept, nil
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// ignoreLines collects the set of (file, line) positions suppressed by
+// //sealint:ignore directives: the directive's own line and the line below
+// it (so a directive can sit above a long expression or share its line).
+// Directives without a reason are returned as diagnostics.
+func ignoreLines(fset *token.FileSet, files []*ast.File) (map[lineKey]bool, []Diagnostic) {
+	ignored := make(map[lineKey]bool)
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignoreDirective) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignoreDirective)
+				pos := fset.Position(c.Pos())
+				if strings.TrimSpace(rest) == "" || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					bad = append(bad, Diagnostic{
+						Pos:      pos,
+						Analyzer: "sealint",
+						Message:  "//sealint:ignore directive needs a reason: //sealint:ignore <why this is a false positive>",
+					})
+					continue
+				}
+				ignored[lineKey{pos.Filename, pos.Line}] = true
+				ignored[lineKey{pos.Filename, pos.Line + 1}] = true
+			}
+		}
+	}
+	return ignored, bad
+}
+
+// Analyzers returns the full sealint suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{MapIter, HotPath, MarshalFirst, CtxWard, AtomicField}
+}
+
+// typeImplements reports whether t (or *t) satisfies the interface iface.
+func typeImplements(t types.Type, iface *types.Interface) bool {
+	if iface == nil || t == nil {
+		return false
+	}
+	if types.Implements(t, iface) {
+		return true
+	}
+	if _, ok := t.(*types.Pointer); !ok {
+		return types.Implements(types.NewPointer(t), iface)
+	}
+	return false
+}
+
+// isPkgFunc reports whether the call's callee is the package-level function
+// pkgPath.name (matched through the type-checker, so aliases and dot
+// imports resolve correctly).
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false
+	}
+	obj, ok := info.Uses[id].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath && obj.Name() == name && obj.Type().(*types.Signature).Recv() == nil
+}

@@ -1,0 +1,139 @@
+// Package analysistest runs a sealint analyzer over a fixture package and
+// checks its diagnostics against `// want` expectations embedded in the
+// fixture sources, mirroring x/tools/go/analysis/analysistest on top of the
+// repo's stdlib-only framework.
+//
+// An expectation is written on the line it applies to:
+//
+//	out = append(out, k) // want `append to \"out\" inside range over map`
+//
+// The text after `want` is one or more Go-quoted strings (backquoted or
+// double-quoted), each a regular expression that must match one diagnostic
+// reported on that line. Lines without a want comment must produce no
+// diagnostics; every want must be matched; every diagnostic must be wanted.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"seoracle/internal/analysis"
+)
+
+// wantRe captures the expectation list after a `// want` marker.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// Run loads the single fixture package rooted at dir, applies a (bypassing
+// its Scope — fixtures live under testdata, outside any scoped import
+// path), and reports mismatches between diagnostics and expectations
+// through t.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	pkg, err := analysis.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.RunIgnoringScope(pkg, a)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("reading fixture file: %v", err)
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			pats, err := parseWants(m[1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want: %v", name, i+1, err)
+			}
+			wants[key{name, i + 1}] = append(wants[key{name, i + 1}], pats...)
+		}
+	}
+
+	matched := make(map[key][]bool)
+	for k, pats := range wants {
+		matched[k] = make([]bool, len(pats))
+	}
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		pats := wants[k]
+		found := false
+		for i, pat := range pats {
+			if !matched[k][i] && pat.MatchString(d.Message) {
+				matched[k][i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for k, pats := range wants {
+		for i, pat := range pats {
+			if !matched[k][i] {
+				t.Errorf("%s:%d: no diagnostic matched want %q", k.file, k.line, pat)
+			}
+		}
+	}
+}
+
+// parseWants splits the tail of a want comment into compiled regexps. Each
+// expectation is a Go string literal: `...` or "..." with the usual escapes.
+func parseWants(s string) ([]*regexp.Regexp, error) {
+	var pats []*regexp.Regexp
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var lit string
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquoted expectation")
+			}
+			lit = s[1 : 1+end]
+			s = s[end+2:]
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated quoted expectation")
+			}
+			lit = strings.ReplaceAll(s[1:end], `\"`, `"`)
+			s = s[end+1:]
+		default:
+			return nil, fmt.Errorf("expectation must be a backquoted or quoted string, got %q", s)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, fmt.Errorf("bad expectation regexp %q: %v", lit, err)
+		}
+		pats = append(pats, re)
+		s = strings.TrimSpace(s)
+	}
+	return pats, nil
+}

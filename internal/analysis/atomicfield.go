@@ -1,0 +1,132 @@
+// atomicfield.go — the atomic-discipline analyzer. The server's epoch
+// pointer, stats counters and build counters are all read under concurrent
+// load; one plain `s.count++` beside atomic.AddInt64(&s.count, 1) is a
+// data race the race detector only catches when a test happens to hit the
+// interleaving. atomicfield finds the pattern statically: any variable or
+// field passed to a sync/atomic operation anywhere in the package must be
+// accessed through sync/atomic everywhere. (The repo's own counters use
+// the typed atomic.Int64/atomic.Pointer forms, which make mixed access
+// unrepresentable — this analyzer guards the old-style escape hatch so it
+// can never quietly come back.)
+
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicField flags non-atomic reads or writes of variables and struct
+// fields that are accessed through sync/atomic functions elsewhere in the
+// package; mixed access is a data race.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc: "a field passed to sync/atomic anywhere must be accessed atomically " +
+		"everywhere; mixed atomic/plain access is a data race (epoch pointers, " +
+		"stats counters, build counters)",
+	Run: runAtomicField,
+}
+
+func runAtomicField(pass *Pass) error {
+	// Pass 1: collect the objects whose addresses feed sync/atomic calls,
+	// and the &x arguments that are therefore sanctioned.
+	atomicUse := make(map[types.Object]ast.Node) // object -> first atomic call site
+	var sanctioned []*ast.UnaryExpr
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass.Info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				obj := rootObj(pass.Info, u.X)
+				if obj == nil {
+					continue
+				}
+				if _, seen := atomicUse[obj]; !seen {
+					atomicUse[obj] = call
+				}
+				sanctioned = append(sanctioned, u)
+			}
+			return true
+		})
+	}
+	if len(atomicUse) == 0 {
+		return nil
+	}
+	inSanctioned := func(n ast.Node) bool {
+		for _, u := range sanctioned {
+			if n.Pos() >= u.Pos() && n.End() <= u.End() {
+				return true
+			}
+		}
+		return false
+	}
+	// Pass 2: every other use of those objects must itself be atomic.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var obj types.Object
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				if sel, ok := pass.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+					obj = sel.Obj()
+				}
+			case *ast.Ident:
+				obj = pass.Info.Uses[x]
+				if _, isVar := obj.(*types.Var); !isVar {
+					return true
+				}
+			default:
+				return true
+			}
+			if obj == nil {
+				return true
+			}
+			first, tracked := atomicUse[obj]
+			if !tracked || inSanctioned(n) {
+				return true
+			}
+			firstPos := pass.Fset.Position(first.Pos())
+			pass.Reportf(n.Pos(),
+				"non-atomic access to %s, which is accessed via sync/atomic at %s:%d; mixed access is a data race",
+				obj.Name(), shortPath(firstPos.Filename), firstPos.Line)
+			return false // one report per expression, not per sub-identifier
+		})
+	}
+	return nil
+}
+
+// isAtomicCall reports whether call invokes an address-taking sync/atomic
+// package function (Add/Load/Store/Swap/CompareAndSwap families).
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	for _, prefix := range [...]string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(obj.Name(), prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// shortPath trims a filename to its last two path segments for compact
+// diagnostics.
+func shortPath(p string) string {
+	parts := strings.Split(p, "/")
+	if len(parts) <= 2 {
+		return p
+	}
+	return strings.Join(parts[len(parts)-2:], "/")
+}

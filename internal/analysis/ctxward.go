@@ -1,0 +1,104 @@
+// ctxward.go — the deadline-propagation analyzer. PR 7 gave every
+// expensive bulk path a context-aware variant (QueryBatchCtx,
+// QueryMatrixCtx, NearestKAcrossCtx, QueryPathCtx…) so a request deadline
+// actually stops the work. That only holds while the serving layer keeps
+// calling the Ctx forms; one refactor that reaches for plain QueryBatch
+// silently regresses overload shedding with no test failing until the
+// chaos suite times out. ctxward pins the convention: inside serving code,
+// a call whose callee has a Ctx sibling must use it.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxWard flags calls in serving-layer code to functions or methods that
+// have a context-aware sibling: a method M on a receiver whose type (or
+// defining package) also provides MCtx, or a package function F whose
+// package also exports FCtx. Deadline propagation must not silently
+// regress to the plain variants.
+var CtxWard = &Analyzer{
+	Name: "ctxward",
+	Doc: "in serving code, calls must use the context-aware variant when one " +
+		"exists (QueryBatchCtx over QueryBatch, …) so request deadlines keep " +
+		"stopping bulk work",
+	Scope: func(pkgPath string) bool {
+		return strings.Contains(pkgPath, "internal/server")
+	},
+	Run: runCtxWard,
+}
+
+func runCtxWard(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkCtxCall(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCtxCall reports a call whose callee has a Ctx-suffixed sibling.
+func checkCtxCall(pass *Pass, call *ast.CallExpr) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		if strings.HasSuffix(name, "Ctx") {
+			return
+		}
+		if selInfo, ok := pass.Info.Selections[fun]; ok && selInfo.Kind() == types.MethodVal {
+			// Method call: a Ctx sibling may live in the receiver's method
+			// set (ShardedIndex.NearestKAcrossCtx) or as a package function
+			// beside the method's declaring package (core.QueryBatchCtx
+			// wrapping DistanceIndex.QueryBatch).
+			recv := selInfo.Recv()
+			if obj, _, _ := types.LookupFieldOrMethod(recv, true, pass.Pkg, name+"Ctx"); obj != nil {
+				if _, isFn := obj.(*types.Func); isFn {
+					pass.Reportf(call.Pos(),
+						"%s has a context-aware sibling %sCtx; call it so the request deadline propagates into the work", name, name)
+					return
+				}
+			}
+			if m := selInfo.Obj(); m.Pkg() != nil {
+				if fn, ok := m.Pkg().Scope().Lookup(name + "Ctx").(*types.Func); ok && (m.Pkg() == pass.Pkg || fn.Exported()) {
+					pass.Reportf(call.Pos(),
+						"%s has a context-aware sibling %s.%sCtx; call it so the request deadline propagates into the work", name, m.Pkg().Name(), name)
+				}
+			}
+			return
+		}
+		// Package-function call: pkg.F where pkg.FCtx exists.
+		if obj, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok && obj.Pkg() != nil && obj.Pkg() != pass.Pkg {
+			if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() == nil {
+				if fn, ok := obj.Pkg().Scope().Lookup(name + "Ctx").(*types.Func); ok && fn.Exported() {
+					pass.Reportf(call.Pos(),
+						"%s has a context-aware sibling %s.%sCtx; call it so the request deadline propagates into the work", name, obj.Pkg().Name(), name)
+				}
+			}
+		}
+	case *ast.Ident:
+		// Same-package call: F where FCtx is also declared here.
+		name := fun.Name
+		if strings.HasSuffix(name, "Ctx") {
+			return
+		}
+		obj, ok := pass.Info.Uses[fun].(*types.Func)
+		if !ok || obj.Pkg() != pass.Pkg {
+			return
+		}
+		if sig, ok := obj.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			return
+		}
+		if _, ok := pass.Pkg.Scope().Lookup(name + "Ctx").(*types.Func); ok {
+			pass.Reportf(call.Pos(),
+				"%s has a context-aware sibling %sCtx; call it so the request deadline propagates into the work", name, name)
+		}
+	}
+}

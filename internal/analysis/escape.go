@@ -1,0 +1,132 @@
+// escape.go — the build-mode half of the hot-path guarantee. The hotpath
+// analyzer rejects allocating *constructs*; this pass rejects allocating
+// *outcomes*: scripts/escape_gate.sh compiles the tree with
+// `go build -gcflags=-m` and EscapeCheck joins the compiler's
+// escape-analysis verdicts ("escapes to heap", "moved to heap") against
+// the //sealint:hotpath annotations. A regression that slips past the
+// syntactic check — a compiler version change, a subtle capture — still
+// fails the build, without waiting for an AllocsPerRun test to run.
+
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// An EscapeViolation is one compiler-proved heap allocation inside an
+// annotated hot function.
+type EscapeViolation struct {
+	// File, Line locate the allocation (as reported by the compiler).
+	File string
+	Line int
+	// Func is the annotated function containing it.
+	Func string
+	// Detail is the compiler's message ("x escapes to heap").
+	Detail string
+}
+
+// String renders the violation in file:line form.
+func (v EscapeViolation) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s (function is //sealint:hotpath)", v.File, v.Line, v.Func, v.Detail)
+}
+
+// escapeLine matches one gcflags=-m diagnostic.
+var escapeLine = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+
+// EscapeCheck reads `go build -gcflags=-m` output and returns every
+// escape-analysis finding that lands inside a //sealint:hotpath function
+// of the given packages and is not excused by a //sealint:ignore on the
+// same or preceding line. Only "escapes to heap" and "moved to heap"
+// verdicts count; inlining and leaking-param chatter is ignored.
+func EscapeCheck(mOutput io.Reader, patterns ...string) ([]EscapeViolation, []AnnotatedFunc, error) {
+	funcs, ignored, err := loadHotpathSyntax(patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	byFile := make(map[string][]AnnotatedFunc)
+	for _, f := range funcs {
+		byFile[f.File] = append(byFile[f.File], f)
+	}
+	var out []EscapeViolation
+	sc := bufio.NewScanner(mOutput)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := escapeLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		if strings.Contains(msg, "does not escape") {
+			continue
+		}
+		file, err := filepath.Abs(m[1])
+		if err != nil {
+			continue
+		}
+		line, _ := strconv.Atoi(m[2])
+		if ignored[lineKey{file, line}] {
+			continue
+		}
+		for _, fn := range byFile[file] {
+			if line >= fn.StartLine && line <= fn.EndLine {
+				out = append(out, EscapeViolation{File: m[1], Line: line, Func: fn.Name, Detail: msg})
+				break
+			}
+		}
+	}
+	return out, funcs, sc.Err()
+}
+
+// HotpathFuncs returns the annotated functions of the given packages
+// without type-checking them — the listing scripts/escape_gate.sh and
+// `sealint -list-hotpath` print.
+func HotpathFuncs(patterns ...string) ([]AnnotatedFunc, error) {
+	funcs, _, err := loadHotpathSyntax(patterns)
+	return funcs, err
+}
+
+// loadHotpathSyntax parses (without type-checking) the packages matching
+// patterns and returns their annotated functions plus the suppressed
+// (file, line) set.
+func loadHotpathSyntax(patterns []string) ([]AnnotatedFunc, map[lineKey]bool, error) {
+	listed, err := goListSyntax(patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	fset := token.NewFileSet()
+	var funcs []AnnotatedFunc
+	ignored := make(map[lineKey]bool)
+	for _, p := range listed {
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		for _, name := range p.GoFiles {
+			path := name
+			if !filepath.IsAbs(path) {
+				path = filepath.Join(p.Dir, name)
+			}
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s: %w", p.ImportPath, err)
+			}
+			funcs = append(funcs, AnnotatedFuncs(fset, []*ast.File{f})...)
+			ign, _ := ignoreLines(fset, []*ast.File{f})
+			for k := range ign {
+				ignored[k] = true
+			}
+		}
+	}
+	return funcs, ignored, nil
+}

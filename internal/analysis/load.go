@@ -1,0 +1,227 @@
+// load.go — the package loader behind sealint. The container this repo
+// builds in has no module-proxy access, so the x/tools loader
+// (go/packages) is unavailable; instead, dependencies are type-checked
+// from the gc export data `go list -export` materializes in the build
+// cache, and only the packages under analysis are parsed from source.
+// This is the same division of labor go/packages' NeedExportFile mode
+// uses, built from stdlib parts (go/importer's lookup form understands
+// the build cache's unified export format).
+
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one loaded, parsed and type-checked package ready for
+// analysis.
+type Package struct {
+	// PkgPath is the package's import path.
+	PkgPath string
+	// Dir is the directory holding the package's sources.
+	Dir string
+	// Fset resolves positions for Files (shared across a load).
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, with comments.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info is the type-checker's fact tables for Files.
+	Info *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+}
+
+// LoadPackages loads, parses and type-checks the packages matching
+// patterns (module-relative like ./... or absolute directory paths),
+// resolving every import from build-cache export data. The working
+// directory must be inside the module.
+func LoadPackages(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := newCacheImporter(fset, exports)
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		if p.Name == "" || len(p.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := typeCheck(fset, imp, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// goList runs `go list -deps -export -json` over patterns and decodes the
+// result stream.
+func goList(patterns []string) ([]*listedPkg, error) {
+	return goListArgs([]string{"-deps", "-export"}, patterns)
+}
+
+// goListSyntax lists packages without building export data — enough for
+// parse-only passes (hotpath annotation listing, escape-gate joins).
+func goListSyntax(patterns []string) ([]*listedPkg, error) {
+	return goListArgs(nil, patterns)
+}
+
+func goListArgs(extra, patterns []string) ([]*listedPkg, error) {
+	args := append([]string{"list"}, extra...)
+	args = append(args, "-json=ImportPath,Name,Dir,Export,GoFiles,Standard,DepOnly")
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	outPipe, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("go list: %w", err)
+	}
+	dec := json.NewDecoder(outPipe)
+	var pkgs []*listedPkg
+	for {
+		p := new(listedPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			_ = cmd.Wait()
+			return nil, fmt.Errorf("go list -json decode: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	return pkgs, nil
+}
+
+// cacheImporter resolves import paths to type information through gc
+// export data files, looked up first in the table a -deps listing
+// prefilled and otherwise through one `go list -export` call per package.
+type cacheImporter struct {
+	gc      types.ImporterFrom
+	exports map[string]string
+}
+
+func newCacheImporter(fset *token.FileSet, exports map[string]string) *cacheImporter {
+	ci := &cacheImporter{exports: exports}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := ci.exports[path]
+		if !ok {
+			out, err := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path).Output()
+			if err != nil {
+				return nil, fmt.Errorf("resolving import %q: go list -export: %w", path, err)
+			}
+			file = strings.TrimSpace(string(out))
+			if file == "" {
+				return nil, fmt.Errorf("resolving import %q: no export data", path)
+			}
+			ci.exports[path] = file
+		}
+		return os.Open(file)
+	}
+	ci.gc = importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)
+	return ci
+}
+
+// Import implements types.Importer.
+func (ci *cacheImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return ci.gc.Import(path)
+}
+
+// typeCheck parses and type-checks one listed package.
+func typeCheck(fset *token.FileSet, imp types.Importer, p *listedPkg) (*Package, error) {
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(p.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", p.ImportPath, err)
+	}
+	return &Package{
+		PkgPath: p.ImportPath,
+		Dir:     p.Dir,
+		Fset:    fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}
+
+// LoadDir loads the single package rooted at dir — the analysistest entry
+// point for fixture packages under testdata (which package patterns like
+// ./... deliberately skip). Imports resolve on demand, so fixtures may use
+// any stdlib or in-module package.
+func LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := LoadPackages(abs)
+	if err != nil {
+		return nil, err
+	}
+	if len(pkgs) != 1 {
+		return nil, fmt.Errorf("LoadDir %s: expected 1 package, got %d", dir, len(pkgs))
+	}
+	return pkgs[0], nil
+}

@@ -1,0 +1,241 @@
+// mapiter.go — the determinism analyzer. PR 1 fixed two build-determinism
+// bugs with the same shape: state accumulated while ranging over a map
+// (greedy selection's cell heap, the pair resolver's fallback direction)
+// made the emitted oracle depend on Go's randomized map iteration order,
+// breaking the byte-identical-for-any-worker-count contract. mapiter makes
+// that shape a compile-time error: a `range` over a map may not feed
+// order-sensitive sinks unless the result is deterministically sorted
+// afterwards.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapIter flags `range` statements over maps whose bodies feed
+// order-sensitive sinks: appending to a slice that is not deterministically
+// sorted later in the function, writing to an io.Writer / encoder / fmt
+// stream, or pushing into a container/heap. Map iteration order is
+// randomized, so each of these turns into nondeterministic output — the
+// PR-1 bug class that broke byte-identical encodes.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc: "flags map iteration feeding order-sensitive state (appends without a " +
+		"subsequent sort, writer/encoder output, heap pushes); randomized map " +
+		"order makes such code nondeterministic",
+	Run: runMapIter,
+}
+
+// orderSinkMethods are method names whose call inside a map-range body
+// emits output in iteration order.
+var orderSinkMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"Encode":      true,
+}
+
+// sortFuncs maps package path -> function names that establish a
+// deterministic order over their (first) argument.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+		"Strings": true, "Ints": true, "Float64s": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+func runMapIter(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			mapIterFunc(pass, fn)
+			return true
+		})
+	}
+	return nil
+}
+
+// mapIterFunc checks every map-range inside one function.
+func mapIterFunc(pass *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRange(pass, fn, rng)
+		return true
+	})
+}
+
+// checkMapRange inspects one range-over-map body for order-sensitive
+// sinks.
+func checkMapRange(pass *Pass, fn *ast.FuncDecl, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if send, ok := n.(*ast.SendStmt); ok {
+			pass.Reportf(send.Pos(),
+				"channel send inside range over map delivers elements in randomized iteration order; iterate sorted keys")
+			return true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// append(dst, ...) — nondeterministic element order unless dst is
+		// sorted later in the function. Appends whose destination cannot
+		// accumulate across iterations are fine: stores into a map entry
+		// (keyed, not ordered), the range key/value variables themselves,
+		// and locals declared inside the loop body.
+		if isBuiltin(pass.Info, call, "append") && len(call.Args) > 0 {
+			dst := rootObj(pass.Info, call.Args[0])
+			if dst == nil || perIteration(pass, rng, call.Args[0], dst) {
+				return true
+			}
+			if !sortedLater(pass, fn, rng, dst) {
+				pass.Reportf(call.Pos(),
+					"append to %q inside range over map: element order follows the randomized map iteration order; sort %q afterwards or iterate sorted keys",
+					dst.Name(), dst.Name())
+			}
+			return true
+		}
+		// fmt.Fprint* — writes stream output in iteration order.
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if obj, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok && obj.Pkg() != nil {
+				switch {
+				case obj.Pkg().Path() == "fmt" && strings.HasPrefix(obj.Name(), "Fprint"):
+					pass.Reportf(call.Pos(),
+						"fmt.%s inside range over map writes output in randomized iteration order; iterate sorted keys", obj.Name())
+					return true
+				case obj.Pkg().Path() == "container/heap" && obj.Name() == "Push":
+					pass.Reportf(call.Pos(),
+						"heap.Push inside range over map seeds the heap in randomized iteration order; collect and sort first (the PR-1 greedy-selection bug)")
+					return true
+				}
+			}
+			// Writer/encoder methods: emitting bytes per map element is
+			// inherently order-dependent.
+			if selInfo, ok := pass.Info.Selections[sel]; ok && selInfo.Kind() == types.MethodVal && orderSinkMethods[sel.Sel.Name] {
+				pass.Reportf(call.Pos(),
+					"%s call inside range over map emits output in randomized iteration order; iterate sorted keys", sel.Sel.Name)
+				return true
+			}
+		}
+		return true
+	})
+}
+
+// perIteration reports whether an append destination is scoped to one
+// iteration of the map range — a store into a map entry, the range
+// key/value variable, or a local declared inside the loop body — and so
+// cannot observe the iteration order.
+func perIteration(pass *Pass, rng *ast.RangeStmt, dstExpr ast.Expr, dst types.Object) bool {
+	if idx, ok := ast.Unparen(dstExpr).(*ast.IndexExpr); ok {
+		if t := pass.Info.Types[idx.X].Type; t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				return true
+			}
+		}
+	}
+	for _, v := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := v.(*ast.Ident); ok && pass.Info.ObjectOf(id) == dst {
+			return true
+		}
+	}
+	return dst.Pos() >= rng.Body.Pos() && dst.Pos() <= rng.Body.End()
+}
+
+// sortedLater reports whether obj is passed to a recognized sorting
+// function at some point after the range statement within fn.
+func sortedLater(pass *Pass, fn *ast.FuncDecl, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		if !isSortCall(pass.Info, call) || len(call.Args) == 0 {
+			return true
+		}
+		arg := call.Args[0]
+		// Unwrap one conversion layer: sort.Sort(byName(list)).
+		if inner, ok := arg.(*ast.CallExpr); ok && len(inner.Args) == 1 {
+			if rootObj(pass.Info, inner.Args[0]) == obj {
+				found = true
+				return false
+			}
+		}
+		if rootObj(pass.Info, arg) == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isSortCall reports whether call invokes a recognized deterministic
+// sorting function.
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return false
+	}
+	names, ok := sortFuncs[obj.Pkg().Path()]
+	return ok && names[obj.Name()]
+}
+
+// isBuiltin reports whether call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// rootObj resolves the object an expression stores into: the variable for
+// an identifier, the field for a selector. Index and paren layers are
+// unwrapped; anything else has no single root.
+func rootObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.Ident:
+			return info.ObjectOf(x)
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[x]; ok {
+				return sel.Obj()
+			}
+			return info.ObjectOf(x.Sel)
+		default:
+			return nil
+		}
+	}
+}

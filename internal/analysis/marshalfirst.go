@@ -1,0 +1,121 @@
+// marshalfirst.go — the serving-layer status-ordering analyzer. PR 4 fixed
+// a bug where writeJSON called w.WriteHeader(200) before json.Marshal: an
+// unencodable value (NaN distance) then produced a truncated 200 instead
+// of a counted 500. The fix — marshal first, write status second — is an
+// ordering invariant this analyzer enforces across internal/server, so no
+// future handler can reintroduce the bug shape.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MarshalFirst flags, inside the serving layer, (1) any
+// http.ResponseWriter WriteHeader or Write call that lexically precedes a
+// json.Marshal in the same function — marshal failures after the header is
+// committed can only truncate the response — and (2) the chained
+// json.NewEncoder(w).Encode(v) form, whose implicit 200 makes encode
+// errors unreportable.
+var MarshalFirst = &Analyzer{
+	Name: "marshalfirst",
+	Doc: "in the serving layer, response bytes/status must not be written before " +
+		"json.Marshal succeeds (the PR-4 truncated-200 bug); flags " +
+		"WriteHeader/Write preceding Marshal and json.NewEncoder(w).Encode",
+	Scope: func(pkgPath string) bool {
+		return strings.Contains(pkgPath, "internal/server")
+	},
+	Run: runMarshalFirst,
+}
+
+func runMarshalFirst(pass *Pass) error {
+	rw := responseWriterIface(pass.Pkg)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkMarshalOrder(pass, fn, rw)
+		}
+	}
+	return nil
+}
+
+// responseWriterIface resolves net/http.ResponseWriter through the
+// package's imports; nil when the package never imports net/http (nothing
+// to check then).
+func responseWriterIface(pkg *types.Package) *types.Interface {
+	for _, imp := range pkg.Imports() {
+		if imp.Path() != "net/http" {
+			continue
+		}
+		if obj, ok := imp.Scope().Lookup("ResponseWriter").(*types.TypeName); ok {
+			if iface, ok := obj.Type().Underlying().(*types.Interface); ok {
+				return iface
+			}
+		}
+	}
+	return nil
+}
+
+// checkMarshalOrder enforces the marshal-before-status ordering within one
+// function.
+func checkMarshalOrder(pass *Pass, fn *ast.FuncDecl, rw *types.Interface) {
+	type write struct {
+		call *ast.CallExpr
+		verb string
+	}
+	var writes []write
+	var marshals []*ast.CallExpr
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isPkgFunc(pass.Info, call, "encoding/json", "Marshal") ||
+			isPkgFunc(pass.Info, call, "encoding/json", "MarshalIndent") {
+			marshals = append(marshals, call)
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selInfo, ok := pass.Info.Selections[sel]
+		if !ok || selInfo.Kind() != types.MethodVal {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "WriteHeader", "Write":
+			if rw != nil && typeImplements(selInfo.Recv(), rw) {
+				writes = append(writes, write{call: call, verb: sel.Sel.Name})
+			}
+		case "Encode":
+			// json.NewEncoder(w).Encode(v): the encoder streams straight to
+			// the wire, committing an implicit 200 before v is known to
+			// marshal.
+			if inner, ok := ast.Unparen(sel.X).(*ast.CallExpr); ok &&
+				isPkgFunc(pass.Info, inner, "encoding/json", "NewEncoder") &&
+				len(inner.Args) == 1 && rw != nil {
+				if t := pass.Info.Types[inner.Args[0]].Type; t != nil && typeImplements(t, rw) {
+					pass.Reportf(call.Pos(),
+						"json.NewEncoder(w).Encode commits an implicit 200 before the value is known to marshal; json.Marshal first, then WriteHeader (PR-4 bug class)")
+				}
+			}
+		}
+		return true
+	})
+	for _, w := range writes {
+		for _, m := range marshals {
+			if w.call.Pos() < m.Pos() {
+				pass.Reportf(w.call.Pos(),
+					"%s before json.Marshal in %s: a marshal failure after the header is committed can only truncate the response; marshal first, then write status and body (PR-4 bug class)",
+					w.verb, fn.Name.Name)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,23 @@
+//go:build escapegate_fixture
+
+// Package escapegate is the escape gate's seeded regression. Leak is
+// annotated //sealint:hotpath yet lets a value escape to the heap, so
+//
+//	GOFLAGS=-tags=escapegate_fixture scripts/escape_gate.sh \
+//	    ./internal/analysis/testdata/escapegate
+//
+// must exit non-zero; CI asserts exactly that, proving the gate still
+// detects violations and is not silently passing everything. The build tag
+// keeps the deliberate violation out of ordinary builds and the default
+// whole-module gate run.
+package escapegate
+
+// Leak violates the hotpath contract on purpose: p is heap-allocated
+// because it escapes through the return value.
+//
+//sealint:hotpath
+func Leak() *int {
+	p := new(int)
+	*p = 42
+	return p
+}

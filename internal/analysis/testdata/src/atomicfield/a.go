@@ -1,0 +1,53 @@
+// Fixture for the atomicfield analyzer: a variable or field passed to
+// sync/atomic anywhere in the package must be accessed atomically
+// everywhere in the package.
+package atomicfield
+
+import "sync/atomic"
+
+type counters struct {
+	hits int64
+	cold int64
+}
+
+func inc(c *counters) {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func read(c *counters) int64 {
+	return c.hits // want `non-atomic access to hits`
+}
+
+func atomicRead(c *counters) int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// cold is never touched by sync/atomic, so plain access is fine.
+func coldOnly(c *counters) int64 {
+	c.cold++
+	return c.cold
+}
+
+var global int64
+
+func bump() {
+	atomic.AddInt64(&global, 1)
+}
+
+func peek() int64 {
+	return global // want `non-atomic access to global`
+}
+
+// Typed atomics make mixed access unrepresentable and draw no diagnostics.
+type typed struct{ n atomic.Int64 }
+
+func (t *typed) inc() int64 {
+	return t.n.Add(1)
+}
+
+func initCounters() *counters {
+	c := &counters{}
+	//sealint:ignore fixture: pre-publication init, the struct is not shared yet
+	c.hits = 1
+	return c
+}

@@ -1,0 +1,8 @@
+// Fixture for the suppression protocol itself: an ignore directive
+// without a reason is a diagnostic, and it suppresses nothing.
+package baddirective
+
+func one() int {
+	//sealint:ignore
+	return 1
+}

@@ -1,0 +1,44 @@
+// Fixture for the ctxward analyzer: calls in serving code must use the
+// context-aware sibling when one exists.
+package ctxward
+
+import "context"
+
+type Index struct{}
+
+func (Index) QueryBatch(pairs [][2]int32) error { return nil }
+
+func (Index) QueryBatchCtx(ctx context.Context, pairs [][2]int32) error { return nil }
+
+func (Index) Stats() int { return 0 }
+
+type Store struct{}
+
+func (Store) Fetch() {}
+
+// FetchCtx is a package-level sibling of the Fetch method.
+func FetchCtx(ctx context.Context, s Store) {}
+
+func Work() {}
+
+func WorkCtx(ctx context.Context) {}
+
+func methodSibling(ctx context.Context, idx Index) {
+	_ = idx.QueryBatch(nil) // want `QueryBatch has a context-aware sibling QueryBatchCtx`
+	_ = idx.QueryBatchCtx(ctx, nil)
+	_ = idx.Stats()
+}
+
+func packageSiblingOfMethod(s Store) {
+	s.Fetch() // want `Fetch has a context-aware sibling`
+}
+
+func packageSibling(ctx context.Context) {
+	Work() // want `Work has a context-aware sibling WorkCtx`
+	WorkCtx(ctx)
+}
+
+func suppressed(idx Index) {
+	//sealint:ignore fixture: admin path with no deadline by design
+	_ = idx.QueryBatch(nil)
+}

@@ -1,0 +1,89 @@
+// Fixture for the hotpath analyzer: allocating constructs are rejected
+// inside //sealint:hotpath functions and permitted everywhere else.
+package hotpath
+
+import "fmt"
+
+type pair struct{ a, b int }
+
+func sink(v any) int {
+	if v == nil {
+		return 0
+	}
+	return 1
+}
+
+// hotClean is the negative case: indexing, arithmetic and branches are
+// all allocation-free.
+//
+//sealint:hotpath
+func hotClean(xs []float64, i int) float64 {
+	if i < 0 || i >= len(xs) {
+		return -1
+	}
+	return xs[i] * 2
+}
+
+// hotAllocs trips every builtin-allocation rule.
+//
+//sealint:hotpath
+func hotAllocs(n int) []int {
+	out := make([]int, 0, n) // want `make allocates`
+	out = append(out, n)     // want `append may grow its backing array`
+	p := new(pair)           // want `new allocates`
+	out = append(out, p.a)   // want `append may grow`
+	return out
+}
+
+// hotLiterals trips the composite-literal rules.
+//
+//sealint:hotpath
+func hotLiterals(n int) int {
+	m := map[int]int{n: n} // want `map literal allocates`
+	s := []int{n}          // want `slice literal allocates`
+	p := &pair{a: n}       // want `&composite literal allocates`
+	v := pair{a: n}        // a plain struct literal stays on the stack
+	return len(m) + len(s) + p.a + v.a
+}
+
+// hotStrings trips the string rules.
+//
+//sealint:hotpath
+func hotStrings(a, b string) int {
+	c := a + b      // want `string concatenation allocates`
+	bs := []byte(a) // want `string<->slice conversion copies`
+	return len(c) + len(bs)
+}
+
+// hotBoxing trips the interface rules.
+//
+//sealint:hotpath
+func hotBoxing(n int) int {
+	x := sink(n)       // want `argument boxed into interface parameter`
+	y := sink(any(n))  // want `conversion to interface boxes its operand`
+	z := fmt.Sprint(n) // want `fmt.Sprint allocates`
+	f := func() int {  // want `closure in hotpath function hotBoxing`
+		return n
+	}
+	return x + y + len(z) + f()
+}
+
+// hotSuppressed documents a sanctioned allocation on an error path.
+//
+//sealint:hotpath
+func hotSuppressed(n int) []int {
+	if n < 0 {
+		return nil
+	}
+	//sealint:ignore fixture: cold fallback path, measured off the hot loop
+	return make([]int, n)
+}
+
+// coldAllocs is unannotated: the same constructs draw no diagnostics.
+func coldAllocs(n int, a, b string) []int {
+	out := make([]int, 0, n)
+	out = append(out, sink(n))
+	m := map[int]int{n: n}
+	_ = a + b
+	return append(out, len(m))
+}

@@ -1,0 +1,132 @@
+// Fixture for the mapiter analyzer: order-sensitive sinks inside
+// range-over-map bodies are flagged unless the result is deterministically
+// sorted afterwards or the accumulation is per-iteration.
+package mapiter
+
+import (
+	"bytes"
+	"container/heap"
+	"fmt"
+	"io"
+	"sort"
+)
+
+func appendNoSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to "out" inside range over map`
+	}
+	return out
+}
+
+func appendThenSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func appendThenSliceSort(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+type byLen []string
+
+func (s byLen) Len() int           { return len(s) }
+func (s byLen) Less(i, j int) bool { return len(s[i]) < len(s[j]) }
+func (s byLen) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+
+func appendThenSortConv(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Sort(byLen(out))
+	return out
+}
+
+// Per-key stores back into the map are keyed, not ordered.
+func perRow(m map[int][]float64, x float64) {
+	for k, row := range m {
+		m[k] = append(row, x)
+	}
+}
+
+// Appending to the range value variable itself cannot leak iteration order.
+func intoValue(m map[int][]int, x int) {
+	for k, row := range m {
+		row = append(row, x)
+		m[k] = row
+	}
+}
+
+// A local declared inside the loop body resets every iteration.
+func localOnly(m map[int][]int) int {
+	n := 0
+	for _, v := range m {
+		tmp := make([]int, 0, len(v))
+		tmp = append(tmp, v...)
+		n += len(tmp)
+	}
+	return n
+}
+
+func fprint(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt.Fprintf inside range over map`
+	}
+}
+
+func fprintOutside(w io.Writer, keys []string) {
+	for _, k := range keys {
+		fmt.Fprintln(w, k)
+	}
+}
+
+type intHeap []int
+
+func (h intHeap) Len() int           { return len(h) }
+func (h intHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h intHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *intHeap) Push(x any)        { *h = append(*h, x.(int)) }
+func (h *intHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+func pushHeap(m map[int]int, h *intHeap) {
+	for k := range m {
+		heap.Push(h, k) // want `heap.Push inside range over map`
+	}
+}
+
+func bufWrite(m map[string]int, b *bytes.Buffer) {
+	for k := range m {
+		b.WriteString(k) // want `WriteString call inside range over map`
+	}
+}
+
+func send(m map[int]int, ch chan int) {
+	for k := range m {
+		ch <- k // want `channel send inside range over map`
+	}
+}
+
+func suppressed(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//sealint:ignore fixture: caller sorts the result before use
+		out = append(out, k)
+	}
+	return out
+}

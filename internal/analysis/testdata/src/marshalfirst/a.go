@@ -1,0 +1,59 @@
+// Fixture for the marshalfirst analyzer: in serving code, response status
+// and bytes must not be committed before json.Marshal has succeeded.
+package marshalfirst
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+)
+
+func bad(w http.ResponseWriter, v any) {
+	w.WriteHeader(http.StatusOK) // want `WriteHeader before json.Marshal in bad`
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	w.Write(data)
+}
+
+func badWrite(w http.ResponseWriter, v any) {
+	w.Write([]byte("partial ")) // want `Write before json.Marshal in badWrite`
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	w.Write(data)
+}
+
+func good(w http.ResponseWriter, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, "encode failed", http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+func encoder(w http.ResponseWriter, v any) {
+	_ = json.NewEncoder(w).Encode(v) // want `commits an implicit 200 before the value is known to marshal`
+}
+
+// Encoding into a buffer commits nothing to the wire; only encoders over
+// the ResponseWriter are flagged.
+func encoderToBuffer(b *bytes.Buffer, v any) error {
+	return json.NewEncoder(b).Encode(v)
+}
+
+// A handler that never marshals may write whenever it likes.
+func plainWriter(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func suppressed(w http.ResponseWriter, v any) {
+	//sealint:ignore fixture: streaming endpoint, headers intentionally first
+	w.WriteHeader(http.StatusOK)
+	data, _ := json.Marshal(v)
+	w.Write(data)
+}

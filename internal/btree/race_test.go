@@ -1,0 +1,54 @@
+package btree
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentReads pins the documented concurrency contract: a Tree is
+// not safe for concurrent mutation, but once construction is done any
+// number of goroutines may read it (Contains, Min, Ascend, Keys)
+// concurrently. The test is exercised under the race detector by
+// `make race`.
+func TestConcurrentReads(t *testing.T) {
+	var tr Tree
+	const n = 4096
+	for i := 0; i < n; i++ {
+		tr.Insert(int64(i * 3))
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			switch g % 4 {
+			case 0:
+				for i := 0; i < n; i++ {
+					if !tr.Contains(int64(i * 3)) {
+						t.Errorf("Contains(%d) = false", i*3)
+						return
+					}
+				}
+			case 1:
+				if min, ok := tr.Min(); !ok || min != 0 {
+					t.Errorf("Min = %d, %v; want 0, true", min, ok)
+				}
+			case 2:
+				count := 0
+				tr.Ascend(func(k int64) bool {
+					count++
+					return true
+				})
+				if count != n {
+					t.Errorf("Ascend visited %d keys, want %d", count, n)
+				}
+			case 3:
+				if got := tr.Keys(); len(got) != n {
+					t.Errorf("Keys returned %d keys, want %d", len(got), n)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -580,17 +580,25 @@ func decodeFlatBody(body []byte, keep any) (*FlatOracle, error) {
 // --- hot query path ----------------------------------------------------------
 
 // checkIDs validates POI ids against the header, mirroring Oracle.checkIDs.
+// checkIDs validates two POI ids on the hot probe path; the error
+// constructors only run for invalid input.
+//
+//sealint:hotpath
 func (f *FlatOracle) checkIDs(s, t int32) error {
 	if s < 0 || int(s) >= f.npoi {
+		//sealint:ignore invalid-id error path; valid ids allocate nothing
 		return fmt.Errorf("core: POI id %d out of range [0,%d)", s, f.npoi)
 	}
 	if t < 0 || int(t) >= f.npoi {
+		//sealint:ignore invalid-id error path; valid ids allocate nothing
 		return fmt.Errorf("core: POI id %d out of range [0,%d)", t, f.npoi)
 	}
 	return nil
 }
 
 // pathRow returns POI p's A_s row of the paths slab (layerN u32 entries).
+//
+//sealint:hotpath
 func (f *FlatOracle) pathRow(p int32) []byte {
 	row := int(p) * f.layerN * 4
 	return f.paths[row : row+f.layerN*4]
@@ -599,6 +607,8 @@ func (f *FlatOracle) pathRow(p int32) []byte {
 // lookup probes the compact slot slab for node pair (a, b): bucket hash →
 // displacement → slot hash → inline key compare and distance load. Callers
 // guarantee a, b < nNodes, so the compact key is well-formed.
+//
+//sealint:hotpath
 func (f *FlatOracle) lookup(a, b uint32) (float64, bool) {
 	var key uint64
 	if f.wide {
@@ -625,13 +635,19 @@ func (f *FlatOracle) lookup(a, b uint32) (float64, bool) {
 
 // nodeParentLayer returns the precomputed parentLayer field of node n
 // (callers guarantee n < nNodes).
+//
+//sealint:hotpath
 func (f *FlatOracle) nodeParentLayer(n uint32) int {
 	return int(binary.LittleEndian.Uint16(f.nodes[int(n)*flatNodeStride+10:]))
 }
 
 // errFlatCorrupt reports a slab entry that escaped structural validation —
 // a node id out of range, the lazy-validation counterpart of the load-time
-// checks.
+// checks. Kept out of line so the fmt.Errorf argument boxing stays in this
+// cold helper instead of inlining into the //sealint:hotpath probe
+// functions, where the escape gate would (rightly) flag it.
+//
+//go:noinline
 func (f *FlatOracle) errFlatCorrupt(what string, v uint32) error {
 	return fmt.Errorf("core: flat container corrupt: %s %d out of range [0,%d)", what, v, f.nNodes)
 }
@@ -640,6 +656,8 @@ func (f *FlatOracle) errFlatCorrupt(what string, v uint32) error {
 // reading only the mapped hot slabs — the two-loads-per-probe path the flat
 // layout exists for. Zero heap allocations on success; mirrors
 // Oracle.Query answer-for-answer (identical float64 bits).
+//
+//sealint:hotpath
 func (f *FlatOracle) Query(s, t int32) (float64, error) {
 	if err := f.checkIDs(s, t); err != nil {
 		return 0, err
@@ -656,6 +674,8 @@ func (f *FlatOracle) Query(s, t int32) (float64, error) {
 // matched node pair for QueryPath. Node ids read from the paths slab are
 // bounds-guarded before they index the nodes slab, so corrupt content
 // errors instead of faulting.
+//
+//sealint:hotpath
 func (f *FlatOracle) queryPair(s, t int32) (float64, uint32, uint32, error) {
 	as := f.pathRow(s)
 	at := f.pathRow(t)
@@ -721,20 +741,25 @@ func (f *FlatOracle) queryPair(s, t int32) (float64, uint32, uint32, error) {
 			}
 		}
 	}
+	//sealint:ignore corrupt-oracle error path, never taken on a well-formed image
 	return 0, 0, 0, fmt.Errorf("core: no node pair contains POIs (%d,%d); oracle corrupt", s, t)
 }
 
 // QueryBatch answers pairs[i] into dst[i] with the decoded oracle's batch
 // contract: cap(dst) >= len(pairs) performs no allocations, the first
 // invalid pair returns the filled prefix and the error.
+//
+//sealint:hotpath
 func (f *FlatOracle) QueryBatch(pairs [][2]int32, dst []float64) ([]float64, error) {
 	if cap(dst) < len(pairs) {
+		//sealint:ignore documented contract: the caller chose the allocation by passing a short dst
 		dst = make([]float64, len(pairs))
 	}
 	dst = dst[:len(pairs)]
 	for i, p := range pairs {
 		d, err := f.Query(p[0], p[1])
 		if err != nil {
+			//sealint:ignore invalid-pair error path; success stays allocation-free
 			return dst[:i], fmt.Errorf("core: batch pair %d: %w", i, err)
 		}
 		dst[i] = d

@@ -258,6 +258,8 @@ func (o *Oracle) MemoryBytes() int64 {
 // in the node pair set. It fuses the hash probe with the distance fetch
 // through the single-return perfecthash.Index, so the hot path is two table
 // loads plus one distance load with no tuple-return shuffling.
+//
+//sealint:hotpath
 func (o *Oracle) lookup(a, b int32) (float64, bool) {
 	idx := o.hash.Index(packPair(a, b))
 	if idx < 0 {

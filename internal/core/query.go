@@ -24,6 +24,8 @@ func (o *Oracle) buildPathSlab() {
 
 // pathOf returns POI p's row of the path slab. The returned slice aliases
 // oracle-owned memory and must be treated as read-only.
+//
+//sealint:hotpath
 func (o *Oracle) pathOf(p int32) []int32 {
 	return o.paths[int(p)*o.layerN : (int(p)+1)*o.layerN]
 }
@@ -36,6 +38,8 @@ func (o *Oracle) pathOf(p int32) []int32 {
 // Query only reads the oracle (its per-call scratch lives on the stack), so
 // any number of goroutines may query one Oracle concurrently. A successful
 // query performs no heap allocations.
+//
+//sealint:hotpath
 func (o *Oracle) Query(s, t int32) (float64, error) {
 	if err := o.checkIDs(s, t); err != nil {
 		return 0, err
@@ -56,6 +60,8 @@ func (o *Oracle) Query(s, t int32) (float64, error) {
 // path between their centers). Callers must have validated s and t and
 // excluded s == t; like Query, a successful call performs no heap
 // allocations.
+//
+//sealint:hotpath
 func (o *Oracle) queryPair(s, t int32) (float64, int32, int32, error) {
 	as := o.pathOf(s)
 	at := o.pathOf(t)
@@ -101,12 +107,15 @@ func (o *Oracle) queryPair(s, t int32) (float64, int32, int32, error) {
 			}
 		}
 	}
+	//sealint:ignore corrupt-oracle error path, never taken on a well-formed index
 	return 0, -1, -1, fmt.Errorf("core: no node pair contains POIs (%d,%d); oracle corrupt", s, t)
 }
 
 // QueryNaive answers the same query by scanning the full A_s × A_t product
 // (the O(h²) naive method of §3.4). Kept as the SE-Naive baseline and as a
 // cross-check for Query.
+//
+//sealint:hotpath
 func (o *Oracle) QueryNaive(s, t int32) (float64, error) {
 	if err := o.checkIDs(s, t); err != nil {
 		return 0, err
@@ -129,6 +138,7 @@ func (o *Oracle) QueryNaive(s, t int32) (float64, error) {
 			}
 		}
 	}
+	//sealint:ignore corrupt-oracle error path, never taken on a well-formed index
 	return 0, fmt.Errorf("core: no node pair contains POIs (%d,%d); oracle corrupt", s, t)
 }
 
@@ -138,14 +148,18 @@ func (o *Oracle) QueryNaive(s, t int32) (float64, error) {
 // and the error are returned. This is the throughput surface for serving
 // bulk workloads: one bounds-checked call, no per-query interface or slice
 // churn.
+//
+//sealint:hotpath
 func (o *Oracle) QueryBatch(pairs [][2]int32, dst []float64) ([]float64, error) {
 	if cap(dst) < len(pairs) {
+		//sealint:ignore documented contract: the caller chose the allocation by passing a short dst
 		dst = make([]float64, len(pairs))
 	}
 	dst = dst[:len(pairs)]
 	for i, p := range pairs {
 		d, err := o.Query(p[0], p[1])
 		if err != nil {
+			//sealint:ignore invalid-pair error path; success stays allocation-free
 			return dst[:i], fmt.Errorf("core: batch pair %d: %w", i, err)
 		}
 		dst[i] = d
@@ -153,6 +167,9 @@ func (o *Oracle) QueryBatch(pairs [][2]int32, dst []float64) ([]float64, error) 
 	return dst, nil
 }
 
+// parentLayer returns the layer of node n's parent (0 for the root).
+//
+//sealint:hotpath
 func (o *Oracle) parentLayer(n int32) int {
 	p := o.tree.nodes[n].parent
 	if p < 0 {
@@ -161,11 +178,17 @@ func (o *Oracle) parentLayer(n int32) int {
 	return int(o.tree.nodes[p].layer)
 }
 
+// checkIDs validates two POI ids; it sits on the hot path, so the error
+// constructors below only run for invalid input.
+//
+//sealint:hotpath
 func (o *Oracle) checkIDs(s, t int32) error {
 	if s < 0 || int(s) >= o.npoi {
+		//sealint:ignore invalid-id error path; valid ids allocate nothing
 		return fmt.Errorf("core: POI id %d out of range [0,%d)", s, o.npoi)
 	}
 	if t < 0 || int(t) >= o.npoi {
+		//sealint:ignore invalid-id error path; valid ids allocate nothing
 		return fmt.Errorf("core: POI id %d out of range [0,%d)", t, o.npoi)
 	}
 	return nil

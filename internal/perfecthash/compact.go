@@ -56,12 +56,16 @@ func CompactSlots(n int) int {
 }
 
 // CompactBucketOf returns key's bucket in a table of nb buckets under seed.
+//
+//sealint:hotpath
 func CompactBucketOf(key, seed uint64, nb int) int {
 	return hash(key, seed, nb)
 }
 
 // CompactSlotOf returns key's slot in a table of nSlots slots under seed
 // and its bucket's displacement d.
+//
+//sealint:hotpath
 func CompactSlotOf(key, seed uint64, d uint16, nSlots int) int {
 	return hash(key, seed+compactSeedStep*(uint64(d)+1), nSlots)
 }

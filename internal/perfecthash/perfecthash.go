@@ -14,6 +14,8 @@ import (
 // mix is a strong 64-bit mixer (splitmix64 finalizer) applied before the
 // universal multiply-shift hash, so that structured keys (packed ID pairs)
 // spread well.
+//
+//sealint:hotpath
 func mix(x uint64) uint64 {
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
@@ -29,6 +31,8 @@ func mix(x uint64) uint64 {
 // of the product. A plain multiply-shift that keeps only low product bits is
 // NOT a safe family here: two keys whose mixed values differ by a multiple
 // of 2^(shift+log2(mod)) would collide under every multiplier.
+//
+//sealint:hotpath
 func hash(key, mult uint64, mod int) int {
 	if mod <= 1 {
 		return 0
@@ -146,6 +150,8 @@ func Build(keys []uint64, seed int64) (*Table, error) {
 // table. This is the hot probe: one bucket-header load, one slot load. Empty
 // slots carry val == -1 and key == 0, so a key-0 probe that lands on an empty
 // slot still reports a miss through the stored -1.
+//
+//sealint:hotpath
 func (t *Table) Index(key uint64) int32 {
 	b := t.buckets[hash(key, t.topMult, len(t.buckets))]
 	if b.size == 0 {
@@ -160,6 +166,8 @@ func (t *Table) Index(key uint64) int32 {
 
 // Lookup returns the dense index of key, or ok == false when the key is not
 // in the table.
+//
+//sealint:hotpath
 func (t *Table) Lookup(key uint64) (int32, bool) {
 	idx := t.Index(key)
 	if idx < 0 {

@@ -85,8 +85,17 @@ func NewGraph(m *terrain.Mesh, perEdge int) (*Graph, error) {
 	}
 	g.adj = make([][]arc, len(g.nodes))
 
-	// Chain arcs along each edge.
-	for h, ids := range edgeNodes {
+	// Chain arcs along each edge, walking half-edge ids in ascending order.
+	// Ranging over the edgeNodes map here made the adjacency lists' arc
+	// order follow the randomized map iteration order, so two builds of the
+	// same mesh disagreed on arc order (and with it any order-sensitive
+	// downstream tie-break) — the determinism bug class sealint's mapiter
+	// analyzer exists for.
+	for h := int32(0); h < int32(m.NumHalfedges()); h++ {
+		ids, ok := edgeNodes[h]
+		if !ok {
+			continue
+		}
 		he := m.Halfedge(h)
 		chain := make([]int32, 0, len(ids)+2)
 		chain = append(chain, he.Org)

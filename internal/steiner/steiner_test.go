@@ -198,3 +198,37 @@ func TestMemoryBytesPositive(t *testing.T) {
 		t.Error("denser graph should report more memory")
 	}
 }
+
+// TestGraphDeterministic pins the fix for the map-iteration bug sealint's
+// mapiter analyzer flagged: the edge-chaining loop used to range over the
+// edgeNodes map, so arcs were appended to adjacency lists in randomized
+// order and rebuilding the same graph could yield differently ordered (and
+// thus differently serialized) adjacency. Rebuilding must now reproduce
+// identical adjacency lists, arc for arc.
+func TestGraphDeterministic(t *testing.T) {
+	m := grid(t, 5, 4, bumpy)
+	ref, err := NewGraph(m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5; trial++ {
+		g, err := NewGraph(m, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(g.adj) != len(ref.adj) {
+			t.Fatalf("trial %d: %d adjacency lists, want %d", trial, len(g.adj), len(ref.adj))
+		}
+		for n := range ref.adj {
+			if len(g.adj[n]) != len(ref.adj[n]) {
+				t.Fatalf("trial %d: node %d has %d arcs, want %d", trial, n, len(g.adj[n]), len(ref.adj[n]))
+			}
+			for i, a := range ref.adj[n] {
+				if g.adj[n][i] != a {
+					t.Fatalf("trial %d: node %d arc %d = %+v, want %+v (arc order must not depend on map iteration)",
+						trial, n, i, g.adj[n][i], a)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,43 @@
+#!/bin/sh
+# escape_gate.sh — the build-mode half of the hot-path guarantee.
+#
+# Compiles the given packages (default: the whole module) with the
+# compiler's escape-analysis report enabled and fails when any function
+# annotated //sealint:hotpath gains a compiler-proved heap allocation
+# ("escapes to heap" / "moved to heap"). Lines excused with a
+# //sealint:ignore <reason> on the same or preceding source line do not
+# count, so sanctioned error-path allocations stay documented in one place
+# for both the static analyzer and this gate.
+#
+# Usage: scripts/escape_gate.sh [package patterns...]
+#
+# The build cache replays compiler diagnostics on cache hits, so repeated
+# runs stay correct without forced rebuilds. GOFLAGS is honored, which is
+# how CI points the gate at the build-tagged seeded-regression fixture:
+#
+#   GOFLAGS=-tags=escapegate_fixture scripts/escape_gate.sh \
+#       ./internal/analysis/testdata/escapegate   # must exit non-zero
+set -eu
+cd "$(dirname "$0")/.."
+
+[ "$#" -gt 0 ] || set -- ./...
+
+mout="$(mktemp)"
+bindir="$(mktemp -d)"
+trap 'rm -rf "$mout" "$bindir"' EXIT
+
+# -o into a scratch dir keeps main-package binaries out of the tree, but
+# `go build -o` refuses pattern sets with no main package at all, so only
+# pass it when one is present. The escape report arrives on stderr.
+outflags=""
+if go list -f '{{.Name}}' "$@" 2>/dev/null | grep -qx main; then
+    outflags="-o $bindir"
+fi
+# shellcheck disable=SC2086 # outflags is intentionally word-split
+if ! go build $outflags -gcflags=-m "$@" 2> "$mout"; then
+    echo "escape_gate: go build failed:" >&2
+    cat "$mout" >&2
+    exit 2
+fi
+
+exec go run ./cmd/sealint -escape-check="$mout" "$@"

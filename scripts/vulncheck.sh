@@ -1,0 +1,17 @@
+#!/bin/sh
+# vulncheck.sh — govulncheck wrapper. The module has zero third-party
+# dependencies, so every reachable finding is by definition a standard
+# library vulnerability and therefore blocking. Locally the tool may not be
+# installed (the build environment is offline); in that case the check is
+# skipped with a notice rather than failing the build. CI installs the tool
+# and runs this same script, so the blocking behavior is exercised on every
+# push.
+set -eu
+cd "$(dirname "$0")/.."
+
+if ! command -v govulncheck >/dev/null 2>&1; then
+    echo "vulncheck: govulncheck not installed; skipping (CI runs it)"
+    exit 0
+fi
+
+exec govulncheck ./...
