@@ -1,0 +1,161 @@
+// Benchmarks for the LOD shard hierarchy (PR 10): the cost of faulting a
+// lazily loaded member in from the container image (the -mem-budget serving
+// path's cache miss) and the hot cost of a portal-stitched cross-tile
+// query against a same-tile baseline. The cold_fault_ns custom-unit column
+// lands in BENCH_perf.json's Metrics map as a trajectory series.
+package seoracle
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+
+	"seoracle/internal/core"
+	"seoracle/internal/exp"
+)
+
+// lodBench caches one built hierarchical container: the resident index, its
+// encoded bytes, and a near-seam cross-tile global id pair.
+type lodBench struct {
+	sh      *core.ShardedIndex
+	encoded []byte
+	crossS  int32 // near-seam cross-member pair: portal-stitched
+	crossT  int32
+	sameS   int32 // same-member pair: the intra-tile baseline
+	sameT   int32
+}
+
+var (
+	lodBenchMu  sync.Mutex
+	lodBenchVal *lodBench
+)
+
+// lodBenchWorld builds (once) a 2-level, 4-tile hierarchical index over the
+// sf-small benchmark terrain and picks the measurement pairs: the
+// cross-member pair with the smallest planar separation (guaranteed to
+// route through boundary portals, not the coarse level) and a same-member
+// pair for the baseline.
+func lodBenchWorld(b *testing.B) *lodBench {
+	b.Helper()
+	lodBenchMu.Lock()
+	defer lodBenchMu.Unlock()
+	if lodBenchVal != nil {
+		return lodBenchVal
+	}
+	w := world(b, "sf-small", exp.SFSmall)
+	sh, err := core.BuildShardedLOD(w.eng, w.ds.Mesh, w.ds.POIs, 4, core.LODOptions{
+		Options:        core.Options{Epsilon: 0.25, Seed: 1},
+		Levels:         2,
+		PortalsPerEdge: 8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sh.EncodeTo(&buf); err != nil {
+		b.Fatal(err)
+	}
+	lb := &lodBench{sh: sh, encoded: buf.Bytes(), sameT: 1}
+
+	// Locate every global id's member and surface point.
+	n := sh.NumGlobalIDs()
+	owner := make([]string, n)
+	px := make([]float64, n)
+	py := make([]float64, n)
+	pts := map[string][]int32{}
+	for g := 0; g < n; g++ {
+		name, local, ok := sh.MemberOf(int32(g))
+		if !ok {
+			b.Fatalf("global id %d unresolvable", g)
+		}
+		owner[g] = name
+		for _, m := range sh.Members() {
+			if m.Name == name {
+				p := m.Index.(*core.Oracle).Points()[local]
+				px[g], py[g] = p.P.X, p.P.Y
+			}
+		}
+		pts[name] = append(pts[name], int32(g))
+	}
+	best := math.Inf(1)
+	for s := 0; s < n; s++ {
+		for t := s + 1; t < n; t++ {
+			if owner[s] == owner[t] {
+				continue
+			}
+			if d := math.Hypot(px[s]-px[t], py[s]-py[t]); d < best {
+				best, lb.crossS, lb.crossT = d, int32(s), int32(t)
+			}
+		}
+	}
+	if math.IsInf(best, 1) {
+		b.Fatal("no cross-member pair in the benchmark world")
+	}
+	for _, ids := range pts {
+		if len(ids) >= 2 {
+			lb.sameS, lb.sameT = ids[0], ids[1]
+			break
+		}
+	}
+	// Confirm the near-seam pair actually routes through portals.
+	before, _ := sh.TileStats()
+	if _, err := sh.Query(lb.crossS, lb.crossT); err != nil {
+		b.Fatal(err)
+	}
+	after, _ := sh.TileStats()
+	if after.PortalQueries <= before.PortalQueries {
+		b.Fatalf("near-seam pair (%d,%d) did not take the portal route", lb.crossS, lb.crossT)
+	}
+	lodBenchVal = lb
+	return lb
+}
+
+// BenchmarkColdFault measures the -mem-budget serving path's cache miss:
+// each iteration lazily loads the hierarchical container (members stay byte
+// ranges) and runs one cross-tile query, which faults both endpoint members
+// in from the image. The per-iteration time is the cold start-to-first-
+// answer of a tile nothing had touched yet, reported as cold_fault_ns.
+func BenchmarkColdFault(b *testing.B) {
+	lb := lodBenchWorld(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx, _, err := core.LoadBytesOpts(lb.encoded, nil, core.LoadOptions{MemBudget: 1 << 30})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := idx.Query(lb.crossS, lb.crossT); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "cold_fault_ns")
+}
+
+// BenchmarkPortalQuery measures the hot portal-stitching path: a resident
+// hierarchical index answering the near-seam cross-tile pair, which takes
+// min over shared-edge portals of two member-local oracle queries.
+func BenchmarkPortalQuery(b *testing.B) {
+	lb := lodBenchWorld(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lb.sh.Query(lb.crossS, lb.crossT); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSameTileQuery is BenchmarkPortalQuery's baseline: the same index
+// answering a pair owned by one member, one partition-tree walk with no
+// stitching. The gap between the two is the portal overhead.
+func BenchmarkSameTileQuery(b *testing.B) {
+	lb := lodBenchWorld(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lb.sh.Query(lb.sameS, lb.sameT); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

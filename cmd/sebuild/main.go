@@ -8,7 +8,7 @@
 //	sebuild -terrain terrain.off -pois pois.txt -out index.sedx
 //	        [-kind se|a2a|dynamic] [-eps 0.1] [-greedy] [-naive]
 //	        [-seed 1] [-check] [-workers 0] [-sites-per-edge 0] [-shards 1]
-//	        [-layout flat]
+//	        [-lod 0] [-portals-per-edge 0] [-layout flat]
 //
 // -kind=a2a indexes the terrain itself (every vertex plus per-edge Steiner
 // sites), so -pois is not required; se and dynamic index the POI file.
@@ -17,7 +17,16 @@
 // builds one SE oracle per non-empty tile in parallel, and writes them as
 // one multi container ("tile-<col>-<row>" members with their tile bboxes)
 // that seserve routes across by name or coordinates. Output is
-// byte-identical for any -workers value.
+// byte-identical for any -workers value. Without -check the container is
+// streamed tile by tile — each member is built, encoded and dropped before
+// the next, so peak memory is about one tile, not the whole container.
+//
+// -lod=K (with -shards) adds K-1 coarse levels above the fine tile grid:
+// boundary portals are placed on every shared tile edge so short
+// cross-tile queries stitch exactly, and each coarse level is one
+// terrain-spanning A2A member that answers long-range queries cheaply.
+// The result is one hierarchical multi container with a global id space
+// (see seserve -mem-budget for serving it larger than RAM).
 //
 // -layout=flat (se kind, sharded or not) re-lays the built index into the
 // zero-parse flat container: seserve then queries it straight from the
@@ -52,6 +61,8 @@ func main() {
 		workers      = flag.Int("workers", 0, "construction worker goroutines (0 = all CPUs; output is identical for any value)")
 		sitesPerEdge = flag.Int("sites-per-edge", 0, "a2a: Steiner sites per mesh edge (0 = derive from eps)")
 		shards       = flag.Int("shards", 1, "se: tile the terrain into this many shards and write a multi container")
+		lod          = flag.Int("lod", 0, "se sharded: total LOD levels including the fine grid (0 or 1 = flat grid; 2+ adds coarse members and boundary portals)")
+		portalsEdge  = flag.Int("portals-per-edge", 0, "se sharded with -lod: boundary portals per shared tile edge (0 = default)")
 		layout       = flag.String("layout", "", "container layout: \"\" (decoded sections) or \"flat\" (zero-parse mmap layout; se kind)")
 	)
 	flag.Parse()
@@ -87,24 +98,64 @@ func main() {
 	if *shards > 1 && *kind != "se" {
 		fatal("-shards needs -kind=se (got %q)", *kind)
 	}
+	if *lod > 1 && *shards <= 1 {
+		fatal("-lod needs -shards > 1 (one tile has no hierarchy to build)")
+	}
+	switch *layout {
+	case "", "flat":
+	default:
+		fatal("unknown -layout %q (want \"\" or \"flat\")", *layout)
+	}
+	nw := *workers
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
 
 	start := time.Now()
 	var idx core.DistanceIndex
 	switch *kind {
 	case "se":
 		if *shards > 1 {
-			sh, err := core.BuildShardedSE(geodesic.NewExact(m), m, readPOIs(), *shards, opt)
+			lodOpt := core.LODOptions{Options: opt, Levels: *lod, PortalsPerEdge: *portalsEdge}
+			if !*check {
+				// Streaming build: each tile is built, encoded into the
+				// container and dropped before the next starts, so peak
+				// memory tracks one tile rather than the whole output. The
+				// bytes are identical to the resident path below.
+				fo, err := os.Create(*out)
+				if err != nil {
+					fatal("%v", err)
+				}
+				sum, err := core.WriteSharded(fo, geodesic.NewExact(m), m, readPOIs(), *shards, lodOpt, *layout == "flat")
+				if err != nil {
+					fatal("building sharded oracle: %v", err)
+				}
+				if err := fo.Close(); err != nil {
+					fatal("writing index: %v", err)
+				}
+				fmt.Printf("index: kind=multi, %d points, eps=%g -> %s (streamed)\n", sum.Points, *eps, *out)
+				fmt.Printf("shards: %d fine tiles + %d coarse members, %d portals\n",
+					sum.FineTiles, sum.CoarseTiles, sum.Portals)
+				fmt.Printf("build: %v total, %d workers, peak memory ~ one tile\n",
+					time.Since(start).Round(time.Millisecond), nw)
+				return
+			}
+			sh, err := core.BuildShardedLOD(geodesic.NewExact(m), m, readPOIs(), *shards, lodOpt)
 			if err != nil {
 				fatal("building sharded oracle: %v", err)
 			}
-			if *check {
-				for _, mm := range sh.Members() {
-					if err := mm.Index.(*core.Oracle).CheckInvariants(); err != nil {
+			checked := 0
+			for _, mm := range sh.Members() {
+				// Coarse members are site oracles with their own build-time
+				// validation; the SE invariant check covers the fine tiles.
+				if o, ok := mm.Index.(*core.Oracle); ok {
+					if err := o.CheckInvariants(); err != nil {
 						fatal("invariant check failed on shard %s: %v", mm.Name, err)
 					}
+					checked++
 				}
-				fmt.Printf("invariants: ok (%d shards)\n", sh.NumMembers())
 			}
+			fmt.Printf("invariants: ok (%d shards)\n", checked)
 			idx = sh
 			break
 		}
@@ -139,16 +190,12 @@ func main() {
 	}
 	elapsed := time.Since(start)
 
-	switch *layout {
-	case "":
-	case "flat":
+	if *layout == "flat" {
 		flat, err := core.ConvertFlat(idx)
 		if err != nil {
 			fatal("converting to the flat layout: %v", err)
 		}
 		idx = flat
-	default:
-		fatal("unknown -layout %q (want \"\" or \"flat\")", *layout)
 	}
 
 	fo, err := os.Create(*out)
@@ -174,10 +221,6 @@ func main() {
 	if st.Sites > 0 {
 		fmt.Printf("sites: %d (%d per edge, spacing %.3g, local threshold %.3g)\n",
 			st.Sites, st.SitesPerEdge, st.SiteSpacing, st.LocalThreshold)
-	}
-	nw := *workers
-	if nw <= 0 {
-		nw = runtime.GOMAXPROCS(0)
 	}
 	b := st.Build
 	fmt.Printf("build: %v total (tree %v, edges %v, pairs %v, hash %v), %d SSADs, %d workers\n",

@@ -25,7 +25,9 @@
 //
 // A multi (sharded) container holds several member indexes with
 // member-local ids; pick one with -index (running without it lists the
-// member names).
+// member names). A hierarchical multi (built with sebuild -lod) also
+// answers without -index through its global id space — cross-tile pairs
+// stitch through boundary portals or the coarse level transparently.
 package main
 
 import (
@@ -73,15 +75,22 @@ func main() {
 	}
 	if sh, ok := idx.(*core.ShardedIndex); ok {
 		if *indexName == "" {
-			fatal("%s is a multi container with %d members (%s); pick one with -index",
-				*oraclePath, sh.NumMembers(), strings.Join(sh.MemberNames(), ", "))
+			// A hierarchical multi routes a global id space: queries stay
+			// on the root index and cross-tile pairs stitch transparently.
+			// A legacy multi has only member-local ids, so -index is
+			// mandatory there.
+			if !sh.SupportsGlobal() {
+				fatal("%s is a multi container with %d members (%s); pick one with -index",
+					*oraclePath, sh.NumMembers(), strings.Join(sh.MemberNames(), ", "))
+			}
+		} else {
+			m, ok := sh.Member(*indexName)
+			if !ok {
+				fatal("no member named %q in %s (members: %s)",
+					*indexName, *oraclePath, strings.Join(sh.MemberNames(), ", "))
+			}
+			idx = m.Index
 		}
-		m, ok := sh.Member(*indexName)
-		if !ok {
-			fatal("no member named %q in %s (members: %s)",
-				*indexName, *oraclePath, strings.Join(sh.MemberNames(), ", "))
-		}
-		idx = m.Index
 	} else if *indexName != "" {
 		fatal("-index addresses members of a multi container; %s holds a single %s index",
 			*oraclePath, idx.Stats().Kind)

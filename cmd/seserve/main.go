@@ -18,6 +18,9 @@
 //	-drain D          how long SIGTERM/SIGINT waits for in-flight requests
 //	-degraded         serve the healthy members of a partially corrupt multi
 //	                  container, quarantining the rest (503 when addressed)
+//	-mem-budget N     serve a multi container larger than RAM: members load
+//	                  lazily on first touch and an LRU evicts decoded members
+//	                  once their heap bytes exceed N (see /statsz "tiles")
 //
 // SIGHUP (or POST /admin/reload) re-loads the container from disk and swaps
 // it in atomically: in-flight requests finish on the old index, new ones
@@ -83,6 +86,7 @@ func main() {
 		deadline    = flag.Duration("deadline", 0, "per-request deadline; expired bulk queries answer 503 (0 = none)")
 		drain       = flag.Duration("drain", 5*time.Second, "graceful-shutdown budget for in-flight requests")
 		degraded    = flag.Bool("degraded", false, "serve a partially corrupt multi container, quarantining broken members")
+		memBudget   = flag.Int64("mem-budget", 0, "decoded multi-member heap budget in bytes: members load lazily and evict LRU beyond it (0 = eager)")
 
 		chaosLatency   = flag.Duration("chaos-latency", 0, "CHAOS: add latency to every data request")
 		chaosErrorRate = flag.Float64("chaos-error-rate", 0, "CHAOS: fail this fraction of data requests with 503 (deterministic)")
@@ -93,20 +97,16 @@ func main() {
 		fatal("-chaos-error-rate must be in [0,1], got %g", *chaosErrorRate)
 	}
 
+	if *memBudget < 0 {
+		fatal("-mem-budget must be >= 0 bytes, got %d", *memBudget)
+	}
+
 	// load is also the hot-reload path (SIGHUP, POST /admin/reload): every
-	// reload honors the same -degraded / -chaos-fail-member configuration
-	// as startup.
+	// reload honors the same -degraded / -mem-budget / -chaos-fail-member
+	// configuration as startup.
 	load := func() (core.DistanceIndex, []core.Quarantined, error) {
-		var (
-			idx         core.DistanceIndex
-			quarantined []core.Quarantined
-			err         error
-		)
-		if *degraded {
-			idx, quarantined, err = server.LoadDegradedFile(*indexPath, *useMmap)
-		} else {
-			idx, err = server.LoadIndexFile(*indexPath, *useMmap)
-		}
+		idx, quarantined, err := server.LoadIndexOpts(*indexPath, *useMmap,
+			core.LoadOptions{Tolerant: *degraded, MemBudget: *memBudget})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -134,6 +134,10 @@ func main() {
 		st.Points, st.Epsilon, float64(st.MemoryBytes)/(1<<20), float64(st.MappedBytes)/(1<<20))
 	if sh, ok := idx.(*core.ShardedIndex); ok {
 		fmt.Printf("seserve: %d members: %s\n", sh.NumMembers(), strings.Join(sh.MemberNames(), ", "))
+		if ts, ok := sh.TileStats(); ok {
+			fmt.Printf("seserve: hierarchy: %d levels, %d portals, %d/%d members resident (budget %d bytes)\n",
+				ts.Levels, ts.Portals, ts.Resident, ts.Members, ts.BudgetBytes)
+		}
 	}
 	for _, q := range quarantined {
 		fmt.Printf("seserve: DEGRADED: member %q quarantined: %v\n", q.Name, q.Err)

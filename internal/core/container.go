@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash"
 	"hash/crc32"
 	"io"
 	"math"
@@ -42,15 +43,17 @@ const (
 // Section ids. The id space is shared across kinds; each kind's decoder
 // demands the sections it needs and ignores the rest.
 const (
-	secOracle    uint32 = 1 // SE oracle body (tree + pairs), the legacy stream sans magic
-	secPoints    uint32 = 2 // indexed POI surface points (for /v1/nearest)
-	secMesh      uint32 = 3 // terrain mesh: vertices + faces
-	secSites     uint32 = 4 // site surface points (KindA2A)
-	secFaceSites uint32 = 5 // per-face site id lists (KindA2A)
-	secSiteMeta  uint32 = 6 // local-regime threshold / spacing / density (KindA2A)
-	secDynState  uint32 = 7 // dynamic oracle state: POIs, tombstones, overflow
-	secManifest  uint32 = 8 // multi-index member manifest (KindMulti)
-	secFlat      uint32 = 9 // flat zero-parse oracle body (KindFlat; see flat.go)
+	secOracle    uint32 = 1  // SE oracle body (tree + pairs), the legacy stream sans magic
+	secPoints    uint32 = 2  // indexed POI surface points (for /v1/nearest)
+	secMesh      uint32 = 3  // terrain mesh: vertices + faces
+	secSites     uint32 = 4  // site surface points (KindA2A)
+	secFaceSites uint32 = 5  // per-face site id lists (KindA2A)
+	secSiteMeta  uint32 = 6  // local-regime threshold / spacing / density (KindA2A)
+	secDynState  uint32 = 7  // dynamic oracle state: POIs, tombstones, overflow
+	secManifest  uint32 = 8  // multi-index member manifest (KindMulti)
+	secFlat      uint32 = 9  // flat zero-parse oracle body (KindFlat; see flat.go)
+	secHierarchy uint32 = 10 // per-member LOD level / parent / POI count (KindMulti; see hierarchy.go)
+	secPortals   uint32 = 11 // boundary-portal links between fine members (KindMulti; see hierarchy.go)
 
 	// secMemberBase is the first member-body section id of a KindMulti
 	// container: member i's own tagged container bytes live in section
@@ -113,39 +116,88 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// containerWriter streams a container envelope section by section: the
+// header goes out first, then each section as it becomes available, then the
+// CRC footer. It exists so a producer can emit sections it builds one at a
+// time (the streaming tiled build) without ever materializing the whole
+// container — writeContainer is the buffered-list convenience over it, and
+// both produce byte-identical envelopes for the same section sequence.
+type containerWriter struct {
+	bw    *bufio.Writer
+	crc   hash.Hash32
+	mw    io.Writer // tee: bw + crc
+	nsect int       // declared in the header
+	seen  int       // sections written so far
+}
+
+// newContainerWriter writes the envelope header (magic, version, kind, the
+// declared section count) and returns a writer ready for exactly nsect
+// section calls followed by finish.
+func newContainerWriter(w io.Writer, kind Kind, nsect int) (*containerWriter, error) {
+	if nsect < 0 || nsect > maxContainerSections {
+		return nil, fmt.Errorf("core: container would hold %d sections (max %d)", nsect, maxContainerSections)
+	}
+	cw := &containerWriter{bw: bufio.NewWriter(w), crc: crc32.NewIEEE(), nsect: nsect}
+	cw.mw = io.MultiWriter(cw.bw, cw.crc)
+	if _, err := cw.mw.Write([]byte(containerMagic)); err != nil {
+		return nil, err
+	}
+	if err := binary.Write(cw.mw, binary.LittleEndian, []uint16{containerVersion, uint16(kind)}); err != nil {
+		return nil, err
+	}
+	if err := binary.Write(cw.mw, binary.LittleEndian, uint32(nsect)); err != nil {
+		return nil, err
+	}
+	return cw, nil
+}
+
+// section streams one length-framed section into the envelope, enforcing the
+// declared length and the declared section count.
+func (cw *containerWriter) section(s section) error {
+	if cw.seen >= cw.nsect {
+		return fmt.Errorf("core: container declared %d sections, writing more", cw.nsect)
+	}
+	cw.seen++
+	if err := binary.Write(cw.mw, binary.LittleEndian, s.id); err != nil {
+		return err
+	}
+	if err := binary.Write(cw.mw, binary.LittleEndian, s.length); err != nil {
+		return err
+	}
+	c := &countingWriter{w: cw.mw}
+	if err := s.write(c); err != nil {
+		return err
+	}
+	if c.n != s.length {
+		return fmt.Errorf("core: section %d wrote %d bytes, declared %d", s.id, c.n, s.length)
+	}
+	return nil
+}
+
+// finish writes the CRC footer and flushes. The section count must match the
+// header's declaration — a short container would fail its own parse.
+func (cw *containerWriter) finish() error {
+	if cw.seen != cw.nsect {
+		return fmt.Errorf("core: container declared %d sections, wrote %d", cw.nsect, cw.seen)
+	}
+	if err := binary.Write(cw.bw, binary.LittleEndian, cw.crc.Sum32()); err != nil {
+		return err
+	}
+	return cw.bw.Flush()
+}
+
 // writeContainer writes the envelope around the given sections.
 func writeContainer(w io.Writer, kind Kind, secs []section) error {
-	bw := bufio.NewWriter(w)
-	crc := crc32.NewIEEE()
-	mw := io.MultiWriter(bw, crc)
-	if _, err := mw.Write([]byte(containerMagic)); err != nil {
-		return err
-	}
-	if err := binary.Write(mw, binary.LittleEndian, []uint16{containerVersion, uint16(kind)}); err != nil {
-		return err
-	}
-	if err := binary.Write(mw, binary.LittleEndian, uint32(len(secs))); err != nil {
+	cw, err := newContainerWriter(w, kind, len(secs))
+	if err != nil {
 		return err
 	}
 	for _, s := range secs {
-		if err := binary.Write(mw, binary.LittleEndian, s.id); err != nil {
+		if err := cw.section(s); err != nil {
 			return err
-		}
-		if err := binary.Write(mw, binary.LittleEndian, s.length); err != nil {
-			return err
-		}
-		cw := &countingWriter{w: mw}
-		if err := s.write(cw); err != nil {
-			return err
-		}
-		if cw.n != s.length {
-			return fmt.Errorf("core: section %d wrote %d bytes, declared %d", s.id, cw.n, s.length)
 		}
 	}
-	if err := binary.Write(bw, binary.LittleEndian, crc.Sum32()); err != nil {
-		return err
-	}
-	return bw.Flush()
+	return cw.finish()
 }
 
 // crcReader updates a running CRC32 with every byte read through it.
@@ -463,7 +515,44 @@ func LoadBytesDegraded(data []byte, keep any) (DistanceIndex, []Quarantined, err
 	return loadBytes(data, keep, true)
 }
 
+// LoadOptions configures LoadBytesOpts beyond the plain strict/tolerant
+// split of LoadBytes and LoadBytesDegraded.
+type LoadOptions struct {
+	// Tolerant selects the LoadBytesDegraded behavior for multi containers:
+	// members whose bodies fail to decode (or, lazily, whose envelopes fail
+	// to parse) are quarantined instead of failing the load.
+	Tolerant bool
+	// MemBudget, when positive, loads multi-container members lazily: each
+	// member stays a byte range of the image until first touched, and a
+	// resident-set LRU evicts decoded members once their summed heap bytes
+	// exceed the budget. Zero (or a non-multi container) keeps the eager
+	// behavior. The budget bounds decoded heap bytes; the mapped image
+	// itself is OS-reclaimable and is not charged against it.
+	MemBudget int64
+}
+
+// LoadBytesOpts is LoadBytes with explicit options — the entry point for
+// budget-bounded lazy serving (seserve -mem-budget).
+func LoadBytesOpts(data []byte, keep any, opt LoadOptions) (DistanceIndex, []Quarantined, error) {
+	return loadBytesCfg(data, multiLoadConfig{keep: keep, tolerant: opt.Tolerant, budget: opt.MemBudget, lazy: opt.MemBudget > 0})
+}
+
 func loadBytes(data []byte, keep any, tolerant bool) (DistanceIndex, []Quarantined, error) {
+	return loadBytesCfg(data, multiLoadConfig{keep: keep, tolerant: tolerant})
+}
+
+// multiLoadConfig threads the byte-image load mode into decodeMulti: the
+// quarantine policy, the retained mapping owner, and the lazy member table's
+// budget.
+type multiLoadConfig struct {
+	keep     any
+	tolerant bool
+	lazy     bool
+	budget   int64
+}
+
+func loadBytesCfg(data []byte, cfg multiLoadConfig) (DistanceIndex, []Quarantined, error) {
+	keep := cfg.keep
 	if len(data) >= 4 && isLegacyMagic(data[:4]) {
 		o, err := decodeLegacy(bufio.NewReader(bytes.NewReader(data)))
 		if err != nil {
@@ -483,7 +572,7 @@ func loadBytes(data []byte, keep any, tolerant bool) (DistanceIndex, []Quarantin
 		}
 		return f, nil, nil
 	case KindMulti:
-		idx, quarantined, err := decodeMulti(secs, tolerant, keep)
+		idx, quarantined, err := decodeMultiCfg(secs, cfg)
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: decoding multi container: %w", err)
 		}

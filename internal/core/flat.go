@@ -330,6 +330,13 @@ func ConvertFlat(idx DistanceIndex) (DistanceIndex, error) {
 		shared := v.sharedMesh()
 		members := make([]ShardMember, len(v.members))
 		for i, m := range v.members {
+			if v.hier != nil && v.hier.levels[v.ord[i]] != 0 {
+				// Coarse (level > 0) members are site oracles with no flat
+				// form; they ride along unconverted — only the fine tiles
+				// carry the hot id-addressed load the flat layout serves.
+				members[i] = m
+				continue
+			}
 			o, ok := m.Index.(*Oracle)
 			if !ok {
 				if _, flat := m.Index.(*FlatOracle); flat {
@@ -348,7 +355,14 @@ func ConvertFlat(idx DistanceIndex) (DistanceIndex, error) {
 			}
 			members[i] = ShardMember{Name: m.Name, BBox: m.BBox, Index: f}
 		}
-		return NewShardedIndex(members)
+		out, err := NewShardedIndex(members)
+		if err != nil {
+			return nil, err
+		}
+		// The hierarchy is layout-independent routing metadata; carry it so a
+		// flat-converted hierarchical index keeps its global id space.
+		out.hier, out.ord, out.memAt, out.ordName = v.hier, v.ord, v.memAt, v.ordName
+		return out, nil
 	default:
 		return nil, fmt.Errorf("core: kind %s has no flat layout (flat supports se and multi-of-se)", idx.Stats().Kind)
 	}

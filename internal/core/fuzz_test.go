@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math"
 	"testing"
 
@@ -133,8 +134,47 @@ func FuzzDecode(f *testing.F) {
 	}
 	flatFlip := append([]byte(nil), flatCont.Bytes()...)
 	flatFlip[len(flatFlip)/2] ^= 0x10
+	// Hierarchical multi: a 2-level LOD container plus targeted damage to its
+	// hierarchy and portal sections — bad LOD links (self-parent), orphan
+	// children (parent beyond the manifest), a lying portal count and a
+	// portal-id mismatch all start zero mutations away. The byte-image loader
+	// skips the outer CRC for multi containers, so these reach the hierarchy
+	// decoder directly; it must error, never fault.
+	lodSh, err := BuildShardedLOD(eng, m, pois, 2, LODOptions{
+		Options: Options{Epsilon: 0.3, Seed: 607}, Levels: 2, PortalsPerEdge: 2,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var lodCont bytes.Buffer
+	if err := lodSh.EncodeTo(&lodCont); err != nil {
+		f.Fatal(err)
+	}
+	hierMut := func(mut func(secs map[uint32][]byte)) []byte {
+		img := append([]byte(nil), lodCont.Bytes()...)
+		_, secs, err := sliceContainer(img) // payloads alias img
+		if err != nil {
+			f.Fatal(err)
+		}
+		mut(secs)
+		return img
+	}
+	selfParent := hierMut(func(secs map[uint32][]byte) {
+		binary.LittleEndian.PutUint32(secs[secHierarchy][8+2:], 0) // member 0 parents itself
+	})
+	orphanChild := hierMut(func(secs map[uint32][]byte) {
+		binary.LittleEndian.PutUint32(secs[secHierarchy][8+2:], 99) // parent beyond the manifest
+	})
+	portalCountLie := hierMut(func(secs map[uint32][]byte) {
+		binary.LittleEndian.PutUint64(secs[secPortals][0:], 1<<19) // more links than the payload holds
+	})
+	portalIDFlip := hierMut(func(secs map[uint32][]byte) {
+		s := secs[secPortals]
+		binary.LittleEndian.PutUint32(s[8+8:], binary.LittleEndian.Uint32(s[8+8:])+1) // first link's IDA off by one
+	})
 	for _, seed := range [][]byte{legacy.Bytes(), seCont.Bytes(), a2aCont.Bytes(), dynCont.Bytes(),
-		multiCont.Bytes(), flatCont.Bytes(), flatMulti.Bytes(), flatFlip} {
+		multiCont.Bytes(), flatCont.Bytes(), flatMulti.Bytes(), flatFlip,
+		lodCont.Bytes(), selfParent, orphanChild, portalCountLie, portalIDFlip} {
 		f.Add(seed)
 		f.Add(seed[:len(seed)/2])
 		// Kind-tag flip without CRC repair: must die at the footer check.

@@ -99,6 +99,16 @@ type IndexStats struct {
 	// Members is the member count of a multi index (KindMulti); its other
 	// fields aggregate the members (sums; max for Height and Epsilon).
 	Members int `json:"members,omitempty"`
+
+	// Hierarchical multi (KindMulti with an LOD hierarchy) resident-set and
+	// routing counters; zero on legacy flat-grid multis. See TileStats for
+	// the full observability block.
+	TilesResident   int   `json:"tiles_resident,omitempty"`
+	TileBudgetBytes int64 `json:"tile_budget_bytes,omitempty"`
+	TileFaults      int64 `json:"tile_faults,omitempty"`
+	TileEvictions   int64 `json:"tile_evictions,omitempty"`
+	PortalQueries   int64 `json:"portal_queries,omitempty"`
+	CoarseQueries   int64 `json:"coarse_queries,omitempty"`
 }
 
 // DistanceIndex is the one abstraction over every query engine the repo
@@ -229,6 +239,15 @@ var (
 	_ Reachability   = (*FlatOracle)(nil)
 	_ MappedIndex    = (*FlatOracle)(nil)
 	_ MappedIndex    = (*ShardedIndex)(nil)
+	_ PointIndex     = (*ShardedIndex)(nil)
+	_ PointPathIndex = (*ShardedIndex)(nil)
+	_ PointIndex     = (*lazyMember)(nil)
+	_ PointPathIndex = (*lazyMember)(nil)
+	_ NearestFinder  = (*lazyMember)(nil)
+	_ NearestKFinder = (*lazyMember)(nil)
+	_ MatrixIndex    = (*lazyMember)(nil)
+	_ Reachability   = (*lazyMember)(nil)
+	_ MappedIndex    = (*lazyMember)(nil)
 )
 
 // BatchViaQuery is the shared QueryBatch implementation for indexes whose

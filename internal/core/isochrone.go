@@ -81,15 +81,25 @@ func (dy *DynamicOracle) Reachable(src int32, d float64) ([]Reached, error) {
 	return reachableScan(dy, dy.LiveIDs(), func(id int32) terrain.SurfacePoint { return dy.pois[id] }, src, d)
 }
 
-// Reachable answers through the sole member when exactly one exists; with
-// more, endpoint ids are member-local and the caller must address a member
-// by name first. Part of the Reachability interface.
+// Reachable answers through the sole member when exactly one exists. A
+// hierarchical index scans the whole global id space — every candidate
+// routes like Query, so an isochrone may spill across tile boundaries. A
+// legacy flat-grid multi keeps the old contract: ids are member-local and
+// the caller must address a member first. Part of the Reachability
+// interface.
 func (sh *ShardedIndex) Reachable(src int32, d float64) ([]Reached, error) {
 	if len(sh.members) == 1 {
 		if ri, ok := sh.members[0].Index.(Reachability); ok {
 			return ri.Reachable(src, d)
 		}
 		return nil, fmt.Errorf("core: member %q answers no reachability queries", sh.members[0].Name)
+	}
+	if sh.hier != nil {
+		ids := make([]int32, sh.hier.total)
+		for i := range ids {
+			ids[i] = int32(i)
+		}
+		return reachableScan(sh, ids, sh.globalPoint, src, d)
 	}
 	return nil, fmt.Errorf("core: multi index holds %d members; address one by name (ids are member-local)", len(sh.members))
 }

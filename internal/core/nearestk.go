@@ -157,15 +157,14 @@ func (sh *ShardedIndex) NearestKAcrossCtx(ctx context.Context, x, y float64, k i
 	}
 	var all []MemberNeighbor
 	answered := false
-	for _, m := range sh.members {
+	for mi, m := range sh.members {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("core: nearest-k cancelled at member %q: %w", m.Name, err)
 		}
-		nf, ok := m.Index.(NearestKFinder)
-		if !ok {
-			continue
+		if sh.hier != nil && sh.hier.levels[sh.ord[mi]] != 0 {
+			continue // coarse members hold sites, not POIs
 		}
-		ns, err := nf.NearestK(x, y, k)
+		ns, err := sh.memberNearestK(mi, x, y, k)
 		if err != nil {
 			continue
 		}

@@ -315,8 +315,12 @@ func (d *DynamicOracle) QueryPath(s, t int32) ([]terrain.SurfacePoint, float64, 
 // --- sharded -----------------------------------------------------------------
 
 // QueryPath routes like Query: it answers through the sole member when
-// exactly one exists; with more, endpoint ids are member-local and the
-// caller must address a member (by name or bbox) first.
+// exactly one exists, and on a hierarchical index it answers in the global
+// id space — a cross-member pair's path is the best portal's two member
+// paths concatenated at the portal point, or the coarse member's
+// point-to-point path (see hierarchy.go). A legacy flat-grid multi keeps
+// the old contract: ids are member-local and the caller must address a
+// member (by name or bbox) first.
 func (sh *ShardedIndex) QueryPath(s, t int32) ([]terrain.SurfacePoint, float64, error) {
 	if len(sh.members) == 1 {
 		pi, ok := sh.members[0].Index.(PathIndex)
@@ -325,6 +329,9 @@ func (sh *ShardedIndex) QueryPath(s, t int32) ([]terrain.SurfacePoint, float64, 
 				sh.members[0].Name, sh.members[0].Index.Stats().Kind)
 		}
 		return pi.QueryPath(s, t)
+	}
+	if sh.hier != nil {
+		return sh.globalQueryPath(s, t)
 	}
 	return nil, 0, fmt.Errorf("core: multi index holds %d members; address one by name (ids are member-local)", len(sh.members))
 }

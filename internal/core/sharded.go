@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync/atomic"
 
 	"seoracle/internal/geodesic"
 	"seoracle/internal/terrain"
@@ -84,6 +85,26 @@ type ShardedIndex struct {
 	// containment the max edge of a tile belongs to its neighbor, except on
 	// the index's outer boundary, where these maxima re-admit it.
 	maxX, maxY float64
+
+	// Hierarchy state, nil/empty on legacy flat-grid multis (see
+	// hierarchy.go): hier is the decoded LOD/portal metadata, ord maps
+	// member slice index → manifest ordinal, memAt maps manifest ordinal →
+	// member slice index (-1 when the member is quarantined), and ordName
+	// keeps every ordinal's manifest name — including quarantined ones, so
+	// global-id errors stay stable under degraded loads.
+	hier    *hierMeta
+	ord     []int
+	memAt   []int
+	ordName []string
+
+	// rs tracks lazy members under a memory budget and rawMesh keeps the
+	// raw shared-mesh section bytes for byte-identical lazy re-encode; both
+	// are nil on eager loads (see lazy.go).
+	rs      *residentSet
+	rawMesh []byte
+
+	portalQueries atomic.Int64
+	coarseQueries atomic.Int64
 }
 
 // validShardName enforces the member-name alphabet: names travel in URLs
@@ -208,12 +229,19 @@ func (sh *ShardedIndex) contains(b BBox2D, x, y float64) bool {
 	return true
 }
 
-// Query answers through the sole member when exactly one exists; with more,
-// endpoint ids are ambiguous across members and the caller must address a
-// member by name or bbox first.
+// Query answers through the sole member when exactly one exists. With more
+// members, a hierarchical container answers in the global id space (the
+// level-0 members' real POIs concatenated in manifest order): same-member
+// pairs delegate, and cross-member pairs route through boundary-portal
+// stitching or the coarse level (see hierarchy.go). A legacy flat-grid
+// multi keeps the old contract — ids are member-local and the caller must
+// address a member by name or bbox first.
 func (sh *ShardedIndex) Query(s, t int32) (float64, error) {
 	if len(sh.members) == 1 {
 		return sh.members[0].Index.Query(s, t)
+	}
+	if sh.hier != nil {
+		return sh.globalQuery(s, t)
 	}
 	return 0, fmt.Errorf("core: multi index holds %d members; address one by name (ids are member-local)", len(sh.members))
 }
@@ -246,7 +274,9 @@ func (sh *ShardedIndex) MappedBytes() int64 {
 
 // Stats aggregates the members: point/pair/memory sums, the maximum height
 // and epsilon (the conservative error bound across shards), and the member
-// count.
+// count. A hierarchical index reports the global id space as Points — a
+// function of the manifest, stable across lazy eviction and excluding
+// synthetic portal POIs and coarse sites — plus the resident-set counters.
 func (sh *ShardedIndex) Stats() IndexStats {
 	st := IndexStats{Kind: KindMulti, Members: len(sh.members)}
 	for _, m := range sh.members {
@@ -259,6 +289,17 @@ func (sh *ShardedIndex) Stats() IndexStats {
 		if ms.Height > st.Height {
 			st.Height = ms.Height
 		}
+	}
+	if sh.hier != nil {
+		st.Points = int(sh.hier.total)
+	}
+	if ts, ok := sh.TileStats(); ok {
+		st.TilesResident = ts.Resident
+		st.TileBudgetBytes = ts.BudgetBytes
+		st.TileFaults = ts.Faults
+		st.TileEvictions = ts.Evictions
+		st.PortalQueries = ts.PortalQueries
+		st.CoarseQueries = ts.CoarseQueries
 	}
 	return st
 }
@@ -319,18 +360,47 @@ func (sh *ShardedIndex) sharedMesh() *terrain.Mesh {
 }
 
 // EncodeTo writes the multi index as a tagged container (kind "multi"):
-// the manifest, one shared terrain mesh (when the SE members tile a common
+// the manifest, the hierarchy and portal sections (hierarchical containers
+// only), one shared terrain mesh (when the SE members tile a common
 // terrain — embedding it per member would store K identical copies), then
 // every member's own container bytes. Members are buffered one at a time
 // (their containers are deterministic, so decode → re-encode stays
-// byte-identical member by member).
+// byte-identical member by member); lazy members re-emit their retained
+// section bytes verbatim, so a budgeted load re-encodes byte-identically
+// without faulting anything in.
+//
+// A degraded hierarchical index (quarantined members) refuses to re-encode:
+// the hierarchy's ordinals, global id bases and portal links all reference
+// the full manifest, and a container rewritten without the missing members
+// would silently renumber the id space.
 func (sh *ShardedIndex) EncodeTo(w io.Writer) error {
-	shared := sh.sharedMesh()
+	if sh.hier != nil && len(sh.members) != len(sh.hier.levels) {
+		return fmt.Errorf("core: refusing to re-encode a degraded hierarchical multi (%d of %d members loaded; global ids would renumber)",
+			len(sh.members), len(sh.hier.levels))
+	}
 	secs := []section{sh.manifestSection()}
-	if shared != nil {
-		secs = append(secs, meshSection(secMesh, shared))
+	if sh.hier != nil {
+		secs = append(secs, hierarchySection(sh.hier.levels, sh.hier.parents, sh.hier.npois))
+		if len(sh.hier.portals) > 0 {
+			secs = append(secs, portalsSection(sh.hier.portals))
+		}
+	}
+	var shared *terrain.Mesh
+	if sh.rs != nil {
+		if sh.rawMesh != nil {
+			secs = append(secs, bytesSection(secMesh, sh.rawMesh))
+		}
+	} else {
+		shared = sh.sharedMesh()
+		if shared != nil {
+			secs = append(secs, meshSection(secMesh, shared))
+		}
 	}
 	for i, m := range sh.members {
+		if lm, ok := m.Index.(*lazyMember); ok {
+			secs = append(secs, bytesSection(secMemberBase+uint32(i), lm.payload))
+			continue
+		}
 		var buf bytes.Buffer
 		var err error
 		if o, ok := m.Index.(*Oracle); ok && o.mesh == shared {
@@ -391,16 +461,31 @@ func loadMember(payload []byte, keep any) (DistanceIndex, error) {
 	return idx, nil
 }
 
-// decodeMulti is decodeMultiContainer with an optional tolerant mode (the
-// LoadDegraded path): member-level failures — a missing or undecodable
-// member body, a manifest/body kind mismatch, a member that fails shared-
-// mesh validation — quarantine the member instead of failing the load, and
-// the healthy rest are assembled. Manifest and shared-mesh damage stays
-// fatal in both modes: without a trustworthy manifest there is no member
-// identity to quarantine under. Tolerant loads fail only when every member
-// is damaged. keep is retained by zero-copy (flat) members whose slabs
-// alias the section bytes (see LoadBytes).
+// decodeMulti is the keep/tolerant-only entry into decodeMultiCfg, kept for
+// the call sites that never load lazily (stream decode, LoadDegraded).
 func decodeMulti(secs map[uint32][]byte, tolerant bool, keep any) (DistanceIndex, []Quarantined, error) {
+	return decodeMultiCfg(secs, multiLoadConfig{keep: keep, tolerant: tolerant})
+}
+
+// decodeMultiCfg is decodeMultiContainer with an optional tolerant mode
+// (the LoadDegraded path) and an optional lazy mode (LoadOptions.MemBudget
+// — see lazy.go). In tolerant mode, member-level failures — a missing or
+// undecodable member body, a manifest/body kind mismatch, a member that
+// fails shared-mesh validation — quarantine the member instead of failing
+// the load, and the healthy rest are assembled. Manifest, hierarchy and
+// shared-mesh damage stays fatal in both modes: without a trustworthy
+// manifest there is no member identity to quarantine under. Tolerant loads
+// fail only when every member is damaged. cfg.keep is retained by zero-copy
+// (flat) members whose slabs alias the section bytes (see LoadBytes).
+//
+// Lazy mode defers each member's body decode — and therefore its kind,
+// shared-mesh and point-count validation — to the first query that touches
+// it (a deliberate relaxation, like LoadDegraded's: cold start must not pay
+// for tiles the traffic never visits). A body that fails at fault time
+// serves ErrMemberFault thereafter; only a missing member section is still
+// a load-time failure.
+func decodeMultiCfg(secs map[uint32][]byte, cfg multiLoadConfig) (DistanceIndex, []Quarantined, error) {
+	keep, tolerant := cfg.keep, cfg.tolerant
 	if err := requireSections(secs, secManifest); err != nil {
 		return nil, nil, err
 	}
@@ -454,19 +539,53 @@ func decodeMulti(secs map[uint32][]byte, tolerant bool, keep any) (DistanceIndex
 			return nil, nil, fmt.Errorf("container holds member section %d beyond the %d the manifest declares", id-secMemberBase, count)
 		}
 	}
+	// The optional hierarchy and portal sections make the container
+	// hierarchical (global id space, LOD levels, portal stitching — see
+	// hierarchy.go). Hierarchy damage is fatal like manifest damage in both
+	// modes: global ids and cross-tile routing hang off it.
+	var hier *hierMeta
+	if payload, ok := secs[secHierarchy]; ok {
+		levels, parents, npois, err := decodeHierarchySec(payload, len(entries))
+		if err != nil {
+			return nil, nil, err
+		}
+		var links []PortalLink
+		if pp, ok := secs[secPortals]; ok {
+			links, err = decodePortalsSec(pp)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		bboxes := make([]BBox2D, len(entries))
+		for i, e := range entries {
+			bboxes[i] = e.bbox
+		}
+		hier, err = buildHierMeta(levels, parents, npois, links, bboxes)
+		if err != nil {
+			return nil, nil, fmt.Errorf("hierarchy section: %w", err)
+		}
+	} else if _, ok := secs[secPortals]; ok {
+		return nil, nil, fmt.Errorf("container holds a portal section but no hierarchy section")
+	}
 	// An optional shared mesh section carries the terrain the SE members
 	// tile; it is attached to every mesh-less SE member below so QueryPath
-	// works without storing one mesh copy per tile.
+	// works without storing one mesh copy per tile. Lazy loads keep the raw
+	// section and decode it on the first member fault instead.
 	var shared *terrain.Mesh
-	if payload, ok := secs[secMesh]; ok {
+	if payload, ok := secs[secMesh]; ok && !cfg.lazy {
 		m, err := decodeMesh(payload)
 		if err != nil {
 			return nil, nil, fmt.Errorf("shared mesh section: %w", err)
 		}
 		shared = m
 	}
+	var rs *residentSet
+	if cfg.lazy {
+		rs = &residentSet{budget: cfg.budget, rawMesh: secs[secMesh]}
+	}
 	var quarantined []Quarantined
 	members := make([]ShardMember, 0, count)
+	ords := make([]int, 0, count)
 	for i, e := range entries {
 		// quarantine diverts a member-level failure into the quarantine list
 		// in tolerant mode; in strict mode the first failure aborts the load.
@@ -480,6 +599,20 @@ func decodeMulti(secs map[uint32][]byte, tolerant bool, keep any) (DistanceIndex
 				return nil, nil, err
 			}
 			quarantine(err)
+			continue
+		}
+		npois, expectPts := int64(-1), int64(-1)
+		if hier != nil && hier.levels[i] == 0 {
+			npois, expectPts = hier.npois[i], hier.expectPts[i]
+		}
+		if cfg.lazy {
+			lm := &lazyMember{
+				rs: rs, ordinal: int32(i), name: e.name, kind: e.kind,
+				payload: payload, keep: keep, npois: npois, expectPts: expectPts,
+			}
+			rs.members = append(rs.members, lm)
+			ords = append(ords, i)
+			members = append(members, ShardMember{Name: e.name, BBox: e.bbox, Index: lm})
 			continue
 		}
 		idx, err := loadMember(payload, keep)
@@ -529,6 +662,17 @@ func decodeMulti(secs map[uint32][]byte, tolerant bool, keep any) (DistanceIndex
 			// layout defers every cold-slab decode).
 			fo.adopted = shared
 		}
+		if expectPts >= 0 {
+			if got := idx.Stats().Points; int64(got) != expectPts {
+				err := fmt.Errorf("member %q: hierarchy expects %d points (%d POIs + portals), body holds %d", e.name, expectPts, npois, got)
+				if !tolerant {
+					return nil, nil, err
+				}
+				quarantine(err)
+				continue
+			}
+		}
+		ords = append(ords, i)
 		members = append(members, ShardMember{Name: e.name, BBox: e.bbox, Index: idx})
 	}
 	if len(members) == 0 {
@@ -537,6 +681,25 @@ func decodeMulti(secs map[uint32][]byte, tolerant bool, keep any) (DistanceIndex
 	sh, err := NewShardedIndex(members)
 	if err != nil {
 		return nil, nil, err
+	}
+	if hier != nil {
+		sh.hier = hier
+		sh.ord = ords
+		sh.memAt = make([]int, len(entries))
+		for i := range sh.memAt {
+			sh.memAt[i] = -1
+		}
+		for k, ordn := range ords {
+			sh.memAt[ordn] = k
+		}
+		sh.ordName = make([]string, len(entries))
+		for i, e := range entries {
+			sh.ordName[i] = e.name
+		}
+	}
+	if rs != nil {
+		sh.rs = rs
+		sh.rawMesh = secs[secMesh]
 	}
 	return sh, quarantined, nil
 }
@@ -671,7 +834,10 @@ func BuildShardedSE(eng geodesic.Engine, m *terrain.Mesh, pois []terrain.Surface
 // name — a property of the members themselves, not of manifest order, so
 // the winner is identical however the container was assembled or reloaded.
 // Members that cannot answer (no NearestFinder, or no point table) are
-// skipped; an error is returned only when no member produced an answer.
+// skipped; an error is returned only when no member produced an answer. On
+// a hierarchical index, coarse members are skipped (their sites are routing
+// infrastructure, not indexed endpoints) and synthetic portal POIs are
+// filtered out of fine members' answers.
 func (sh *ShardedIndex) NearestAcross(x, y float64) (ShardMember, int32, terrain.SurfacePoint, float64, error) {
 	var (
 		bm    ShardMember
@@ -679,12 +845,11 @@ func (sh *ShardedIndex) NearestAcross(x, y float64) (ShardMember, int32, terrain
 		bat   terrain.SurfacePoint
 		bestD = math.Inf(1)
 	)
-	for _, m := range sh.members {
-		nf, ok := m.Index.(NearestFinder)
-		if !ok {
+	for k, m := range sh.members {
+		if sh.hier != nil && sh.hier.levels[sh.ord[k]] != 0 {
 			continue
 		}
-		id, at, d, err := nf.Nearest(x, y)
+		id, at, d, err := sh.memberNearest(k, x, y)
 		if err != nil {
 			continue
 		}

@@ -45,49 +45,28 @@ func (m *mapping) finishLoad(idx core.DistanceIndex, derr error) error {
 	return derr
 }
 
-// LoadIndexFile loads any index container from disk, either by streaming
-// through a buffered reader or — when useMmap is set on a platform that
-// supports it — by memory-mapping the file and decoding from the mapping
-// via core.LoadBytes. Decoded kinds copy their payloads to the heap and the
-// mapping is released before returning; the flat kind queries the mapping
-// in place (O(1) cold start, zero decode copies), so the mapping stays
-// alive, finalizer-backed, for as long as the index does. Hot reload and
-// the endpoint LRU need no special handling: an old index dropped from
-// serving keeps its mapping until the GC proves nothing queries it.
-func LoadIndexFile(path string, useMmap bool) (core.DistanceIndex, error) {
+// LoadIndexOpts loads an index container from disk under explicit load
+// options — the single implementation behind LoadIndexFile and
+// LoadDegradedFile. When useMmap is set on a platform that supports it, the
+// file is memory-mapped and decoded in place via core.LoadBytesOpts: decoded
+// kinds copy their payloads to the heap and the mapping is released before
+// returning, while flat members and lazily loaded members read the mapping
+// in place, keeping it alive, finalizer-backed, for as long as the index
+// does. Hot reload and the endpoint LRU need no special handling: an old
+// index dropped from serving keeps its mapping until the GC proves nothing
+// queries it.
+//
+// A positive opt.MemBudget needs the whole container image addressable
+// (lazy members are byte ranges of it), which a stream cannot provide:
+// without mmap the file is read into one heap image instead of streamed.
+// The untouched members stay encoded bytes either way; only the decoded
+// resident set is budgeted.
+func LoadIndexOpts(path string, useMmap bool, opt core.LoadOptions) (core.DistanceIndex, []core.Quarantined, error) {
 	if useMmap {
 		data, closer, err := mmapFile(path)
 		if err == nil {
 			m := &mapping{data: data, close: closer}
-			idx, derr := core.LoadBytes(m.data, m)
-			if derr = m.finishLoad(idx, derr); derr != nil {
-				return nil, derr
-			}
-			return idx, nil
-		}
-		if err != errMmapUnsupported {
-			return nil, fmt.Errorf("server: mmap %s: %w", path, err)
-		}
-		// Fall through to the streaming path on platforms without mmap.
-	}
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return core.Load(bufio.NewReaderSize(f, 1<<20))
-}
-
-// LoadDegradedFile is LoadIndexFile's fault-tolerant form: a multi
-// container with corrupt member bodies loads with those members
-// quarantined instead of failing outright (core.LoadDegraded), through
-// the same mmap-or-stream plumbing, flat members staying zero-copy.
-func LoadDegradedFile(path string, useMmap bool) (core.DistanceIndex, []core.Quarantined, error) {
-	if useMmap {
-		data, closer, err := mmapFile(path)
-		if err == nil {
-			m := &mapping{data: data, close: closer}
-			idx, quarantined, derr := core.LoadBytesDegraded(m.data, m)
+			idx, quarantined, derr := core.LoadBytesOpts(m.data, m, opt)
 			if derr = m.finishLoad(idx, derr); derr != nil {
 				return nil, nil, derr
 			}
@@ -96,11 +75,39 @@ func LoadDegradedFile(path string, useMmap bool) (core.DistanceIndex, []core.Qua
 		if err != errMmapUnsupported {
 			return nil, nil, fmt.Errorf("server: mmap %s: %w", path, err)
 		}
+		// Fall through to the unmapped paths on platforms without mmap.
+	}
+	if opt.MemBudget > 0 {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return core.LoadBytesOpts(data, nil, opt)
 	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, nil, err
 	}
 	defer f.Close()
-	return core.LoadDegraded(bufio.NewReaderSize(f, 1<<20))
+	if opt.Tolerant {
+		return core.LoadDegraded(bufio.NewReaderSize(f, 1<<20))
+	}
+	idx, err := core.Load(bufio.NewReaderSize(f, 1<<20))
+	return idx, nil, err
+}
+
+// LoadIndexFile loads any index container from disk, either by streaming
+// through a buffered reader or — when useMmap is set — by memory-mapping
+// the file (see LoadIndexOpts for the mapping's lifetime).
+func LoadIndexFile(path string, useMmap bool) (core.DistanceIndex, error) {
+	idx, _, err := LoadIndexOpts(path, useMmap, core.LoadOptions{})
+	return idx, err
+}
+
+// LoadDegradedFile is LoadIndexFile's fault-tolerant form: a multi
+// container with corrupt member bodies loads with those members
+// quarantined instead of failing outright (core.LoadDegraded), through
+// the same mmap-or-stream plumbing, flat members staying zero-copy.
+func LoadDegradedFile(path string, useMmap bool) (core.DistanceIndex, []core.Quarantined, error) {
+	return LoadIndexOpts(path, useMmap, core.LoadOptions{Tolerant: true})
 }

@@ -21,8 +21,12 @@
 // Multi-container routing: an explicit index name (?index= or the JSON
 // "index" field) always wins; without one, coordinate-addressed requests
 // (/v1/query with sx..ty, /v1/nearest) route to the first member whose
-// planar bbox contains the source point, and id-addressed requests are
-// rejected as ambiguous (member ids are local to each member).
+// planar bbox contains the source point. A coordinate pair straddling two
+// members routes through the multi root: hierarchical containers stitch
+// the answer through boundary portals or a coarse level, legacy ones
+// answer a structured 422 naming both members. Unnamed id-addressed
+// requests address the global id space on a hierarchical container and
+// are rejected as ambiguous on a legacy one (member ids are local).
 //
 // Robustness: the serving path is built to stay predictable under overload
 // and partial failure. A bounded in-flight limit sheds excess load with
@@ -145,6 +149,8 @@ type epoch struct {
 	kindTag     core.Kind
 	sharded     *core.ShardedIndex // non-nil when serving a multi container
 	single      *target            // non-nil when serving one index
+	cross       *target            // the multi root: cross-tile coordinate routing (non-nil when sharded)
+	global      *target            // == cross when the multi routes a global id space (LOD hierarchy)
 	targets     []*target          // routable indexes, manifest order
 	byName      map[string]*target
 	quarantined []core.Quarantined
@@ -167,6 +173,17 @@ func newEpoch(idx core.DistanceIndex, quarantined []core.Quarantined, gen uint64
 			tgt := newTarget(m.Name, m.Index)
 			ep.targets = append(ep.targets, tgt)
 			ep.byName[m.Name] = tgt
+		}
+		// The multi root answers coordinate pairs that straddle members: on
+		// a hierarchical container it stitches through portals or the coarse
+		// level; on a legacy one it produces the structured cross-member
+		// error (422) naming both members.
+		ep.cross = newTarget("", idx)
+		if sh.SupportsGlobal() {
+			// A hierarchical multi also carries a global id space: unnamed
+			// id-addressed requests route through the sharded index itself
+			// instead of being rejected as ambiguous.
+			ep.global = ep.cross
 		}
 	} else {
 		ep.single = newTarget("", idx)
@@ -197,11 +214,12 @@ type Server struct {
 
 	reloadMu sync.Mutex // serializes Swap generation bumps, not requests
 
-	cache              *queryCache // nil when disabled
-	encodeFailures     atomic.Int64
-	coordRejections    atomic.Int64 // non-finite coordinates rejected before routing
-	oversizeRejections atomic.Int64 // requests over a size cap (batch pairs, matrix cells, k, body bytes)
-	encodeLogOnce      sync.Once
+	cache                 *queryCache // nil when disabled
+	encodeFailures        atomic.Int64
+	coordRejections       atomic.Int64 // non-finite coordinates rejected before routing
+	oversizeRejections    atomic.Int64 // requests over a size cap (batch pairs, matrix cells, k, body bytes)
+	crossMemberRejections atomic.Int64 // 422s: cross-member queries the container has no route for
+	encodeLogOnce         sync.Once
 
 	inFlight         atomic.Int64 // requests currently inside the limiter
 	shed             atomic.Int64 // 429s from the in-flight limit
@@ -495,9 +513,31 @@ func (s *Server) resolve(ep *epoch, name string, x, y *float64) (*target, int, s
 		}
 		return ep.byName[m.Name], 0, ""
 	}
+	if ep.global != nil {
+		// Hierarchical multi: unnamed ids address the global id space (the
+		// level-0 members' POIs concatenated in manifest order) and
+		// cross-member pairs route through portals or the coarse level.
+		return ep.global, 0, ""
+	}
 	return nil, http.StatusBadRequest, fmt.Sprintf(
 		"multi index: ids are member-local, address one with index= (members: %s)",
 		strings.Join(ep.memberNames(), ", "))
+}
+
+// resolveXY is resolve for coordinate-pair requests (both endpoints known):
+// an explicit name still wins, but on a hierarchical multi an unnamed pair
+// whose endpoints land in different member tiles routes through the global
+// cross-tile router (portal stitching or the coarse level) instead of the
+// source member, which could not see the far endpoint.
+func (s *Server) resolveXY(ep *epoch, name string, sx, sy, tx, ty *float64) (*target, int, string) {
+	if name == "" && ep.cross != nil && sx != nil && sy != nil && tx != nil && ty != nil {
+		ms, _ := ep.sharded.Locate(*sx, *sy)
+		mt, _ := ep.sharded.Locate(*tx, *ty)
+		if ms.Name != mt.Name {
+			return ep.cross, 0, ""
+		}
+	}
+	return s.resolve(ep, name, sx, sy)
 }
 
 // cachedQuery answers a distance through the LRU + single-flight cache
@@ -681,11 +721,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) int {
 			return tgt.idx.Query(*req.S, *req.T)
 		})
 		if err != nil {
-			return s.writeError(w, http.StatusBadRequest, "query: %v", err)
+			return s.writeError(w, s.queryFailStatus(err, http.StatusBadRequest), "query: %v", err)
 		}
 		return s.writeJSON(w, http.StatusOK, queryResponse{Distance: d, Kind: tgt.kind, Index: tgt.name})
 	case req.SX != nil && req.SY != nil && req.TX != nil && req.TY != nil:
-		tgt, status, msg := s.resolve(ep, req.Index, req.SX, req.SY)
+		tgt, status, msg := s.resolveXY(ep, req.Index, req.SX, req.SY, req.TX, req.TY)
 		if tgt == nil {
 			return s.writeError(w, status, "%s", msg)
 		}
@@ -698,7 +738,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) int {
 			return tgt.pt.QueryXY(*req.SX, *req.SY, *req.TX, *req.TY)
 		})
 		if err != nil {
-			return s.writeError(w, http.StatusBadRequest, "query: %v", err)
+			return s.writeError(w, s.queryFailStatus(err, http.StatusBadRequest), "query: %v", err)
 		}
 		return s.writeJSON(w, http.StatusOK, queryResponse{Distance: d, Kind: tgt.kind, Index: tgt.name})
 	}
@@ -739,7 +779,7 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) int {
 		}
 		return s.writeJSON(w, http.StatusOK, v)
 	case req.SX != nil && req.SY != nil && req.TX != nil && req.TY != nil:
-		tgt, status, msg := s.resolve(ep, req.Index, req.SX, req.SY)
+		tgt, status, msg := s.resolveXY(ep, req.Index, req.SX, req.SY, req.TX, req.TY)
 		if tgt == nil {
 			return s.writeError(w, status, "%s", msg)
 		}
@@ -777,10 +817,22 @@ func (s *Server) pathErrorStatus(err error) int {
 
 // queryFailStatus maps a query-path error to its HTTP status: a context
 // cancellation / deadline expiry is a counted 503 (the request was valid;
-// the server ran out of budget), anything else keeps the caller's fallback.
+// the server ran out of budget); a cross-member query the container has no
+// route for is a counted 422 carrying both member names (the request was
+// well-formed but this container cannot answer it); a lazy member whose
+// body failed to decode on first touch is 503, like a quarantined member.
+// Anything else keeps the caller's fallback.
 func (s *Server) queryFailStatus(err error, fallback int) int {
 	if core.IsContextErr(err) {
 		s.deadlineExceeded.Add(1)
+		return http.StatusServiceUnavailable
+	}
+	var cme *core.CrossMemberError
+	if errors.As(err, &cme) {
+		s.crossMemberRejections.Add(1)
+		return http.StatusUnprocessableEntity
+	}
+	if errors.Is(err, core.ErrMemberFault) {
 		return http.StatusServiceUnavailable
 	}
 	return fallback
@@ -888,7 +940,7 @@ func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) int {
 		tgt.queries.Add(1)
 		id, at, planar, err = tgt.nf.Nearest(*req.X, *req.Y)
 		if err != nil {
-			return s.writeError(w, http.StatusBadRequest, "nearest: %v", err)
+			return s.writeError(w, s.queryFailStatus(err, http.StatusBadRequest), "nearest: %v", err)
 		}
 		name = tgt.name
 	}
@@ -1004,11 +1056,12 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) int {
 			"heap_bytes":   rootStats.MemoryBytes,
 			"mapped_bytes": rootStats.MappedBytes,
 		},
-		"cache":               s.cache.snapshot(),
-		"encode_failures":     s.encodeFailures.Load(),
-		"coord_rejections":    s.coordRejections.Load(),
-		"oversize_rejections": s.oversizeRejections.Load(),
-		"uptime_seconds":      uptime,
+		"cache":                   s.cache.snapshot(),
+		"encode_failures":         s.encodeFailures.Load(),
+		"coord_rejections":        s.coordRejections.Load(),
+		"oversize_rejections":     s.oversizeRejections.Load(),
+		"cross_member_rejections": s.crossMemberRejections.Load(),
+		"uptime_seconds":          uptime,
 		"ops": map[string]interface{}{
 			"uptime_seconds":    uptime,
 			"goroutines":        runtime.NumGoroutine(),
@@ -1033,6 +1086,25 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) int {
 			}
 		}
 		body["indexes"] = members
+		if ts, ok := ep.sharded.TileStats(); ok {
+			hitRate := 0.0
+			if routed := ts.PortalQueries + ts.CoarseQueries; routed > 0 {
+				hitRate = float64(ts.PortalQueries) / float64(routed)
+			}
+			body["tiles"] = map[string]interface{}{
+				"members":         ts.Members,
+				"levels":          ts.Levels,
+				"portals":         ts.Portals,
+				"resident":        ts.Resident,
+				"resident_bytes":  ts.ResidentBytes,
+				"budget_bytes":    ts.BudgetBytes,
+				"faults":          ts.Faults,
+				"evictions":       ts.Evictions,
+				"portal_queries":  ts.PortalQueries,
+				"coarse_queries":  ts.CoarseQueries,
+				"portal_hit_rate": hitRate,
+			}
+		}
 	}
 	return s.writeJSON(w, http.StatusOK, body)
 }

@@ -431,7 +431,7 @@ func (s *Server) handleIsochrone(w http.ResponseWriter, r *http.Request) int {
 		return newIsochroneResponse(tgt, *req.S, *req.D, reached), nil
 	})
 	if err != nil {
-		return s.writeError(w, http.StatusBadRequest, "isochrone: %v", err)
+		return s.writeError(w, s.queryFailStatus(err, http.StatusBadRequest), "isochrone: %v", err)
 	}
 	return s.writeJSON(w, http.StatusOK, v)
 }

@@ -4,7 +4,8 @@
 #
 #   1. generate a small terrain + POI set (terraingen)
 #   2. build and serialize an SE index (sebuild -kind=se), an A2A index
-#      (sebuild -kind=a2a) and a 2-shard multi container (sebuild -shards=2)
+#      (sebuild -kind=a2a), a 2-shard multi container (sebuild -shards=2)
+#      and a 4-shard 2-level LOD hierarchy (sebuild -shards=4 -lod=2)
 #   3. answer a query offline with sequery
 #   4. start seserve on the same container, hit /healthz, /v1/query,
 #      /v1/path, /v1/nearest (single and k=3), /v1/matrix, /v1/isochrone
@@ -205,4 +206,67 @@ say "cache: hits=$HITS misses=$MISSES"
 [ "${HITS:-0}" -ge 1 ] 2>/dev/null || { say "expected >= 1 cache hit, got '$HITS'"; exit 1; }
 [ "${MISSES:-0}" -ge 1 ] 2>/dev/null || { say "expected >= 1 cache miss, got '$MISSES'"; exit 1; }
 
-say "OK (se + a2a + sharded multi served, answers match sequery, cache hit recorded)"
+kill "$SERVER_PID" && wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+# --- 2-level LOD hierarchy under a memory budget ----------------------------
+say "building 4-shard 2-level LOD index"
+"$TMP/sebuild" -kind=se -shards=4 -lod=2 -terrain "$TMP/terrain.off" -pois "$TMP/pois.txt" \
+    -out "$TMP/lod.sedx" -eps 0.2 -seed 7
+
+# Global-id queries need no member name on a hierarchical container; pick a
+# pair that straddles tiles (id 0 lives in the first fine tile, the last id
+# in the last) and get the offline answer.
+WANT_X="$("$TMP/sequery" -oracle "$TMP/lod.sedx" -s 0 -t 39 | awk -F'= ' '{print $2}' | awk '{print $1}')"
+[ -n "$WANT_X" ] || { say "sequery produced no global-id answer"; exit 1; }
+say "sequery says global d(0,39) = $WANT_X"
+
+# Serve under a 1-byte budget: every member is lazy, every fault immediately
+# exceeds the budget, so the resident set must evict — the container serves
+# while never holding more than ~one decoded tile.
+"$TMP/seserve" -index "$TMP/lod.sedx" -addr "127.0.0.1:$PORT" -mem-budget 1 &
+SERVER_PID=$!
+wait_healthy
+grep -q '"kind":"multi"' "$TMP/health.json" || { say "healthz kind mismatch: $(cat "$TMP/health.json")"; exit 1; }
+
+# Cross-tile global-id query: the served answer must equal sequery's.
+curl_json "http://127.0.0.1:$PORT/v1/query?s=0&t=39" >"$TMP/qx.json"
+GOT_X="$(field "$TMP/qx.json" distance)"
+say "seserve says global d(0,39) = $GOT_X"
+[ "$GOT_X" = "$WANT_X" ] || { say "cross-tile distance mismatch: sequery=$WANT_X server=$GOT_X"; exit 1; }
+
+# Cross-tile path: one LineString stitched across the seam.
+curl_json "http://127.0.0.1:$PORT/v1/path?s=0&t=39" >"$TMP/px.json"
+grep -q '"LineString"' "$TMP/px.json" || { say "cross-tile /v1/path is not a LineString: $(cat "$TMP/px.json")"; exit 1; }
+PXV="$(field "$TMP/px.json" vertices)"
+[ "${PXV:-0}" -ge 2 ] 2>/dev/null || { say "cross-tile /v1/path has $PXV vertices, want >= 2"; exit 1; }
+
+# A coordinate pair straddling two tiles routes through the hierarchy
+# instead of the legacy cross-member rejection.
+curl_json "http://127.0.0.1:$PORT/v1/query?sx=10&sy=60&tx=110&ty=60" >"$TMP/qc.json"
+GOT_C="$(field "$TMP/qc.json" distance)"
+[ -n "$GOT_C" ] || { say "straddling coordinate query failed: $(cat "$TMP/qc.json")"; exit 1; }
+say "straddling d((10,60),(110,60)) = $GOT_C"
+
+# A few more global pairs to churn the resident set under the 1-byte budget.
+for T in 10 20 30 39; do
+    curl_json "http://127.0.0.1:$PORT/v1/query?s=0&t=$T" >/dev/null
+done
+
+# The /statsz tiles block must show the hierarchy and the budget at work:
+# 2 levels, portals present, faults recorded, and at least one eviction.
+curl_json "http://127.0.0.1:$PORT/statsz" >"$TMP/statsl.json"
+grep -q '"tiles"' "$TMP/statsl.json" || { say "statsz has no tiles block"; exit 1; }
+TLEVELS="$(field "$TMP/statsl.json" levels)"
+[ "${TLEVELS:-0}" = "2" ] || { say "tiles.levels=$TLEVELS, want 2"; exit 1; }
+TPORTALS="$(field "$TMP/statsl.json" portals)"
+[ "${TPORTALS:-0}" -ge 1 ] 2>/dev/null || { say "tiles.portals=$TPORTALS, want >= 1"; exit 1; }
+TBUDGET="$(field "$TMP/statsl.json" budget_bytes)"
+[ "${TBUDGET:-0}" = "1" ] || { say "tiles.budget_bytes=$TBUDGET, want 1"; exit 1; }
+TFAULTS="$(field "$TMP/statsl.json" faults)"
+[ "${TFAULTS:-0}" -ge 1 ] 2>/dev/null || { say "tiles.faults=$TFAULTS, want >= 1"; exit 1; }
+TEVICT="$(field "$TMP/statsl.json" evictions)"
+[ "${TEVICT:-0}" -ge 1 ] 2>/dev/null || { say "tiles.evictions=$TEVICT, want >= 1"; exit 1; }
+say "tiles: levels=$TLEVELS portals=$TPORTALS faults=$TFAULTS evictions=$TEVICT (budget 1 byte)"
+
+say "OK (se + a2a + sharded multi + LOD-under-budget served, answers match sequery, cache hit recorded)"

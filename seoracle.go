@@ -238,6 +238,59 @@ func BuildSharded(t *Terrain, pois []SurfacePoint, shards int, opt Options) (*Sh
 	return core.BuildShardedSE(geodesic.NewExact(t), t, pois, shards, opt)
 }
 
+// LODOptions configures BuildShardedLOD beyond the per-member Options:
+// the total level count (including the fine grid at level 0) and the
+// boundary-portal density on shared tile edges.
+type LODOptions = core.LODOptions
+
+// DefaultPortalsPerEdge is the boundary-portal density used when
+// LODOptions.PortalsPerEdge is zero.
+const DefaultPortalsPerEdge = core.DefaultPortalsPerEdge
+
+// PortalLink is one boundary portal shared by two adjacent fine tiles of a
+// hierarchical sharded index: the same surface point indexed by both
+// members, the seam cross-tile queries stitch through.
+type PortalLink = core.PortalLink
+
+// CrossMemberError reports a query whose endpoints land in different
+// members of a multi index that has no portal or coarse-level route
+// between them. It carries both member names; unwrap with errors.As.
+type CrossMemberError = core.CrossMemberError
+
+// ErrMemberFault marks a lazily loaded member whose body failed to decode
+// on first touch. Queries touching the member keep returning it (sticky);
+// test with errors.Is.
+var ErrMemberFault = core.ErrMemberFault
+
+// TileStats is the hierarchy / resident-set observability block of a
+// sharded index (ShardedIndex.TileStats): member and level counts, portal
+// count, resident-set size against its memory budget, fault/eviction
+// churn, and the cross-tile routing split.
+type TileStats = core.TileStats
+
+// ShardedBuildSummary reports what WriteSharded streamed: fine and coarse
+// member counts, portal links, and the global id space size.
+type ShardedBuildSummary = core.ShardedBuildSummary
+
+// BuildShardedLOD is BuildSharded with a level-of-detail hierarchy: K-1
+// coarse A2A members above the fine tile grid and boundary portals on every
+// shared tile edge, so queries between tiles answer through portal
+// stitching (short range) or a coarse member (long range) instead of
+// failing. The result carries a global id space — the fine members' POIs
+// concatenated in manifest order — addressable directly via Query.
+func BuildShardedLOD(t *Terrain, pois []SurfacePoint, shards int, opt LODOptions) (*ShardedIndex, error) {
+	return core.BuildShardedLOD(geodesic.NewExact(t), t, pois, shards, opt)
+}
+
+// WriteSharded builds the same container BuildShardedLOD + EncodeTo would
+// produce, but streams each member to w as it is built and drops it before
+// the next starts, so peak memory is one tile rather than the whole
+// container. The output bytes are identical to the resident path. flat
+// selects the zero-parse flat member layout.
+func WriteSharded(w io.Writer, t *Terrain, pois []SurfacePoint, shards int, opt LODOptions, flat bool) (ShardedBuildSummary, error) {
+	return core.WriteSharded(w, geodesic.NewExact(t), t, pois, shards, opt, flat)
+}
+
 // Load reads any serialized index container (written with EncodeTo) and
 // returns the concrete engine behind the DistanceIndex interface — an
 // *Oracle, *A2AOracle or *DynamicOracle according to the container's kind
